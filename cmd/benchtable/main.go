@@ -1,0 +1,104 @@
+// Command benchtable regenerates Table I of the paper: for each of the
+// twelve benchmark cases it reports the dynamic order n, port count p,
+// detected number of imaginary Hamiltonian eigenvalues Nλ, the serial
+// solve time τ̄₁, the T-thread mean and worst-case times τ̄_T / τ_T^max,
+// and the average speedup η̄_T = τ̄₁/τ̄_T.
+//
+// Absolute times depend on the host; the reproduction target is the shape:
+// all cases solve in seconds, with substantial (occasionally superlinear)
+// speedups from the dynamic shift scheduler.
+//
+//	benchtable -threads 16 -runs 3 -cases 1,2,3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/statespace"
+)
+
+func main() {
+	threads := flag.Int("threads", min(16, runtime.NumCPU()), "parallel thread count T")
+	runs := flag.Int("runs", 3, "independent runs for the parallel mean/worst-case")
+	serialRuns := flag.Int("serialruns", 1, "runs for the serial reference")
+	cases := flag.String("cases", "", "comma-separated case IDs (default: all twelve)")
+	cacheDir := flag.String("cache", "testdata/cases", "model cache directory")
+	flag.Parse()
+
+	specs := repro.TableICases()
+	if *cases != "" {
+		var sel []repro.CaseSpec
+		for _, tok := range strings.Split(*cases, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				log.Fatalf("bad case id %q", tok)
+			}
+			spec, err := repro.FindCase(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sel = append(sel, spec)
+		}
+		specs = sel
+	}
+
+	fmt.Printf("Table I reproduction — T=%d threads, %d parallel runs (host: %d cores)\n",
+		*threads, *runs, runtime.NumCPU())
+	fmt.Printf("%-7s %5s %4s %8s %4s | %9s %9s %9s %8s | %6s\n",
+		"Case", "n", "p", "Nλ(pap)", "Nλ", "τ1[s]", "τT[s]", "τTmax[s]", "η", "shifts")
+
+	for _, spec := range specs {
+		model, err := statespace.CachedCase(spec, *cacheDir)
+		if err != nil {
+			log.Fatalf("case %d: %v", spec.ID, err)
+		}
+		// Serial reference.
+		var tau1 float64
+		var nl int
+		for r := 0; r < *serialRuns; r++ {
+			start := time.Now()
+			res, err := repro.FindImagEigs(model, repro.SolverOptions{Threads: 1, Seed: int64(1000 + r)})
+			if err != nil {
+				log.Fatalf("case %d serial: %v", spec.ID, err)
+			}
+			tau1 += time.Since(start).Seconds()
+			nl = len(res.Crossings)
+		}
+		tau1 /= float64(*serialRuns)
+		// Parallel runs.
+		var sum, worst float64
+		for r := 0; r < *runs; r++ {
+			start := time.Now()
+			res, err := repro.FindImagEigs(model, repro.SolverOptions{Threads: *threads, Seed: int64(2000 + r)})
+			if err != nil {
+				log.Fatalf("case %d parallel: %v", spec.ID, err)
+			}
+			el := time.Since(start).Seconds()
+			sum += el
+			if el > worst {
+				worst = el
+			}
+			if len(res.Crossings) != nl {
+				fmt.Printf("  note: case %d run %d found Nλ=%d (serial found %d)\n",
+					spec.ID, r, len(res.Crossings), nl)
+			}
+		}
+		mean := sum / float64(*runs)
+		fmt.Printf("Case %-2d %5d %4d %8d %4d | %9.3f %9.3f %9.3f %7.2fx | \n",
+			spec.ID, spec.N, spec.P, spec.PaperNlambda, nl, tau1, mean, worst, tau1/mean)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+// Command passcheck is the CLI front end of the passivity tools: it builds
+// (or loads) a macromodel, runs the parallel Hamiltonian characterization,
+// optionally enforces passivity, and prints a report.
+//
+// Usage examples:
+//
+//	passcheck -case 5 -threads 16
+//	passcheck -n 1200 -p 24 -peak 1.05 -seed 3 -enforce
+//	passcheck -n 800 -p 8 -peak 0.95 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"runtime"
+
+	"repro"
+	"repro/internal/statespace"
+)
+
+func main() {
+	caseID := flag.Int("case", 0, "Table-I benchmark case (1-12); overrides -n/-p/-peak")
+	order := flag.Int("n", 400, "dynamic order of the generated model")
+	ports := flag.Int("p", 8, "port count")
+	peak := flag.Float64("peak", 1.05, "calibrated peak singular value (>1: non-passive)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	threads := flag.Int("threads", runtime.NumCPU(), "solver worker threads")
+	enforce := flag.Bool("enforce", false, "run passivity enforcement if violations are found")
+	verify := flag.Bool("verify", false, "cross-check the report with a frequency sweep")
+	cacheDir := flag.String("cache", "testdata/cases", "model cache directory for -case")
+	jsonOut := flag.String("json", "", "write the characterization report as JSON to this file ('-' = stdout)")
+	flag.Parse()
+
+	var model *repro.Model
+	var err error
+	if *caseID != 0 {
+		spec, ferr := repro.FindCase(*caseID)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		fmt.Printf("Table-I case %d: n=%d p=%d (paper Nλ=%d)\n", spec.ID, spec.N, spec.P, spec.PaperNlambda)
+		model, err = statespace.CachedCase(spec, *cacheDir)
+	} else {
+		model, err = repro.GenerateModel(*seed, repro.GenOptions{
+			Ports: *ports, Order: *order, TargetPeak: *peak,
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d ports, %d states\n", model.P, model.Order())
+
+	charOpts := repro.CharOptions{Core: repro.SolverOptions{Threads: *threads, Seed: *seed}}
+	report, err := repro.Characterize(model, charOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(report)
+
+	if *jsonOut != "" {
+		var w io.Writer = os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := report.WriteJSON(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *verify {
+		if err := repro.VerifyBySampling(model, report, 800); err != nil {
+			fmt.Println("sweep verification: FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("sweep verification: OK")
+	}
+
+	if *enforce && !report.Passive {
+		passive, erep, err := repro.Enforce(model, repro.EnforceOptions{Char: charOpts})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nenforcement: %d iterations, relative residue change %.4g\n",
+			erep.Iterations, erep.ResidueChange)
+		fmt.Printf("final model passive: %v\n", erep.FinalReport.Passive)
+		_ = passive
+	}
+}
+
+func printReport(r *repro.Report) {
+	fmt.Printf("searched band: [0, %.6g] rad/s\n", r.OmegaMax)
+	fmt.Printf("N_lambda (imaginary Hamiltonian eigenvalues): %d\n", len(r.Crossings))
+	fmt.Printf("solver: %d shifts, %d restarts, %d applies, %d tentative shifts deleted, %v\n",
+		r.Solver.ShiftsProcessed, r.Solver.Restarts, r.Solver.OpApplies,
+		r.Solver.TentativeDeleted, r.Solver.Elapsed)
+	if r.Passive {
+		fmt.Println("verdict: PASSIVE")
+		return
+	}
+	fmt.Println("verdict: NOT PASSIVE")
+	for _, b := range r.Violations() {
+		hi := fmt.Sprintf("%.6g", b.Hi)
+		if math.IsInf(b.Hi, 1) {
+			hi = "inf"
+		}
+		fmt.Printf("  violation band [%.6g, %s] rad/s  peak σ=%.6f @ ω=%.6g\n",
+			b.Lo, hi, b.PeakSigma, b.PeakOmega)
+	}
+}

@@ -1,0 +1,119 @@
+// Command speedup regenerates Fig. 6 of the paper: the speedup factor
+// η_t = τ̄₁/τ_t versus the number of worker threads t for benchmark Case 5,
+// with mean and standard deviation over independent runs, printed as a
+// series and as an ASCII plot against the ideal line.
+//
+//	speedup -runs 20 -maxthreads 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/statespace"
+)
+
+func main() {
+	caseID := flag.Int("case", 5, "Table-I case to use (paper: Case 5)")
+	runs := flag.Int("runs", 20, "independent runs per thread count (paper: 20)")
+	maxT := flag.Int("maxthreads", min(16, runtime.NumCPU()), "largest thread count")
+	cacheDir := flag.String("cache", "testdata/cases", "model cache directory")
+	flag.Parse()
+
+	spec, err := repro.FindCase(*caseID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := statespace.CachedCase(spec, *cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 6 reproduction — Case %d (n=%d, p=%d), %d runs per point\n",
+		spec.ID, spec.N, spec.P, *runs)
+
+	// Serial reference τ̄₁ (averaged over the same number of runs).
+	var tau1 float64
+	for r := 0; r < *runs; r++ {
+		start := time.Now()
+		if _, err := repro.FindImagEigs(model, repro.SolverOptions{Threads: 1, Seed: int64(100 + r)}); err != nil {
+			log.Fatal(err)
+		}
+		tau1 += time.Since(start).Seconds()
+	}
+	tau1 /= float64(*runs)
+	fmt.Printf("serial reference τ̄₁ = %.3fs\n\n", tau1)
+
+	type point struct {
+		t    int
+		mean float64
+		std  float64
+	}
+	var pts []point
+	fmt.Printf("%7s %10s %10s %8s\n", "threads", "η̄ (mean)", "σ (std)", "ideal")
+	for t := 1; t <= *maxT; t++ {
+		etas := make([]float64, *runs)
+		for r := 0; r < *runs; r++ {
+			start := time.Now()
+			if _, err := repro.FindImagEigs(model, repro.SolverOptions{Threads: t, Seed: int64(1000*t + r)}); err != nil {
+				log.Fatal(err)
+			}
+			etas[r] = tau1 / time.Since(start).Seconds()
+		}
+		var mean float64
+		for _, e := range etas {
+			mean += e
+		}
+		mean /= float64(*runs)
+		var varr float64
+		for _, e := range etas {
+			varr += (e - mean) * (e - mean)
+		}
+		std := math.Sqrt(varr / float64(*runs))
+		pts = append(pts, point{t, mean, std})
+		fmt.Printf("%7d %10.2f %10.2f %8d\n", t, mean, std, t)
+	}
+
+	// ASCII plot: speedup vs threads against the ideal diagonal.
+	fmt.Println("\nspeedup vs threads ('o' measured ±σ bar, '.' ideal):")
+	maxY := float64(*maxT) + 1
+	height := 18
+	for row := height; row >= 0; row-- {
+		y := maxY * float64(row) / float64(height)
+		line := make([]byte, *maxT*4+2)
+		for i := range line {
+			line[i] = ' '
+		}
+		for _, p := range pts {
+			x := (p.t - 1) * 4
+			if math.Abs(float64(p.t)-y) < maxY/float64(2*height) {
+				line[x] = '.'
+			}
+			if p.mean-p.std <= y && y <= p.mean+p.std {
+				line[x] = '|'
+			}
+			if math.Abs(p.mean-y) < maxY/float64(2*height) {
+				line[x] = 'o'
+			}
+		}
+		fmt.Printf("%5.1f %s\n", y, strings.TrimRight(string(line), " "))
+	}
+	fmt.Printf("      %s\n", strings.Repeat("-", *maxT*4))
+	fmt.Print("      ")
+	for t := 1; t <= *maxT; t++ {
+		fmt.Printf("%-4d", t)
+	}
+	fmt.Println()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

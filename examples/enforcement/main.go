@@ -1,0 +1,71 @@
+// Command enforcement runs the full characterize → enforce → re-verify
+// loop on a non-passive interconnect macromodel: the workflow the paper's
+// eigensolver exists to accelerate (title: "… Passivity Characterization
+// and Enforcement …").
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro"
+)
+
+func main() {
+	model, err := repro.GenerateModel(7, repro.GenOptions{
+		Ports:      3,
+		Order:      90,
+		TargetPeak: 1.06, // ~6% worst-case passivity violation
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d ports, %d states\n", model.P, model.Order())
+
+	charOpts := repro.CharOptions{Core: repro.SolverOptions{
+		Threads: runtime.NumCPU(),
+		Seed:    3,
+	}}
+
+	before, err := repro.Characterize(model, charOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before: passive=%v, %d crossings, worst sigma %.6f\n",
+		before.Passive, len(before.Crossings), before.WorstViolation())
+	for _, b := range before.Violations() {
+		fmt.Printf("  violation band [%.5g, %.5g] rad/s, peak %.6f\n", b.Lo, b.Hi, b.PeakSigma)
+	}
+
+	passive, erep, err := repro.Enforce(model, repro.EnforceOptions{
+		Char:   charOpts,
+		Margin: 1e-3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enforcement: %d iterations, relative residue change %.4g\n",
+		erep.Iterations, erep.ResidueChange)
+	fmt.Printf("after: passive=%v (worst sigma %.6f)\n",
+		erep.FinalReport.Passive, erep.FinalReport.WorstViolation())
+
+	// Independent verification by frequency sweep.
+	if err := repro.VerifyBySampling(passive, erep.FinalReport, 800); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+	fmt.Println("sweep verification: OK — all sampled sigma <= 1")
+
+	// The fit quality impact of the perturbation.
+	grid := repro.LogGrid(1e8, 1e10, 30)
+	var worst float64
+	for _, w := range grid {
+		h0 := model.EvalJW(w)
+		h1 := passive.EvalJW(w)
+		d := h1.Sub(h0)
+		if m := d.MaxAbs(); m > worst {
+			worst = m
+		}
+	}
+	fmt.Printf("max |H_passive - H_original| entry over the band: %.4g\n", worst)
+}

@@ -1,0 +1,57 @@
+// Command scaling reproduces the paper's headline claim on whatever
+// machine it runs: near-ideal speedup of the dynamic multi-shift scheduler
+// with the number of worker threads (paper Fig. 6 shape).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	order := flag.Int("n", 800, "dynamic order of the benchmark model")
+	ports := flag.Int("p", 16, "port count")
+	runs := flag.Int("runs", 3, "timed runs per thread count")
+	maxT := flag.Int("maxthreads", runtime.NumCPU(), "largest thread count to test")
+	flag.Parse()
+
+	model, err := repro.GenerateModel(5, repro.GenOptions{
+		Ports:      *ports,
+		Order:      *order,
+		TargetPeak: 1.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d ports, %d states; %d runs per point\n", model.P, model.Order(), *runs)
+
+	var tau1 float64
+	fmt.Println("threads   mean time     speedup   (ideal)")
+	for t := 1; t <= *maxT; t *= 2 {
+		var total time.Duration
+		var crossings int
+		for r := 0; r < *runs; r++ {
+			start := time.Now()
+			res, err := repro.FindImagEigs(model, repro.SolverOptions{
+				Threads: t,
+				Seed:    int64(100 + r),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += time.Since(start)
+			crossings = len(res.Crossings)
+		}
+		mean := total.Seconds() / float64(*runs)
+		if t == 1 {
+			tau1 = mean
+		}
+		fmt.Printf("%7d   %8.3fs   %7.2fx   (%d)    N_lambda=%d\n",
+			t, mean, tau1/mean, t, crossings)
+	}
+}

@@ -1,0 +1,283 @@
+// Package arnoldi implements the restarted, deflated shift-invert Arnoldi
+// process of the DATE'11 paper (Sec. III): a Krylov eigensolver on the
+// structured operator (M − ϑI)⁻¹ that stabilizes a small number n_ϑ of
+// Hamiltonian eigenvalues closest to the shift ϑ, together with a certified
+// disk radius ρ such that the returned set contains every eigenvalue in
+// C_{ϑ,ρ} = {s : |s − ϑ| < ρ}.
+package arnoldi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// Operator is a linear operator on C^dim. Apply computes y = Op·x; x and y
+// are distinct slices of length Dim().
+type Operator interface {
+	Dim() int
+	Apply(y, x []complex128) error
+}
+
+// RitzPair is one approximate eigenpair of the operator.
+type RitzPair struct {
+	Value    complex128 // Ritz value μ
+	Residual float64    // ‖Op·x − μ·x‖ estimate (|h_{d+1,d}·y_d|)
+	Vector   []complex128
+}
+
+// Config controls one Arnoldi factorization sweep.
+type Config struct {
+	// MaxDim is the Krylov subspace dimension d (paper: 60).
+	MaxDim int
+	// Tol is the relative residual threshold for Ritz convergence.
+	Tol float64
+	// Rng drives the random start vectors; must not be shared across
+	// goroutines.
+	Rng *rand.Rand
+	// CheckEvery, when positive, evaluates StopEarly every CheckEvery
+	// steps so a sweep can end as soon as the caller has what it needs
+	// (the projected problem is tiny compared to the basis updates).
+	CheckEvery int
+	// StopEarly receives the current projected Hessenberg matrix, the
+	// next-vector coupling h_{j+1,j}, and the step count; returning true
+	// terminates the sweep at that dimension.
+	StopEarly func(h *mat.CDense, hNext float64, steps int) bool
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxDim == 0 {
+		c.MaxDim = 60
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-9
+	}
+	if c.Rng == nil {
+		c.Rng = rand.New(rand.NewSource(1))
+	}
+}
+
+// ErrBreakdownEmpty is returned when the start vector lies entirely in the
+// locked subspace and no Krylov direction remains.
+var ErrBreakdownEmpty = errors.New("arnoldi: start vector fully deflated")
+
+// Factorization holds the result of one Arnoldi sweep: an orthonormal basis
+// V of the Krylov space (deflated against the locked vectors), the
+// projected Hessenberg matrix H (dim steps×steps), the next-vector coupling
+// hNext = h_{d+1,d}, and whether an invariant subspace was hit (lucky
+// breakdown: the Ritz values are then exact for the deflated operator).
+type Factorization struct {
+	Steps     int
+	V         [][]complex128
+	H         *mat.CDense
+	HNext     float64
+	Invariant bool
+	OpApplies int
+}
+
+// Run performs one Arnoldi factorization of op with the given start vector,
+// orthogonalizing every basis vector against locked (modified Gram-Schmidt
+// with one reorthogonalization pass).
+func Run(op Operator, start []complex128, locked [][]complex128, cfg Config) (*Factorization, error) {
+	cfg.setDefaults()
+	n := op.Dim()
+	if len(start) != n {
+		panic(fmt.Sprintf("arnoldi: start vector length %d, want %d", len(start), n))
+	}
+	d := cfg.MaxDim
+	if lim := n - len(locked); d > lim {
+		d = lim
+	}
+	if d <= 0 {
+		return nil, ErrBreakdownEmpty
+	}
+	v0 := mat.CCopy(start)
+	orthogonalize(v0, locked)
+	nrm := mat.CNorm2(v0)
+	if nrm < 1e-300 {
+		return nil, ErrBreakdownEmpty
+	}
+	mat.CScaleVec(complex(1/nrm, 0), v0)
+
+	v := make([][]complex128, 0, d+1)
+	v = append(v, v0)
+	h := mat.NewCDense(d, d)
+	w := make([]complex128, n)
+	fac := &Factorization{}
+	for j := 0; j < d; j++ {
+		if err := op.Apply(w, v[j]); err != nil {
+			return nil, err
+		}
+		fac.OpApplies++
+		wNormBefore := mat.CNorm2(w)
+		// Deflate against locked, then MGS against the basis.
+		orthogonalize(w, locked)
+		for i := 0; i <= j; i++ {
+			hij := mat.CDot(v[i], w)
+			mat.CAxpy(-hij, v[i], w)
+			h.Set(i, j, hij)
+		}
+		// Selective reorthogonalization (Kahan–Parlett "twice is enough"
+		// criterion): a second pass is only needed when cancellation ate a
+		// substantial part of the vector.
+		if mat.CNorm2(w) < 0.5*wNormBefore {
+			orthogonalize(w, locked)
+			for i := 0; i <= j; i++ {
+				c := mat.CDot(v[i], w)
+				mat.CAxpy(-c, v[i], w)
+				h.Set(i, j, h.At(i, j)+c)
+			}
+		}
+		hn := mat.CNorm2(w)
+		fac.Steps = j + 1
+		// Relative breakdown test against the column norm of H.
+		var colScale float64
+		for i := 0; i <= j; i++ {
+			colScale += cmplx.Abs(h.At(i, j))
+		}
+		if hn <= 1e-12*(colScale+1e-300) {
+			fac.Invariant = true
+			fac.HNext = 0
+			break
+		}
+		fac.HNext = hn
+		// Periodic early-exit check on the projected problem.
+		if cfg.StopEarly != nil && cfg.CheckEvery > 0 && (j+1)%cfg.CheckEvery == 0 && j+1 < d {
+			k := j + 1
+			hk := mat.NewCDense(k, k)
+			for a := 0; a < k; a++ {
+				for b := 0; b < k; b++ {
+					hk.Set(a, b, h.At(a, b))
+				}
+			}
+			if cfg.StopEarly(hk, hn, k) {
+				next := mat.CCopy(w)
+				mat.CScaleVec(complex(1/hn, 0), next)
+				v = append(v, next)
+				break
+			}
+		}
+		if j+1 < d {
+			h.Set(j+1, j, complex(hn, 0))
+		}
+		next := mat.CCopy(w)
+		mat.CScaleVec(complex(1/hn, 0), next)
+		v = append(v, next)
+	}
+	fac.V = v
+	// Trim H to the achieved size.
+	k := fac.Steps
+	hk := mat.NewCDense(k, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			hk.Set(i, j, h.At(i, j))
+		}
+	}
+	fac.H = hk
+	return fac, nil
+}
+
+// RitzPairs extracts the Ritz pairs of the factorization: eigenpairs of the
+// projected H lifted back through the basis.
+func (f *Factorization) RitzPairs() ([]RitzPair, error) {
+	k := f.Steps
+	if k == 0 {
+		return nil, nil
+	}
+	vals, vecs, err := mat.CEig(f.H)
+	if err != nil {
+		return nil, err
+	}
+	n := len(f.V[0])
+	out := make([]RitzPair, k)
+	for idx := 0; idx < k; idx++ {
+		y := make([]complex128, k)
+		for i := 0; i < k; i++ {
+			y[i] = vecs.At(i, idx)
+		}
+		res := f.HNext * cmplx.Abs(y[k-1])
+		if f.Invariant {
+			res = 0
+		}
+		x := make([]complex128, n)
+		for i := 0; i < k; i++ {
+			mat.CAxpy(y[i], f.V[i], x)
+		}
+		out[idx] = RitzPair{Value: vals[idx], Residual: res, Vector: x}
+	}
+	return out, nil
+}
+
+// orthogonalize removes the components of w along each (unit) vector in q.
+func orthogonalize(w []complex128, q [][]complex128) {
+	for _, u := range q {
+		c := mat.CDot(u, w)
+		if c != 0 {
+			mat.CAxpy(-c, u, w)
+		}
+	}
+}
+
+// newRng builds a deterministic source for restart vectors.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// RandomStart fills a deterministic random complex unit vector.
+func RandomStart(rng *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	nrm := mat.CNorm2(v)
+	if nrm > 0 {
+		mat.CScaleVec(complex(1/nrm, 0), v)
+	}
+	return v
+}
+
+// LargestMagnitude estimates the largest-modulus eigenvalue of op by a
+// restarted Arnoldi iteration on op itself (no inversion). Used to obtain
+// the search bound ω_max (paper Sec. IV-A). relTol is the relative change
+// threshold between restarts.
+func LargestMagnitude(op Operator, cfg Config, restarts int, relTol float64) (complex128, error) {
+	cfg.setDefaults()
+	if restarts <= 0 {
+		restarts = 6
+	}
+	if relTol == 0 {
+		relTol = 1e-6
+	}
+	var best complex128
+	start := RandomStart(cfg.Rng, op.Dim())
+	for r := 0; r < restarts; r++ {
+		fac, err := Run(op, start, nil, cfg)
+		if err != nil {
+			return 0, err
+		}
+		pairs, err := fac.RitzPairs()
+		if err != nil {
+			return 0, err
+		}
+		var top RitzPair
+		for _, p := range pairs {
+			if cmplx.Abs(p.Value) > cmplx.Abs(top.Value) {
+				top = p
+			}
+		}
+		if top.Vector == nil {
+			return 0, errors.New("arnoldi: no Ritz pairs extracted")
+		}
+		if r > 0 && math.Abs(cmplx.Abs(top.Value)-cmplx.Abs(best)) <= relTol*cmplx.Abs(top.Value) {
+			return top.Value, nil
+		}
+		best = top.Value
+		start = top.Vector // restart in the dominant direction
+		if fac.Invariant {
+			break
+		}
+	}
+	return best, nil
+}

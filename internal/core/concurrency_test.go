@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/arnoldi"
+	"repro/internal/hamiltonian"
+	"repro/internal/mat"
+	"repro/internal/statespace"
+)
+
+// TestConcurrentSolvesShareOperator verifies that one Hamiltonian operator
+// can back several simultaneous Solve calls (Op is documented read-only /
+// concurrency-safe). Run with -race to validate the claim.
+func TestConcurrentSolvesShareOperator(t *testing.T) {
+	op := buildOp(t, 91, 2, 20, 1.05)
+	const workers = 4
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Solve(op, Options{
+				Threads: 2, Seed: int64(i + 1),
+				Arnoldi: arnoldi.SingleShiftParams{MaxDim: 40},
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+	}
+	// All runs must agree on the crossing count (different seeds).
+	for i := 1; i < workers; i++ {
+		if len(results[i].Crossings) != len(results[0].Crossings) {
+			t.Fatalf("concurrent solves disagree: %d vs %d crossings",
+				len(results[i].Crossings), len(results[0].Crossings))
+		}
+	}
+}
+
+// TestMinimalModels exercises the degenerate ends of the model space.
+func TestMinimalModels(t *testing.T) {
+	// Single port, single real pole.
+	one := &statespace.Model{
+		P: 1,
+		D: mat.DenseFromSlice(1, 1, []float64{0.2}),
+		Cols: []statespace.Column{{
+			Blocks: []statespace.Block{{Size: 1, Sigma: -1e9, B1: 1}},
+			C:      mat.DenseFromSlice(1, 1, []float64{3e9}), // peak |D + r/σ| > 1 at DC? r/|σ|=3 ⇒ H(0)=0.2−3
+		}},
+	}
+	if err := one.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	op, err := hamiltonian.New(one, hamiltonian.Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(op, Options{Threads: 1, Seed: 1, Arnoldi: arnoldi.SingleShiftParams{MaxDim: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |H(0)| = 2.8 > 1 and |H(∞)| = 0.2 < 1: exactly one crossing.
+	if len(res.Crossings) != 1 {
+		t.Fatalf("1-pole model: %d crossings %v, want 1", len(res.Crossings), res.Crossings)
+	}
+	want, err := op.FullImagEigs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 1 || absDiff(want[0], res.Crossings[0]) > 1e-4*want[0] {
+		t.Fatalf("crossing %v vs dense %v", res.Crossings, want)
+	}
+	// Single complex pair.
+	pair := &statespace.Model{
+		P: 1,
+		D: mat.DenseFromSlice(1, 1, []float64{0.1}),
+		Cols: []statespace.Column{{
+			Blocks: []statespace.Block{{Size: 2, Sigma: -5e7, Omega: 1e9, B1: 2}},
+			C:      mat.DenseFromSlice(1, 2, []float64{7e7, 0}),
+		}},
+	}
+	op2, err := hamiltonian.New(pair, hamiltonian.Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Solve(op2, Options{Threads: 2, Seed: 2, Arnoldi: arnoldi.SingleShiftParams{MaxDim: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := op2.FullImagEigs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Crossings) != len(want2) {
+		t.Fatalf("pair model: %v vs dense %v", res2.Crossings, want2)
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

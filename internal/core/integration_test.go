@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arnoldi"
+	"repro/internal/hamiltonian"
+	"repro/internal/statespace"
+)
+
+func buildOp(t *testing.T, seed int64, ports, order int, peak float64) *hamiltonian.Op {
+	t.Helper()
+	m, err := statespace.Generate(seed, statespace.GenOptions{
+		Ports: ports, Order: order, TargetPeak: peak, GridPoints: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := hamiltonian.New(m, hamiltonian.Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+// matchCrossings verifies got ≈ want (both sorted) within relative tol.
+func matchCrossings(t *testing.T, got, want []float64, scale float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: found %d crossings %v, want %d %v", label, len(got), got, len(want), want)
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-5*scale {
+			t.Fatalf("%s: crossing %d: got %g want %g", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveMatchesDenseBaseline(t *testing.T) {
+	for _, tc := range []struct {
+		seed  int64
+		order int
+		peak  float64
+	}{
+		{seed: 21, order: 24, peak: 1.06},
+		{seed: 22, order: 30, peak: 1.03},
+		{seed: 23, order: 26, peak: 0.92}, // passive: no crossings
+	} {
+		op := buildOp(t, tc.seed, 2, tc.order, tc.peak)
+		want, err := op.FullImagEigs(1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(op, Options{
+			Threads: 2,
+			Seed:    5,
+			Arnoldi: arnoldi.SingleShiftParams{NWanted: 4, MaxDim: 40},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", tc.seed, err)
+		}
+		matchCrossings(t, res.Crossings, want, res.OmegaMax, "parallel")
+	}
+}
+
+func TestSerialBisectionMatchesDense(t *testing.T) {
+	op := buildOp(t, 24, 2, 24, 1.05)
+	want, err := op.FullImagEigs(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveSerialBisection(op, Options{
+		Seed:    3,
+		Arnoldi: arnoldi.SingleShiftParams{NWanted: 4, MaxDim: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchCrossings(t, res.Crossings, want, res.OmegaMax, "serial")
+}
+
+func TestStaticGridMatchesDense(t *testing.T) {
+	op := buildOp(t, 25, 2, 24, 1.05)
+	want, err := op.FullImagEigs(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveStaticGrid(op, Options{
+		Threads: 2,
+		Seed:    3,
+		Arnoldi: arnoldi.SingleShiftParams{NWanted: 4, MaxDim: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchCrossings(t, res.Crossings, want, res.OmegaMax, "staticgrid")
+}
+
+func TestSolveDeterministicSerial(t *testing.T) {
+	op := buildOp(t, 26, 2, 20, 1.05)
+	r1, err := Solve(op, Options{Threads: 1, Seed: 9, Arnoldi: arnoldi.SingleShiftParams{MaxDim: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Solve(op, Options{Threads: 1, Seed: 9, Arnoldi: arnoldi.SingleShiftParams{MaxDim: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Crossings) != len(r2.Crossings) {
+		t.Fatalf("non-deterministic crossing count: %d vs %d", len(r1.Crossings), len(r2.Crossings))
+	}
+	for i := range r1.Crossings {
+		if r1.Crossings[i] != r2.Crossings[i] {
+			t.Fatalf("non-deterministic crossing %d", i)
+		}
+	}
+}
+
+func TestSolveThreadCountInvariance(t *testing.T) {
+	// The crossing set must not depend on the worker count.
+	op := buildOp(t, 27, 2, 28, 1.06)
+	ref, err := Solve(op, Options{Threads: 1, Seed: 4, Arnoldi: arnoldi.SingleShiftParams{MaxDim: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{2, 4, 8} {
+		res, err := Solve(op, Options{Threads: threads, Seed: 4, Arnoldi: arnoldi.SingleShiftParams{MaxDim: 40}})
+		if err != nil {
+			t.Fatalf("T=%d: %v", threads, err)
+		}
+		matchCrossings(t, res.Crossings, ref.Crossings, res.OmegaMax, "threads")
+	}
+}
+
+func TestSolveEmptyBandError(t *testing.T) {
+	op := buildOp(t, 28, 2, 10, 1.05)
+	if _, err := Solve(op, Options{OmegaMin: 10, OmegaMax: 5}); err == nil {
+		t.Fatal("expected error for empty band")
+	}
+}
+
+func TestEstimateOmegaMaxCoversSpectrum(t *testing.T) {
+	op := buildOp(t, 29, 2, 20, 1.05)
+	est, err := EstimateOmegaMax(op, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true crossing must be below the estimated bound.
+	want, err := op.FullImagEigs(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range want {
+		if w > est {
+			t.Fatalf("crossing %g above estimated ω_max %g", w, est)
+		}
+	}
+	// And the bound should be within a factor ~2 of the largest pole
+	// magnitude (no wild overestimate for these models).
+	if est > 100*op.Model.MaxPoleMagnitude() {
+		t.Fatalf("ω_max estimate %g looks unreasonably large", est)
+	}
+}
+
+func TestSolveStatsPopulated(t *testing.T) {
+	op := buildOp(t, 30, 2, 20, 1.05)
+	res, err := Solve(op, Options{Threads: 2, Seed: 2, Arnoldi: arnoldi.SingleShiftParams{MaxDim: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ShiftsProcessed == 0 || res.Stats.OpApplies == 0 || res.Stats.Elapsed <= 0 {
+		t.Fatalf("stats not populated: %+v", res.Stats)
+	}
+	if res.Stats.ShiftsProcessed != len(res.Shifts) {
+		t.Fatalf("ShiftsProcessed %d != len(Shifts) %d", res.Stats.ShiftsProcessed, len(res.Shifts))
+	}
+	if res.Nlambda() != len(res.Crossings) {
+		t.Fatal("Nlambda mismatch")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arnoldi"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.setDefaults()
+	if o.Threads != 1 || o.Kappa != 2 || o.Alpha != 1.05 {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+	if o.AxisTol != 1e-6 || o.Seed != 1 || o.MaxShifts != 10000 {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+	// Explicit values survive.
+	o2 := Options{Threads: 7, Kappa: 3, Alpha: 1.2, AxisTol: 1e-8, Seed: 42, MaxShifts: 5}
+	o2.setDefaults()
+	if o2.Threads != 7 || o2.Kappa != 3 || o2.Alpha != 1.2 || o2.AxisTol != 1e-8 || o2.Seed != 42 || o2.MaxShifts != 5 {
+		t.Fatalf("defaults clobbered explicit options: %+v", o2)
+	}
+	// κ below 2 is illegal per the paper (N = κT, κ ≥ 2).
+	o3 := Options{Kappa: 1}
+	o3.setDefaults()
+	if o3.Kappa != 2 {
+		t.Fatalf("kappa not clamped: %d", o3.Kappa)
+	}
+}
+
+func TestSolveShiftBudgetError(t *testing.T) {
+	op := buildOp(t, 33, 2, 16, 1.05)
+	_, err := Solve(op, Options{Threads: 2, MaxShifts: 1, Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("expected budget error, got %v", err)
+	}
+}
+
+func TestSolveSubBand(t *testing.T) {
+	// Restricting the band to a region with no crossings must return none,
+	// even for a non-passive model.
+	op := buildOp(t, 34, 2, 20, 1.06)
+	full, err := Solve(op, Options{Threads: 2, Seed: 1, Arnoldi: arnoldi.SingleShiftParams{MaxDim: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Crossings) == 0 {
+		t.Skip("model came out passive")
+	}
+	top := full.Crossings[len(full.Crossings)-1]
+	res, err := Solve(op, Options{
+		Threads: 2, Seed: 1,
+		OmegaMin: top * 2, OmegaMax: top * 4,
+		Arnoldi: arnoldi.SingleShiftParams{MaxDim: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Crossings {
+		if w < top*2 || w > top*4 {
+			t.Fatalf("crossing %g outside requested band", w)
+		}
+	}
+}
+
+func TestSerialAndStaticAgreeOnPassive(t *testing.T) {
+	op := buildOp(t, 35, 2, 18, 0.9)
+	ser, err := SolveSerialBisection(op, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ser.Crossings) != 0 {
+		t.Fatalf("serial found phantom crossings %v", ser.Crossings)
+	}
+	grid, err := SolveStaticGrid(op, Options{Threads: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Crossings) != 0 {
+		t.Fatalf("static grid found phantom crossings %v", grid.Crossings)
+	}
+}
+
+func TestResultNlambda(t *testing.T) {
+	r := &Result{Crossings: []float64{1, 2, 3}}
+	if r.Nlambda() != 3 {
+		t.Fatal("Nlambda broken")
+	}
+}
+
+func TestShiftRecordsCoverBand(t *testing.T) {
+	// The union of completed disks must cover the whole searched band.
+	op := buildOp(t, 36, 2, 22, 1.05)
+	res, err := Solve(op, Options{Threads: 4, Seed: 3, Arnoldi: arnoldi.SingleShiftParams{MaxDim: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remaining := [][2]float64{{0, res.OmegaMax}}
+	for _, s := range res.Shifts {
+		var next [][2]float64
+		for _, r := range remaining {
+			next = append(next, subtract(r[0], r[1], s.Omega-s.Radius, s.Omega+s.Radius)...)
+		}
+		remaining = next
+	}
+	var left float64
+	for _, r := range remaining {
+		left += r[1] - r[0]
+	}
+	if left > 1e-9*res.OmegaMax {
+		t.Fatalf("band not fully covered: %g rad/s uncovered (%v)", left, remaining)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubtract(t *testing.T) {
+	cases := []struct {
+		lo, hi, dLo, dHi float64
+		want             [][2]float64
+	}{
+		{0, 10, 20, 30, [][2]float64{{0, 10}}},       // disjoint right
+		{0, 10, -5, -1, [][2]float64{{0, 10}}},       // disjoint left
+		{0, 10, -1, 11, nil},                         // fully covered
+		{0, 10, -1, 4, [][2]float64{{4, 10}}},        // left overlap
+		{0, 10, 6, 12, [][2]float64{{0, 6}}},         // right overlap
+		{0, 10, 3, 7, [][2]float64{{0, 3}, {7, 10}}}, // interior split
+	}
+	for i, c := range cases {
+		got := subtract(c.lo, c.hi, c.dLo, c.dHi)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: got %v want %v", i, got, c.want)
+		}
+		for j := range got {
+			if math.Abs(got[j][0]-c.want[j][0]) > 1e-12 || math.Abs(got[j][1]-c.want[j][1]) > 1e-12 {
+				t.Fatalf("case %d: got %v want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSubtractDropsSlivers(t *testing.T) {
+	// A remainder thinner than 1e-12 of the width must be dropped.
+	got := subtract(0, 1, 1e-15, 2)
+	if len(got) != 0 {
+		t.Fatalf("sliver not dropped: %v", got)
+	}
+}
+
+func TestSubtractCoverageProperty(t *testing.T) {
+	// The union of (remainders ∪ disk∩interval) must equal the interval.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lo := rng.Float64() * 10
+		hi := lo + rng.Float64()*10 + 0.1
+		c := lo + (hi-lo)*rng.Float64()*1.4 - 0.2*(hi-lo)
+		r := rng.Float64() * (hi - lo)
+		rems := subtract(lo, hi, c-r, c+r)
+		// Total measure of remainders + covered part == hi−lo.
+		covered := math.Max(0, math.Min(hi, c+r)-math.Max(lo, c-r))
+		total := covered
+		for _, rem := range rems {
+			if rem[0] < lo-1e-9 || rem[1] > hi+1e-9 || rem[1] <= rem[0] {
+				return false
+			}
+			total += rem[1] - rem[0]
+		}
+		return math.Abs(total-(hi-lo)) < 1e-9*(hi-lo)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialIntervals(t *testing.T) {
+	ivs := initialIntervals(0, 100, 4)
+	if len(ivs) != 4 {
+		t.Fatalf("got %d intervals", len(ivs))
+	}
+	// Pick order: first, last, then interior.
+	if !ivs[0].edgeLeft || ivs[0].shift != 0 {
+		t.Fatalf("first pick should be the left edge: %+v", ivs[0])
+	}
+	if !ivs[1].edgeRite || ivs[1].shift != 100 {
+		t.Fatalf("second pick should be the right edge: %+v", ivs[1])
+	}
+	// Interior shifts at midpoints.
+	if ivs[2].shift != 37.5 || ivs[3].shift != 62.5 {
+		t.Fatalf("interior shifts wrong: %g %g", ivs[2].shift, ivs[3].shift)
+	}
+	// The union of intervals is the band.
+	var segs [][2]float64
+	for _, iv := range ivs {
+		segs = append(segs, [2]float64{iv.lo, iv.hi})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i][0] < segs[j][0] })
+	if segs[0][0] != 0 || segs[len(segs)-1][1] != 100 {
+		t.Fatal("band edges not covered")
+	}
+	for i := 1; i < len(segs); i++ {
+		if math.Abs(segs[i][0]-segs[i-1][1]) > 1e-12 {
+			t.Fatalf("gap between intervals %v and %v", segs[i-1], segs[i])
+		}
+	}
+}
+
+// fakeScheduleRun drives schedState directly with synthetic radii to check
+// the bookkeeping invariants without any numerics.
+func TestSchedStateCoverageInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := newSchedState(1000)
+		for _, iv := range initialIntervals(0, 1, 4) {
+			st.push(iv)
+		}
+		// Track the still-uncovered part of the band independently.
+		remaining := [][2]float64{{0, 1}}
+		for {
+			iv := st.pop() // single-threaded: never blocks with inflight>0
+			if iv == nil {
+				break
+			}
+			// Random radius: sometimes covers, sometimes splits.
+			rho := iv.width() * (0.2 + rng.Float64())
+			var next [][2]float64
+			for _, r := range remaining {
+				next = append(next, subtract(r[0], r[1], iv.shift-rho, iv.shift+rho)...)
+			}
+			remaining = next
+			st.complete(iv, iv.shift, rho)
+		}
+		if len(st.queue) != 0 || st.inflight != 0 {
+			return false
+		}
+		// The scheduler must have driven the uncovered measure to ~zero.
+		var left float64
+		for _, r := range remaining {
+			left += r[1] - r[0]
+		}
+		return left < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedStateShiftBudget(t *testing.T) {
+	st := newSchedState(1)
+	for _, iv := range initialIntervals(0, 1, 2) {
+		st.push(iv)
+	}
+	if iv := st.pop(); iv == nil {
+		t.Fatal("first pop should succeed")
+	}
+	if iv := st.pop(); iv != nil {
+		t.Fatal("budget-exceeded pop should fail")
+	}
+	if st.err == nil {
+		t.Fatal("expected budget error")
+	}
+}
+
+func TestSchedStateTentativeDeletion(t *testing.T) {
+	st := newSchedState(100)
+	for _, iv := range initialIntervals(0, 1, 4) {
+		st.push(iv)
+	}
+	iv := st.pop() // left edge interval [0, 0.25], shift 0
+	// Huge disk covering the whole band: every tentative interval must die.
+	st.complete(iv, iv.shift, 5)
+	if len(st.queue) != 0 {
+		t.Fatalf("queue not emptied: %d left", len(st.queue))
+	}
+	if st.tentativeDeleted != 3 {
+		t.Fatalf("tentativeDeleted = %d, want 3", st.tentativeDeleted)
+	}
+}
+
+func TestSchedStateSplitSpawnsChildren(t *testing.T) {
+	st := newSchedState(100)
+	for _, iv := range initialIntervals(0, 1, 2) {
+		st.push(iv)
+	}
+	// Take the left-edge interval [0, 0.5] and complete with a tiny radius
+	// around its shift (0): remainder (0+r, 0.5) must be requeued.
+	iv := st.pop()
+	st.complete(iv, 0, 0.1)
+	found := false
+	for _, q := range st.queue {
+		if math.Abs(q.lo-0.1) < 1e-12 && math.Abs(q.hi-0.5) < 1e-12 {
+			found = true
+			if math.Abs(q.shift-0.3) > 1e-12 {
+				t.Fatalf("child shift %g, want midpoint 0.3", q.shift)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("remainder interval not requeued: %+v", st.queue)
+	}
+}

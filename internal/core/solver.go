@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/arnoldi"
+	"repro/internal/hamiltonian"
+)
+
+// hamOp adapts hamiltonian.Op to the arnoldi.Operator interface (plain
+// apply, used for the ω_max estimate).
+type hamOp struct{ op *hamiltonian.Op }
+
+func (h hamOp) Dim() int { return h.op.Dim() }
+func (h hamOp) Apply(y, x []complex128) error {
+	h.op.Apply(y, x)
+	return nil
+}
+
+// EstimateOmegaMax returns the magnitude of the largest Hamiltonian
+// eigenvalue, computed with a plain (non-inverted) Arnoldi iteration on M
+// (paper Sec. IV-A), inflated by a small safety margin.
+func EstimateOmegaMax(op *hamiltonian.Op, seed int64) (float64, error) {
+	cfg := arnoldi.Config{MaxDim: 40, Rng: newRand(seed)}
+	v, err := arnoldi.LargestMagnitude(hamOp{op}, cfg, 8, 1e-4)
+	if err != nil {
+		return 0, fmt.Errorf("core: ω_max estimation failed: %w", err)
+	}
+	return 1.02 * cmplx.Abs(v), nil
+}
+
+// runShift executes one single-shift iteration S(jω, ρ₀) on a fresh
+// factored shift-invert operator.
+func runShift(op *hamiltonian.Op, omega, rho0 float64, params arnoldi.SingleShiftParams) (*arnoldi.SingleShiftResult, error) {
+	so, err := op.ShiftInvert(complex(0, omega))
+	if err != nil {
+		// The shift collided with an eigenvalue (a crossing sits exactly at
+		// ω). Nudge it by a tiny relative offset and retry once.
+		nudge := omega * 1e-9
+		if nudge == 0 {
+			nudge = rho0 * 1e-9
+		}
+		so, err = op.ShiftInvert(complex(0, omega+nudge))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return arnoldi.SingleShift(so, rho0, params)
+}
+
+// collect turns the per-shift eigenvalue sets into the final Result fields:
+// deduplicated eigenvalues and imaginary-axis crossings. Near-axis
+// candidates are polished with structured inverse iteration before
+// classification: Ritz values of the non-normal Hamiltonian can carry
+// errors far above the residual tolerance, which would otherwise produce
+// phantom or missing crossings. Refinements run on up to `threads`
+// goroutines — each one re-factors a shift-invert operator, which would
+// otherwise serialize the tail of a parallel solve.
+func collect(res *Result, op *hamiltonian.Op, axisTol float64, threads int) {
+	scale := res.OmegaMax
+	if scale == 0 {
+		scale = 1
+	}
+	// Dedup raw eigenvalues across overlapping disks, keeping the
+	// per-eigenvalue residuals aligned.
+	type eig struct {
+		v complex128
+		r float64
+	}
+	pairs := make([]eig, len(res.Eigenvalues))
+	for i, v := range res.Eigenvalues {
+		pairs[i].v = v
+		if i < len(res.eigResiduals) {
+			pairs[i].r = res.eigResiduals[i]
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if imag(pairs[i].v) != imag(pairs[j].v) {
+			return imag(pairs[i].v) < imag(pairs[j].v)
+		}
+		return real(pairs[i].v) < real(pairs[j].v)
+	})
+	kept := pairs[:0]
+	for _, p := range pairs {
+		if len(kept) > 0 && cmplx.Abs(p.v-kept[len(kept)-1].v) <= 1e-9*scale {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	res.Eigenvalues = res.Eigenvalues[:0]
+	for _, p := range kept {
+		res.Eigenvalues = append(res.Eigenvalues, p.v)
+	}
+
+	floor := 1e-9 * scale
+	var candidates []complex128
+	for _, p := range kept {
+		// Candidate selection: near the axis within the coarse window, OR
+		// with a real part hidden below the eigenvalue's own error bar
+		// (residual in M) — ill-conditioned eigenvalues can sit far from
+		// the axis in raw Ritz form and still be true crossings.
+		if hamiltonian.ClassifyImag(p.v, 1e-3, floor) ||
+			(p.r > 0 && math.Abs(real(p.v)) <= 1e4*p.r) {
+			candidates = append(candidates, p.v)
+		}
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	refined := make([]complex128, len(candidates))
+	resids := make([]float64, len(candidates))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, threads)
+	for i, v := range candidates {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, v complex128) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, resid, err := op.RefineEig(v, 6)
+			if err != nil {
+				r, resid = v, 0 // keep the unrefined estimate, no error bar
+			}
+			refined[i], resids[i] = r, resid
+		}(i, v)
+	}
+	wg.Wait()
+	// Final arbiter: the physical boundary test at the refined frequency.
+	// Eigenvalue-based classification (axisTol) fast-paths clear cases;
+	// everything else is decided by IsCrossing, which is insensitive to
+	// eigenvalue conditioning.
+	var crossings []float64
+	for i, r := range refined {
+		w := math.Abs(imag(r))
+		if hamiltonian.ClassifyImag(r, 1e-12, floor) {
+			crossings = append(crossings, w)
+			continue
+		}
+		if !hamiltonian.ClassifyImagWithResidual(r, resids[i], axisTol, floor) {
+			continue
+		}
+		ok, err := op.IsCrossing(w, 0)
+		if err == nil && ok {
+			crossings = append(crossings, w)
+		}
+	}
+	sort.Float64s(crossings)
+	out := crossings[:0]
+	for _, w := range crossings {
+		if len(out) > 0 && w-out[len(out)-1] <= 3e-9*scale {
+			continue
+		}
+		out = append(out, w)
+	}
+	res.Crossings = out
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,118 @@
+package hamiltonian
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// Dense assembles the full 2n×2n Hamiltonian matrix (paper Eq. 5). Intended
+// for tests and the O(n³) full-eigensolution baseline; cost O(n²·p).
+func (op *Op) Dense() *mat.Dense {
+	n := op.N
+	dim := 2 * n
+	m := mat.NewDense(dim, dim)
+	// K₀ = blkdiag(A, −Aᵀ).
+	a := op.Model.DenseA()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, a.At(i, j))
+			m.Set(n+i, n+j, -a.At(j, i))
+		}
+	}
+	// M += U·W·V via dense blocks.
+	b := op.Model.DenseB()
+	c := op.Model.DenseC()
+	p := op.P
+	// U = [B 0; 0 Cᵀ] (2n×2p), V = [C 0; 0 Bᵀ] (2p×2n).
+	u := mat.NewDense(dim, 2*p)
+	v := mat.NewDense(2*p, dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			u.Set(i, j, b.At(i, j))
+			u.Set(n+i, p+j, c.At(j, i))
+			v.Set(j, i, c.At(j, i))
+			v.Set(p+j, n+i, b.At(i, j))
+		}
+	}
+	uwv := u.Mul(op.w).Mul(v)
+	for i := range m.Data {
+		m.Data[i] += uwv.Data[i]
+	}
+	return m
+}
+
+// ImagEig is one purely imaginary Hamiltonian eigenvalue jω (ω ≥ 0).
+type ImagEig struct {
+	Omega float64 // the crossing frequency ω ≥ 0
+}
+
+// FullImagEigs computes all purely imaginary eigenvalues of M with a dense
+// O(n³) eigensolution (the baseline the paper wants to avoid), returning
+// the non-negative crossing frequencies sorted ascending. relTol decides
+// how close to the axis an eigenvalue must be, relative to the spectrum
+// scale; pass 0 for the default 1e-8.
+func (op *Op) FullImagEigs(relTol float64) ([]float64, error) {
+	if relTol == 0 {
+		relTol = 1e-8
+	}
+	// Rescale to a dimensionless frequency so the dense QR iteration works
+	// on O(1) entries; eigenvalues scale back linearly.
+	w0 := op.Model.MaxPoleMagnitude()
+	if w0 == 0 {
+		w0 = 1
+	}
+	scaledOp, err := New(op.Model.FrequencyScaled(w0), op.Rep)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := mat.EigValues(scaledOp.Dense())
+	if err != nil {
+		return nil, err
+	}
+	var scale float64
+	for _, v := range vals {
+		if a := math.Hypot(real(v), imag(v)); a > scale {
+			scale = a
+		}
+	}
+	// Coarse near-axis window, then structured refinement on the original
+	// (unscaled) operator: dense QR eigenvalues of the non-normal M carry
+	// errors well above machine epsilon, so classification must happen on
+	// polished values.
+	window := math.Max(relTol, 1e-4) * scale
+	floor := 1e-9 * scale * w0
+	var out []float64
+	for _, v := range vals {
+		if math.Abs(real(v)) > window || imag(v) < 0 {
+			continue
+		}
+		refined, resid, err := op.RefineEig(v*complex(w0, 0), 6)
+		if err != nil {
+			continue
+		}
+		w := math.Abs(imag(refined))
+		if ClassifyImag(refined, 1e-12, floor) {
+			out = append(out, w)
+			continue
+		}
+		if !ClassifyImagWithResidual(refined, resid, relTol, floor) {
+			continue
+		}
+		if ok, err := op.IsCrossing(w, 0); err == nil && ok {
+			out = append(out, w)
+		}
+	}
+	sort.Float64s(out)
+	// Deduplicate: distinct dense eigenvalues can refine to the same
+	// crossing when the QR output was inaccurate.
+	dedup := out[:0]
+	for _, w := range out {
+		if len(dedup) > 0 && w-dedup[len(dedup)-1] <= 3e-9*scale*w0 {
+			continue
+		}
+		dedup = append(dedup, w)
+	}
+	return dedup, nil
+}

@@ -1,0 +1,311 @@
+// Package hamiltonian builds the Hamiltonian matrix associated with a
+// scattering (or immittance) state-space macromodel (paper Eq. 5) and
+// provides fast structured operators on it:
+//
+//   - Apply:       y = M·x           in O(n·p)
+//   - ShiftInvert: y = (M − ϑI)⁻¹·x  in O(n·p) per apply after an
+//     O(n·p²) per-shift setup (Sherman–Morrison–Woodbury, paper Eq. 6)
+//
+// The purely imaginary eigenvalues of M are the frequencies where singular
+// values of H(jω) cross the unit threshold (scattering) or where the
+// Hermitian part of H(jω) becomes singular (immittance), so they fully
+// characterize passivity.
+package hamiltonian
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/statespace"
+)
+
+// Representation selects which passivity test the Hamiltonian encodes.
+type Representation int
+
+const (
+	// Scattering tests σ_i(H(jω)) ≤ 1 (paper Eq. 3–5). Requires σ_max(D) < 1.
+	Scattering Representation = iota
+	// Immittance tests λ_min(H(jω) + H(jω)ᴴ) ≥ 0 for admittance/impedance
+	// representations. Requires D + Dᵀ nonsingular.
+	Immittance
+)
+
+func (r Representation) String() string {
+	switch r {
+	case Scattering:
+		return "scattering"
+	case Immittance:
+		return "immittance"
+	default:
+		return fmt.Sprintf("Representation(%d)", int(r))
+	}
+}
+
+// ErrNotAsymptoticallyPassive is returned when the direct-coupling matrix D
+// violates the strict asymptotic passivity precondition (paper Eq. 4).
+var ErrNotAsymptoticallyPassive = errors.New("hamiltonian: D violates strict asymptotic passivity (σ_max(D) ≥ 1)")
+
+// Op is the structured Hamiltonian operator M = K₀ + U·W·V with
+// K₀ = blkdiag(A, −Aᵀ), U = [B 0; 0 Cᵀ], V = [C 0; 0 Bᵀ] and a 2p×2p
+// coupling W determined by the representation. Read-only after
+// construction; safe for concurrent use.
+type Op struct {
+	Model *statespace.Model
+	Rep   Representation
+	N     int        // dynamic order n (M is 2n×2n)
+	P     int        // ports
+	w     *mat.Dense // 2p×2p coupling
+}
+
+// New builds the Hamiltonian operator for the model. The operator works on
+// a state-balanced copy of the realization (statespace.Model.Balanced):
+// the transfer function — and therefore the Hamiltonian spectrum — is
+// unchanged, but the B/C scale disparity of physical macromodels, which
+// would otherwise make projected eigenproblems hopelessly ill conditioned,
+// is removed.
+func New(m *statespace.Model, rep Representation) (*Op, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	m = m.Balanced()
+	p := m.P
+	var w *mat.Dense
+	switch rep {
+	case Scattering:
+		// R = DᵀD − I, S = DDᵀ − I,
+		// W = [ −R⁻¹Dᵀ  −R⁻¹ ]
+		//     [  S⁻¹     DR⁻¹ ]
+		dn, err := mat.Norm2Mat(m.D)
+		if err != nil {
+			return nil, err
+		}
+		if dn >= 1 {
+			return nil, ErrNotAsymptoticallyPassive
+		}
+		d := m.D
+		r := d.T().Mul(d).Sub(mat.Eye(p))
+		s := d.Mul(d.T()).Sub(mat.Eye(p))
+		rinv, err := mat.Inverse(r)
+		if err != nil {
+			return nil, fmt.Errorf("hamiltonian: R singular: %w", err)
+		}
+		sinv, err := mat.Inverse(s)
+		if err != nil {
+			return nil, fmt.Errorf("hamiltonian: S singular: %w", err)
+		}
+		w = mat.NewDense(2*p, 2*p)
+		setBlock(w, 0, 0, rinv.Mul(d.T()).Scale(-1))
+		setBlock(w, 0, p, rinv.Scale(-1))
+		setBlock(w, p, 0, sinv)
+		setBlock(w, p, p, d.Mul(rinv))
+	case Immittance:
+		// Q = D + Dᵀ,
+		// W = [ −Q⁻¹  −Q⁻¹ ]
+		//     [  Q⁻¹   Q⁻¹ ]
+		q := m.D.Add(m.D.T())
+		qinv, err := mat.Inverse(q)
+		if err != nil {
+			return nil, fmt.Errorf("hamiltonian: D+Dᵀ singular: %w", err)
+		}
+		w = mat.NewDense(2*p, 2*p)
+		setBlock(w, 0, 0, qinv.Scale(-1))
+		setBlock(w, 0, p, qinv.Scale(-1))
+		setBlock(w, p, 0, qinv)
+		setBlock(w, p, p, qinv)
+	default:
+		return nil, fmt.Errorf("hamiltonian: unknown representation %v", rep)
+	}
+	return &Op{Model: m, Rep: rep, N: m.Order(), P: p, w: w}, nil
+}
+
+func setBlock(dst *mat.Dense, i0, j0 int, b *mat.Dense) {
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			dst.Set(i0+i, j0+j, b.At(i, j))
+		}
+	}
+}
+
+// Dim returns the dimension 2n of the Hamiltonian matrix.
+func (op *Op) Dim() int { return 2 * op.N }
+
+// applyV computes t = V·x = [C·x₁; Bᵀ·x₂], t ∈ C^{2p}.
+func (op *Op) applyV(t, x []complex128) {
+	n, p := op.N, op.P
+	op.Model.CApplyC(t[:p], x[:n])
+	op.Model.CApplyBT(t[p:2*p], x[n:2*n])
+}
+
+// applyU computes y = U·s = [B·s₁; Cᵀ·s₂], y ∈ C^{2n}.
+func (op *Op) applyU(y, s []complex128) {
+	n, p := op.N, op.P
+	op.Model.CApplyB(y[:n], s[:p])
+	op.Model.CApplyCT(y[n:2*n], s[p:2*p])
+}
+
+// applyW computes t ← W·t on a 2p complex vector (W is real).
+func (op *Op) applyW(dst, t []complex128) {
+	p2 := 2 * op.P
+	for i := 0; i < p2; i++ {
+		var acc complex128
+		row := op.w.Row(i)
+		for j := 0; j < p2; j++ {
+			acc += complex(row[j], 0) * t[j]
+		}
+		dst[i] = acc
+	}
+}
+
+// Apply computes y = M·x in O(n·p) without forming M. x and y have length
+// 2n and must not alias.
+func (op *Op) Apply(y, x []complex128) {
+	n := op.N
+	if len(x) != 2*n || len(y) != 2*n {
+		panic(fmt.Sprintf("hamiltonian: Apply expects vectors of length %d", 2*n))
+	}
+	// y = K₀·x.
+	op.Model.CApplyA(y[:n], x[:n])
+	op.Model.CApplyAT(y[n:2*n], x[n:2*n])
+	for i := n; i < 2*n; i++ {
+		y[i] = -y[i]
+	}
+	// y += U·W·V·x.
+	p2 := 2 * op.P
+	t := make([]complex128, p2)
+	wt := make([]complex128, p2)
+	u := make([]complex128, 2*n)
+	op.applyV(t, x)
+	op.applyW(wt, t)
+	op.applyU(u, wt)
+	for i := range y {
+		y[i] += u[i]
+	}
+}
+
+// ShiftOp is a factored shift-invert operator (M − ϑI)⁻¹ for one shift ϑ.
+// Each apply costs O(n·p). Not safe for concurrent use (scratch buffers);
+// create one per goroutine.
+type ShiftOp struct {
+	op    *Op
+	theta complex128
+	cap   *mat.CLU // factored (I + W·V·G·U), 2p×2p
+	// scratch
+	g, gu []complex128 // 2n
+	t, s  []complex128 // 2p
+}
+
+// ShiftInvert factors (M − ϑI)⁻¹ using the Sherman–Morrison–Woodbury form
+//
+//	(K₀ − ϑI + UWV)⁻¹ = G − G·U·(I + W·V·G·U)⁻¹·W·V·G,
+//	G = blkdiag((A−ϑI)⁻¹, (−Aᵀ−ϑI)⁻¹)
+//
+// which is algebraically equivalent to paper Eq. 6 but does not require W
+// to be invertible. Setup is O(n·p²). Fails with ErrSingular when ϑ
+// coincides with an eigenvalue of A/−Aᵀ or of M itself.
+func (op *Op) ShiftInvert(theta complex128) (*ShiftOp, error) {
+	n, p := op.N, op.P
+	p2 := 2 * p
+	so := &ShiftOp{
+		op:    op,
+		theta: theta,
+		g:     make([]complex128, 2*n),
+		gu:    make([]complex128, 2*n),
+		t:     make([]complex128, p2),
+		s:     make([]complex128, p2),
+	}
+	// Build V·G·U column by column (2p columns, O(n·p) each).
+	vgu := mat.NewCDense(p2, p2)
+	e := make([]complex128, p2)
+	u := make([]complex128, 2*n)
+	g := make([]complex128, 2*n)
+	t := make([]complex128, p2)
+	for j := 0; j < p2; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		op.applyU(u, e)
+		if err := so.applyG(g, u); err != nil {
+			return nil, err
+		}
+		op.applyV(t, g)
+		for i := 0; i < p2; i++ {
+			vgu.Set(i, j, t[i])
+		}
+	}
+	// cap = I + W·(V·G·U).
+	capm := mat.NewCDense(p2, p2)
+	for i := 0; i < p2; i++ {
+		row := op.w.Row(i)
+		for j := 0; j < p2; j++ {
+			var acc complex128
+			for k := 0; k < p2; k++ {
+				acc += complex(row[k], 0) * vgu.At(k, j)
+			}
+			if i == j {
+				acc++
+			}
+			capm.Set(i, j, acc)
+		}
+	}
+	f, err := mat.CLUFactor(capm)
+	if err != nil {
+		return nil, fmt.Errorf("hamiltonian: shift %v is (numerically) an eigenvalue: %w", theta, err)
+	}
+	so.cap = f
+	return so, nil
+}
+
+// applyG computes y = G·x = [(A−ϑI)⁻¹x₁; (−Aᵀ−ϑI)⁻¹x₂] in O(n).
+func (so *ShiftOp) applyG(y, x []complex128) error {
+	n := so.op.N
+	if err := so.op.Model.CSolveShiftedA(y[:n], x[:n], so.theta); err != nil {
+		return err
+	}
+	// (−Aᵀ − ϑI)⁻¹ = −(Aᵀ + ϑI)⁻¹ = −(Aᵀ − (−ϑ)I)⁻¹.
+	if err := so.op.Model.CSolveShiftedAT(y[n:2*n], x[n:2*n], -so.theta); err != nil {
+		return err
+	}
+	for i := n; i < 2*n; i++ {
+		y[i] = -y[i]
+	}
+	return nil
+}
+
+// Theta returns the shift.
+func (so *ShiftOp) Theta() complex128 { return so.theta }
+
+// Dim returns the dimension 2n of the underlying Hamiltonian.
+func (so *ShiftOp) Dim() int { return 2 * so.op.N }
+
+// ApplyBase applies the original (non-inverted) Hamiltonian: y = M·x. It
+// lets the Arnoldi layer measure eigenpair residuals in M itself
+// (arnoldi.BaseOperator).
+func (so *ShiftOp) ApplyBase(y, x []complex128) error {
+	so.op.Apply(y, x)
+	return nil
+}
+
+// Apply computes y = (M − ϑI)⁻¹·x. x and y have length 2n and may alias.
+func (so *ShiftOp) Apply(y, x []complex128) error {
+	op := so.op
+	n := op.N
+	if len(x) != 2*n || len(y) != 2*n {
+		panic(fmt.Sprintf("hamiltonian: ShiftOp.Apply expects vectors of length %d", 2*n))
+	}
+	if err := so.applyG(so.g, x); err != nil {
+		return err
+	}
+	op.applyV(so.t, so.g)
+	op.applyW(so.s, so.t)
+	so.cap.SolveInto(so.s, so.s)
+	op.applyU(so.gu, so.s)
+	if err := so.applyG(so.gu, so.gu); err != nil {
+		return err
+	}
+	for i := 0; i < 2*n; i++ {
+		y[i] = so.g[i] - so.gu[i]
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package hamiltonian
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/statespace"
+)
+
+func testModel(t *testing.T, seed int64, ports, order int, peak float64) *statespace.Model {
+	t.Helper()
+	m, err := statespace.Generate(seed, statespace.GenOptions{
+		Ports: ports, Order: order, TargetPeak: peak, GridPoints: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randCVec(rng *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return v
+}
+
+func TestNewRejectsNonContractiveD(t *testing.T) {
+	m := testModel(t, 1, 2, 6, 1.05)
+	m.D = mat.Eye(2).Scale(1.5)
+	if _, err := New(m, Scattering); err != ErrNotAsymptoticallyPassive {
+		t.Fatalf("expected ErrNotAsymptoticallyPassive, got %v", err)
+	}
+}
+
+func TestApplyMatchesDense(t *testing.T) {
+	m := testModel(t, 2, 3, 14, 1.05)
+	op, err := New(m, Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := op.Dense().ToComplex()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		x := randCVec(rng, op.Dim())
+		y := make([]complex128, op.Dim())
+		op.Apply(y, x)
+		want := dense.MulVec(x)
+		for i := range y {
+			if cmplx.Abs(y[i]-want[i]) > 1e-8*(1+cmplx.Abs(want[i])) {
+				t.Fatalf("trial %d: Apply mismatch at %d: %v vs %v", trial, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestShiftInvertMatchesDenseInverse(t *testing.T) {
+	m := testModel(t, 4, 2, 10, 1.08)
+	op, err := New(m, Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := op.Dim()
+	dense := op.Dense().ToComplex()
+	rng := rand.New(rand.NewSource(7))
+	for _, theta := range []complex128{
+		complex(0, 5e9), complex(1e8, 1e9), complex(0, 0), complex(-2e8, 2e10),
+	} {
+		shifted := dense.Clone()
+		for i := 0; i < dim; i++ {
+			shifted.Set(i, i, shifted.At(i, i)-theta)
+		}
+		f, err := mat.CLUFactor(shifted)
+		if err != nil {
+			t.Fatalf("theta %v: dense factor: %v", theta, err)
+		}
+		so, err := op.ShiftInvert(theta)
+		if err != nil {
+			t.Fatalf("theta %v: %v", theta, err)
+		}
+		x := randCVec(rng, dim)
+		y := make([]complex128, dim)
+		if err := so.Apply(y, x); err != nil {
+			t.Fatal(err)
+		}
+		want := f.Solve(x)
+		var scale float64
+		for i := range want {
+			if a := cmplx.Abs(want[i]); a > scale {
+				scale = a
+			}
+		}
+		for i := range y {
+			if cmplx.Abs(y[i]-want[i]) > 1e-7*scale {
+				t.Fatalf("theta %v: SMW mismatch at %d: %v vs %v", theta, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestShiftInvertRoundTrip(t *testing.T) {
+	// (M − ϑI)·((M − ϑI)⁻¹ x) must reproduce x using only structured ops.
+	m := testModel(t, 5, 3, 12, 1.02)
+	op, err := New(m, Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := op.Dim()
+	theta := complex(0, 3e9)
+	so, err := op.ShiftInvert(theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	x := randCVec(rng, dim)
+	y := make([]complex128, dim)
+	if err := so.Apply(y, x); err != nil {
+		t.Fatal(err)
+	}
+	z := make([]complex128, dim)
+	op.Apply(z, y)
+	for i := range z {
+		z[i] -= theta * y[i]
+	}
+	num, den := 0.0, mat.CNorm2(x)
+	for i := range z {
+		num += cmplx.Abs(z[i]-x[i]) * cmplx.Abs(z[i]-x[i])
+	}
+	if math.Sqrt(num) > 1e-7*den {
+		t.Fatalf("round-trip residual %g", math.Sqrt(num)/den)
+	}
+}
+
+func TestHamiltonianSpectralSymmetryProperty(t *testing.T) {
+	// Hamiltonian spectra are symmetric about the imaginary axis:
+	// λ ∈ σ(M) ⇒ −λ* ∈ σ(M). (Real matrix also gives conjugate pairs.)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 4 + 2*rng.Intn(4)
+		m, err := statespace.Generate(seed, statespace.GenOptions{
+			Ports: 2, Order: order, TargetPeak: 1.05, GridPoints: 60,
+		})
+		if err != nil {
+			return false
+		}
+		// Work on the dimensionless-frequency model: dense QR accuracy
+		// degrades on entries spanning 1e18, and the symmetry check needs
+		// accurate eigenvalues.
+		op, err := New(m.FrequencyScaled(m.MaxPoleMagnitude()), Scattering)
+		if err != nil {
+			return false
+		}
+		vals, err := mat.EigValues(op.Dense())
+		if err != nil {
+			return false
+		}
+		var scale float64
+		for _, v := range vals {
+			if a := cmplx.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		// For each λ, find a partner ≈ −conj(λ).
+		used := make([]bool, len(vals))
+		for _, v := range vals {
+			target := -cmplx.Conj(v)
+			found := false
+			for i, w := range vals {
+				if used[i] {
+					continue
+				}
+				if cmplx.Abs(w-target) < 1e-6*scale {
+					used[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImagEigsMatchSingularValueCrossings(t *testing.T) {
+	// Ground truth consistency: jω ∈ σ(M) ⇔ some σ_i(H(jω)) = 1.
+	m := testModel(t, 11, 2, 16, 1.06)
+	op, err := New(m, Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossings, err := op.FullImagEigs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossings) == 0 {
+		t.Skip("calibrated model happens to be passive; covered elsewhere")
+	}
+	for _, w := range crossings {
+		h := m.EvalJW(w)
+		sv, err := mat.SingularValues(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		for _, s := range sv {
+			if d := math.Abs(s - 1); d < best {
+				best = d
+			}
+		}
+		if best > 1e-6 {
+			t.Fatalf("ω=%g: no singular value near 1 (closest gap %g)", w, best)
+		}
+	}
+}
+
+func TestPassiveModelHasNoImagEigs(t *testing.T) {
+	m := testModel(t, 12, 2, 14, 0.85)
+	op, err := New(m, Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossings, err := op.FullImagEigs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossings) != 0 {
+		t.Fatalf("passive model reported crossings: %v", crossings)
+	}
+}
+
+func TestImmittanceOperator(t *testing.T) {
+	// Build a model with D + Dᵀ nonsingular and verify Apply vs Dense.
+	m := testModel(t, 13, 2, 8, 1.05)
+	m.D = mat.DenseFromSlice(2, 2, []float64{0.5, 0.1, -0.2, 0.4})
+	op, err := New(m, Immittance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := op.Dense().ToComplex()
+	rng := rand.New(rand.NewSource(14))
+	x := randCVec(rng, op.Dim())
+	y := make([]complex128, op.Dim())
+	op.Apply(y, x)
+	want := dense.MulVec(x)
+	for i := range y {
+		if cmplx.Abs(y[i]-want[i]) > 1e-8*(1+cmplx.Abs(want[i])) {
+			t.Fatalf("immittance Apply mismatch at %d", i)
+		}
+	}
+	// Shift-invert consistency too (W is singular here, which is exactly
+	// why the I + WVGU form is used).
+	theta := complex(0, 1e9)
+	so, err := op.ShiftInvert(theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := so.Apply(y, x); err != nil {
+		t.Fatal(err)
+	}
+	shifted := dense.Clone()
+	for i := 0; i < op.Dim(); i++ {
+		shifted.Set(i, i, shifted.At(i, i)-theta)
+	}
+	f, err := mat.CLUFactor(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := f.Solve(x)
+	var scale float64
+	for i := range ref {
+		if a := cmplx.Abs(ref[i]); a > scale {
+			scale = a
+		}
+	}
+	for i := range y {
+		if cmplx.Abs(y[i]-ref[i]) > 1e-7*scale {
+			t.Fatalf("immittance SMW mismatch at %d", i)
+		}
+	}
+}
+
+func TestRepresentationString(t *testing.T) {
+	if Scattering.String() != "scattering" || Immittance.String() != "immittance" {
+		t.Fatal("bad Representation strings")
+	}
+	if Representation(9).String() != "Representation(9)" {
+		t.Fatal("bad fallback string")
+	}
+}

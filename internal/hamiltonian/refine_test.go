@@ -1,0 +1,135 @@
+package hamiltonian
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestRefineEigPolishesPerturbedEigenvalue(t *testing.T) {
+	m := testModel(t, 61, 2, 20, 1.06)
+	op, err := New(m, Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossings, err := op.FullImagEigs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossings) == 0 {
+		t.Skip("model came out passive")
+	}
+	truth := complex(0, crossings[0])
+	// Perturb by 1e-4 relative and refine back.
+	approx := truth * complex(1+1e-4, 0)
+	refined, resid, err := op.RefineEig(approx, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(refined-truth) > 1e-7*cmplx.Abs(truth) {
+		t.Fatalf("refined %v, want %v", refined, truth)
+	}
+	if resid > 1e-6*cmplx.Abs(truth) {
+		t.Fatalf("residual %g too large", resid)
+	}
+	// The refined eigenvalue must be recognized as imaginary.
+	if !ClassifyImag(refined, 1e-6, 1) {
+		t.Fatalf("refined crossing %v not classified imaginary", refined)
+	}
+}
+
+func TestClassifyImag(t *testing.T) {
+	if !ClassifyImag(complex(1e-8, 1), 1e-6, 0) {
+		t.Fatal("near-axis eigenvalue rejected")
+	}
+	if ClassifyImag(complex(1e-3, 1), 1e-6, 0) {
+		t.Fatal("off-axis eigenvalue accepted")
+	}
+	// The floor protects tiny eigenvalues near the origin.
+	if !ClassifyImag(complex(1e-9, 0), 1e-6, 1e-2) {
+		t.Fatal("floor not applied")
+	}
+}
+
+func TestRefineEigResidualReportsQuality(t *testing.T) {
+	// Refining from a point FAR from any eigenvalue still returns the
+	// nearest eigenvalue with a small residual (inverse iteration pulls in).
+	m := testModel(t, 62, 2, 12, 1.05)
+	op, err := New(m, Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A shift in the middle of nowhere on the positive real axis.
+	lambda, resid, err := op.RefineEig(complex(m.MaxPoleMagnitude(), 0), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The residual is the backward error: a small value certifies that
+	// (λ, v) is an eigenpair of a nearby matrix. (The raw dense spectrum
+	// is NOT a valid reference here — on physical scales its own error
+	// exceeds the refinement accuracy.)
+	// Backward error is relative to ‖M‖, which is far larger than the pole
+	// scale here (the low-rank UWV part carries CᵀS⁻¹C ~ pole² entries).
+	scale := m.MaxPoleMagnitude()
+	if resid > 1e-5*scale {
+		t.Fatalf("residual %g for refined value %v", resid, lambda)
+	}
+	if math.IsNaN(cmplx.Abs(lambda)) {
+		t.Fatal("NaN eigenvalue")
+	}
+}
+
+func TestDenseMatchesStructuredDim(t *testing.T) {
+	m := testModel(t, 63, 3, 9, 1.05)
+	op, err := New(m, Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := op.Dense()
+	if d.Rows != op.Dim() || d.Cols != op.Dim() {
+		t.Fatalf("dense dims %dx%d, want %d", d.Rows, d.Cols, op.Dim())
+	}
+	if op.Dim() != 2*m.Order() {
+		t.Fatal("Dim != 2n")
+	}
+}
+
+func TestShiftOpDim(t *testing.T) {
+	m := testModel(t, 64, 2, 8, 1.05)
+	op, err := New(m, Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := op.ShiftInvert(complex(0, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so.Dim() != op.Dim() {
+		t.Fatal("ShiftOp.Dim mismatch")
+	}
+	if so.Theta() != complex(0, 1e9) {
+		t.Fatal("Theta mismatch")
+	}
+}
+
+func TestFullImagEigsEvenCount(t *testing.T) {
+	// With σ(D) < 1, σ_max starts below 1 at ω=0± and ends below 1 at
+	// ω→∞, so crossings come in pairs.
+	m := testModel(t, 65, 2, 18, 1.07)
+	op, err := New(m, Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossings, err := op.FullImagEigs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossings)%2 != 0 {
+		t.Fatalf("odd crossing count %d: %v", len(crossings), crossings)
+	}
+	for i := 1; i < len(crossings); i++ {
+		if crossings[i] < crossings[i-1] {
+			t.Fatal("crossings not sorted")
+		}
+	}
+}

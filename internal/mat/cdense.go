@@ -1,0 +1,206 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// CDense is a complex matrix stored in row-major order.
+type CDense struct {
+	Rows, Cols int
+	Data       []complex128 // len == Rows*Cols
+}
+
+// NewCDense returns a zero-initialized Rows×Cols complex matrix.
+func NewCDense(rows, cols int) *CDense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %d×%d", rows, cols))
+	}
+	return &CDense{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// CDenseFromSlice wraps the given row-major data (not copied).
+func CDenseFromSlice(rows, cols int, data []complex128) *CDense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d != %d×%d", len(data), rows, cols))
+	}
+	return &CDense{Rows: rows, Cols: cols, Data: data}
+}
+
+// CEye returns the n×n complex identity matrix.
+func CEye(n int) *CDense {
+	m := NewCDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *CDense) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CDense) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *CDense) Row(i int) []complex128 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *CDense) Clone() *CDense {
+	c := NewCDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// H returns the conjugate transpose of m as a new matrix.
+func (m *CDense) H() *CDense {
+	t := NewCDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = cmplx.Conj(m.Data[i*m.Cols+j])
+		}
+	}
+	return t
+}
+
+// T returns the plain (unconjugated) transpose of m.
+func (m *CDense) T() *CDense {
+	t := NewCDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Add returns m + b.
+func (m *CDense) Add(b *CDense) *CDense {
+	m.assertSameShape(b)
+	c := NewCDense(m.Rows, m.Cols)
+	for i := range m.Data {
+		c.Data[i] = m.Data[i] + b.Data[i]
+	}
+	return c
+}
+
+// Sub returns m − b.
+func (m *CDense) Sub(b *CDense) *CDense {
+	m.assertSameShape(b)
+	c := NewCDense(m.Rows, m.Cols)
+	for i := range m.Data {
+		c.Data[i] = m.Data[i] - b.Data[i]
+	}
+	return c
+}
+
+// Scale returns s·m.
+func (m *CDense) Scale(s complex128) *CDense {
+	c := NewCDense(m.Rows, m.Cols)
+	for i := range m.Data {
+		c.Data[i] = s * m.Data[i]
+	}
+	return c
+}
+
+// Mul returns the matrix product m·b.
+func (m *CDense) Mul(b *CDense) *CDense {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: dimension mismatch %d×%d · %d×%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	c := NewCDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		ci := c.Data[i*c.Cols : (i+1)*c.Cols]
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range bk {
+				ci[j] += a * bv
+			}
+		}
+	}
+	return c
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *CDense) MulVec(x []complex128) []complex128 {
+	if m.Cols != len(x) {
+		panic(fmt.Sprintf("mat: dimension mismatch %d×%d · vec(%d)", m.Rows, m.Cols, len(x)))
+	}
+	y := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s complex128
+		for j, v := range ri {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MaxAbs returns the largest entry modulus of m.
+func (m *CDense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := cmplx.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// FrobNorm returns the Frobenius norm of m.
+func (m *CDense) FrobNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Equalish reports whether m and b agree entrywise within tol (in modulus).
+func (m *CDense) Equalish(b *CDense, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if cmplx.Abs(m.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Real returns the real part of m as a real matrix.
+func (m *CDense) Real() *Dense {
+	r := NewDense(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		r.Data[i] = real(v)
+	}
+	return r
+}
+
+// String renders the matrix for debugging.
+func (m *CDense) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			v := m.At(i, j)
+			fmt.Fprintf(&sb, "(% .3e%+.3ei) ", real(v), imag(v))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (m *CDense) assertSameShape(b *CDense) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: shape mismatch %d×%d vs %d×%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,224 @@
+// Package mat provides the dense linear-algebra substrate used by the
+// Hamiltonian eigensolver: real and complex dense matrices, LU and QR
+// factorizations, Hessenberg reduction, a shifted-QR eigensolver, and a
+// Golub–Kahan–Reinsch SVD. Everything is implemented on top of the
+// standard library only.
+//
+// Conventions:
+//   - Matrices are stored row-major in a flat slice.
+//   - Dimension mismatches are programmer errors and panic.
+//   - Numerical failures (singularity, non-convergence) return errors.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a real matrix stored in row-major order.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewDense returns a zero-initialized Rows×Cols real matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %d×%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// DenseFromSlice wraps the given row-major data. The slice is used directly,
+// not copied; its length must be rows*cols.
+func DenseFromSlice(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d != %d×%d", len(data), rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Add returns m + b.
+func (m *Dense) Add(b *Dense) *Dense {
+	m.assertSameShape(b)
+	c := NewDense(m.Rows, m.Cols)
+	for i := range m.Data {
+		c.Data[i] = m.Data[i] + b.Data[i]
+	}
+	return c
+}
+
+// Sub returns m − b.
+func (m *Dense) Sub(b *Dense) *Dense {
+	m.assertSameShape(b)
+	c := NewDense(m.Rows, m.Cols)
+	for i := range m.Data {
+		c.Data[i] = m.Data[i] - b.Data[i]
+	}
+	return c
+}
+
+// Scale returns s·m.
+func (m *Dense) Scale(s float64) *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	for i := range m.Data {
+		c.Data[i] = s * m.Data[i]
+	}
+	return c
+}
+
+// Mul returns the matrix product m·b.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: dimension mismatch %d×%d · %d×%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(m.Rows, b.Cols)
+	// ikj loop order: stream over rows of b for cache friendliness.
+	for i := 0; i < m.Rows; i++ {
+		ci := c.Data[i*c.Cols : (i+1)*c.Cols]
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range bk {
+				ci[j] += a * bv
+			}
+		}
+	}
+	return c
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if m.Cols != len(x) {
+		panic(fmt.Sprintf("mat: dimension mismatch %d×%d · vec(%d)", m.Rows, m.Cols, len(x)))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range ri {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MulVecT returns mᵀ·x without forming the transpose.
+func (m *Dense) MulVecT(x []float64) []float64 {
+	if m.Rows != len(x) {
+		panic(fmt.Sprintf("mat: dimension mismatch %d×%dᵀ · vec(%d)", m.Rows, m.Cols, len(x)))
+	}
+	y := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range ri {
+			y[j] += v * xi
+		}
+	}
+	return y
+}
+
+// MaxAbs returns the largest absolute entry of m (0 for an empty matrix).
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// FrobNorm returns the Frobenius norm of m.
+func (m *Dense) FrobNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Equalish reports whether m and b agree entrywise within tol.
+func (m *Dense) Equalish(b *Dense, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&sb, "% .4e ", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (m *Dense) assertSameShape(b *Dense) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: shape mismatch %d×%d vs %d×%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+}
+
+// ToComplex converts m to a complex matrix with zero imaginary parts.
+func (m *Dense) ToComplex() *CDense {
+	c := NewCDense(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		c.Data[i] = complex(v, 0)
+	}
+	return c
+}

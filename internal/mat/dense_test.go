@@ -1,0 +1,251 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randDense(rng *rand.Rand, m, n int) *Dense {
+	a := NewDense(m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+func randCDense(rng *rand.Rand, m, n int) *CDense {
+	a := NewCDense(m, n)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return a
+}
+
+func TestDenseAtSet(t *testing.T) {
+	a := NewDense(3, 4)
+	a.Set(1, 2, 7.5)
+	if got := a.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	if got := a.At(2, 1); got != 0 {
+		t.Fatalf("At(2,1) = %v, want 0", got)
+	}
+}
+
+func TestDenseFromSliceLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong data length")
+		}
+	}()
+	DenseFromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestEye(t *testing.T) {
+	e := Eye(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if e.At(i, j) != want {
+				t.Fatalf("Eye(3)[%d,%d] = %v", i, j, e.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDenseMulAgainstHandComputed(t *testing.T) {
+	a := DenseFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := DenseFromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := a.Mul(b)
+	want := DenseFromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !c.Equalish(want, 1e-15) {
+		t.Fatalf("Mul mismatch:\n%v\nwant\n%v", c, want)
+	}
+}
+
+func TestDenseMulDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dimension mismatch")
+		}
+	}()
+	NewDense(2, 3).Mul(NewDense(2, 3))
+}
+
+func TestDenseTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randDense(rng, 4, 7)
+	at := a.T()
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if at.At(j, i) != a.At(i, j) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !a.T().T().Equalish(a, 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestDenseMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randDense(rng, 5, 3)
+	x := make([]float64, 3)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	xm := DenseFromSlice(3, 1, append([]float64(nil), x...))
+	y := a.MulVec(x)
+	ym := a.Mul(xm)
+	for i := range y {
+		if math.Abs(y[i]-ym.At(i, 0)) > 1e-14 {
+			t.Fatalf("MulVec mismatch at %d: %v vs %v", i, y[i], ym.At(i, 0))
+		}
+	}
+}
+
+func TestDenseMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randDense(rng, 5, 3)
+	x := make([]float64, 5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := a.MulVecT(x)
+	want := a.T().MulVec(x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-14 {
+			t.Fatalf("MulVecT mismatch at %d", i)
+		}
+	}
+}
+
+func TestAddSubScaleProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randDense(rng, 4, 4)
+		b := randDense(rng, 4, 4)
+		// (a+b)-b == a
+		if !a.Add(b).Sub(b).Equalish(a, 1e-12) {
+			return false
+		}
+		// 2a == a+a
+		return a.Scale(2).Equalish(a.Add(a), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randDense(rng, 3, 4)
+		b := randDense(rng, 4, 5)
+		c := randDense(rng, 5, 2)
+		l := a.Mul(b).Mul(c)
+		r := a.Mul(b.Mul(c))
+		return l.Equalish(r, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	x := []float64{1e308, 1e308}
+	got := Norm2(x)
+	want := math.Sqrt2 * 1e308
+	if math.IsInf(got, 0) || math.Abs(got-want)/want > 1e-14 {
+		t.Fatalf("Norm2 overflow guard failed: %v", got)
+	}
+	if Norm2(nil) != 0 {
+		t.Fatalf("Norm2(nil) = %v, want 0", Norm2(nil))
+	}
+}
+
+func TestDotAxpyScaleVec(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Dot(x, y); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	z := append([]float64(nil), y...)
+	Axpy(2, x, z)
+	for i := range z {
+		if z[i] != y[i]+2*x[i] {
+			t.Fatalf("Axpy mismatch at %d", i)
+		}
+	}
+	ScaleVec(0.5, z)
+	for i := range z {
+		if z[i] != (y[i]+2*x[i])/2 {
+			t.Fatalf("ScaleVec mismatch at %d", i)
+		}
+	}
+}
+
+func TestFrobNormMaxAbs(t *testing.T) {
+	a := DenseFromSlice(2, 2, []float64{3, -4, 0, 0})
+	if got := a.FrobNorm(); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("FrobNorm = %v, want 5", got)
+	}
+	if got := a.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", got)
+	}
+}
+
+func TestCDenseHermitian(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randCDense(rng, 3, 5)
+	ah := a.H()
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			got := ah.At(j, i)
+			want := a.At(i, j)
+			if real(got) != real(want) || imag(got) != -imag(want) {
+				t.Fatalf("H mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !a.H().H().Equalish(a, 0) {
+		t.Fatal("double conjugate transpose is not identity")
+	}
+}
+
+func TestCDenseMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randCDense(rng, 4, 4)
+	if !a.Mul(CEye(4)).Equalish(a, 1e-14) || !CEye(4).Mul(a).Equalish(a, 1e-14) {
+		t.Fatal("identity multiplication failed")
+	}
+}
+
+func TestCDotConjugatesFirstArgument(t *testing.T) {
+	x := []complex128{complex(0, 1)}
+	y := []complex128{complex(0, 1)}
+	if got := CDot(x, y); got != 1 {
+		t.Fatalf("CDot(i, i) = %v, want 1", got)
+	}
+}
+
+func TestCNorm2(t *testing.T) {
+	x := []complex128{complex(3, 4)}
+	if got := CNorm2(x); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("CNorm2 = %v, want 5", got)
+	}
+}
+
+func TestRealComplexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randDense(rng, 3, 3)
+	if !a.ToComplex().Real().Equalish(a, 0) {
+		t.Fatal("ToComplex/Real round trip failed")
+	}
+}

@@ -1,0 +1,312 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrNoConvergence is returned when an iterative eigenvalue or singular
+// value routine fails to converge within its iteration budget.
+var ErrNoConvergence = errors.New("mat: eigenvalue iteration did not converge")
+
+// givens holds a complex Givens rotation:
+//
+//	[ c        s ] [ f ]   [ r ]
+//	[ -conj(s) c ] [ g ] = [ 0 ]
+//
+// with real c ≥ 0 and c² + |s|² = 1.
+type givens struct {
+	c float64
+	s complex128
+}
+
+// makeGivens computes the rotation zeroing g against f.
+func makeGivens(f, g complex128) givens {
+	if g == 0 {
+		return givens{c: 1, s: 0}
+	}
+	if f == 0 {
+		return givens{c: 0, s: cmplx.Conj(g) / complex(cmplx.Abs(g), 0)}
+	}
+	af, ag := cmplx.Abs(f), cmplx.Abs(g)
+	r := math.Hypot(af, ag)
+	c := af / r
+	s := f / complex(af, 0) * cmplx.Conj(g) / complex(r, 0)
+	return givens{c: c, s: s}
+}
+
+// SchurResult holds a complex Schur decomposition A = Z·T·Zᴴ with T upper
+// triangular. Z may be nil when vectors were not requested.
+type SchurResult struct {
+	T *CDense
+	Z *CDense
+	// Values are the eigenvalues (the diagonal of T).
+	Values []complex128
+}
+
+// CSchur computes the complex Schur decomposition of the square matrix a.
+// If wantZ is false, Z is nil and only T/eigenvalues are produced.
+func CSchur(a *CDense, wantZ bool) (*SchurResult, error) {
+	h, q := CHessenberg(a)
+	var z *CDense
+	if wantZ {
+		z = q
+	}
+	if err := hessenbergQR(h, z); err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	vals := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		vals[i] = h.At(i, i)
+	}
+	return &SchurResult{T: h, Z: z, Values: vals}, nil
+}
+
+// hessenbergQR triangularizes the upper Hessenberg matrix h in place using
+// shifted QR iterations with Givens rotations, accumulating the unitary
+// transformations into z when z is non-nil.
+func hessenbergQR(h *CDense, z *CDense) error {
+	n := h.Rows
+	if n == 0 {
+		return nil
+	}
+	const maxIterPerEig = 40
+	eps := 2.2e-16
+	hi := n - 1
+	iter := 0
+	totalBudget := maxIterPerEig * n
+	total := 0
+	for hi > 0 {
+		// Deflate: find lo such that h[lo, lo-1] is negligible.
+		lo := hi
+		for lo > 0 {
+			sub := cmplx.Abs(h.At(lo, lo-1))
+			if sub <= eps*(cmplx.Abs(h.At(lo-1, lo-1))+cmplx.Abs(h.At(lo, lo))) {
+				h.Set(lo, lo-1, 0)
+				break
+			}
+			lo--
+		}
+		if lo == hi {
+			// Eigenvalue converged at position hi.
+			hi--
+			iter = 0
+			continue
+		}
+		if total >= totalBudget {
+			return ErrNoConvergence
+		}
+		// Wilkinson shift from the trailing 2×2 of the active block.
+		var shift complex128
+		iter++
+		total++
+		if iter > 0 && iter%12 == 0 {
+			// Exceptional shift to break symmetry-induced stagnation.
+			shift = h.At(hi, hi) + complex(0.75*cmplx.Abs(h.At(hi, hi-1)), 0)
+		} else {
+			a11 := h.At(hi-1, hi-1)
+			a12 := h.At(hi-1, hi)
+			a21 := h.At(hi, hi-1)
+			a22 := h.At(hi, hi)
+			tr := a11 + a22
+			det := a11*a22 - a12*a21
+			disc := cmplx.Sqrt(tr*tr - 4*det)
+			l1 := (tr + disc) / 2
+			l2 := (tr - disc) / 2
+			if cmplx.Abs(l1-a22) < cmplx.Abs(l2-a22) {
+				shift = l1
+			} else {
+				shift = l2
+			}
+		}
+		// One implicit single-shift QR sweep on rows/cols lo..hi: the first
+		// rotation is taken from the shifted column, then the bulge is
+		// chased down the subdiagonal (implicit Q theorem).
+		gv := makeGivens(h.At(lo, lo)-shift, h.At(lo+1, lo))
+		applyGivensLeft(h, gv, lo, lo+1, lo, n-1)
+		top := lo + 2
+		if top > hi {
+			top = hi
+		}
+		applyGivensRight(h, gv, lo, lo+1, 0, top)
+		if z != nil {
+			applyGivensRight(z, gv, lo, lo+1, 0, z.Rows-1)
+		}
+		for k := lo + 1; k < hi; k++ {
+			gv = makeGivens(h.At(k, k-1), h.At(k+1, k-1))
+			applyGivensLeft(h, gv, k, k+1, k-1, n-1)
+			h.Set(k+1, k-1, 0)
+			top = k + 2
+			if top > hi {
+				top = hi
+			}
+			applyGivensRight(h, gv, k, k+1, 0, top)
+			if z != nil {
+				applyGivensRight(z, gv, k, k+1, 0, z.Rows-1)
+			}
+		}
+	}
+	return nil
+}
+
+// applyGivensLeft applies the rotation to rows (r1, r2) over columns
+// [cLo, cHi]: [row r1; row r2] ← G·[row r1; row r2].
+func applyGivensLeft(m *CDense, g givens, r1, r2, cLo, cHi int) {
+	c := complex(g.c, 0)
+	for j := cLo; j <= cHi; j++ {
+		a := m.At(r1, j)
+		b := m.At(r2, j)
+		m.Set(r1, j, c*a+g.s*b)
+		m.Set(r2, j, -cmplx.Conj(g.s)*a+c*b)
+	}
+}
+
+// applyGivensRight applies the conjugate rotation to columns (c1, c2) over
+// rows [rLo, rHi]: [col c1, col c2] ← [col c1, col c2]·Gᴴ.
+func applyGivensRight(m *CDense, g givens, c1, c2, rLo, rHi int) {
+	c := complex(g.c, 0)
+	for i := rLo; i <= rHi; i++ {
+		a := m.At(i, c1)
+		b := m.At(i, c2)
+		m.Set(i, c1, c*a+cmplx.Conj(g.s)*b)
+		m.Set(i, c2, -g.s*a+c*b)
+	}
+}
+
+// CEigValues returns the eigenvalues of the square complex matrix a.
+func CEigValues(a *CDense) ([]complex128, error) {
+	res, err := CSchur(a, false)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// EigValues returns the eigenvalues of the square real matrix a as complex
+// numbers (conjugate pairs for complex eigenvalues).
+func EigValues(a *Dense) ([]complex128, error) {
+	return CEigValues(a.ToComplex())
+}
+
+// CEig computes eigenvalues and right eigenvectors of the square complex
+// matrix a. Column j of the returned matrix is a unit-norm eigenvector for
+// Values[j]. Eigenvectors of defective matrices are best-effort.
+func CEig(a *CDense) (values []complex128, vectors *CDense, err error) {
+	res, err := CSchur(a, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := a.Rows
+	t, z := res.T, res.Z
+	vectors = NewCDense(n, n)
+	y := make([]complex128, n)
+	// Scale floor for near-singular diagonal differences.
+	var tnorm float64
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			tnorm += cmplx.Abs(t.At(i, j))
+		}
+	}
+	small := 2.2e-16 * tnorm
+	if small == 0 {
+		small = 2.2e-16
+	}
+	for k := 0; k < n; k++ {
+		lambda := t.At(k, k)
+		for i := range y {
+			y[i] = 0
+		}
+		y[k] = 1
+		// Back-substitute (T − λI)·y = 0 above row k.
+		for i := k - 1; i >= 0; i-- {
+			var s complex128
+			for j := i + 1; j <= k; j++ {
+				s += t.At(i, j) * y[j]
+			}
+			d := t.At(i, i) - lambda
+			if cmplx.Abs(d) < small {
+				d = complex(small, 0)
+			}
+			y[i] = -s / d
+		}
+		// Transform back: x = Z·y and normalize.
+		for i := 0; i < n; i++ {
+			var s complex128
+			for j := 0; j <= k; j++ {
+				s += z.At(i, j) * y[j]
+			}
+			vectors.Set(i, k, s)
+		}
+		col := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			col[i] = vectors.At(i, k)
+		}
+		nrm := CNorm2(col)
+		if nrm > 0 {
+			inv := complex(1/nrm, 0)
+			for i := 0; i < n; i++ {
+				vectors.Set(i, k, vectors.At(i, k)*inv)
+			}
+		}
+	}
+	return res.Values, vectors, nil
+}
+
+// CInverseIteration refines an eigenvector of a for the approximate
+// eigenvalue lambda by a few shifted inverse-power steps. v0 is the start
+// vector (may be nil for a deterministic pseudo-random start). Returns the
+// unit-norm eigenvector and the Rayleigh-quotient refined eigenvalue.
+func CInverseIteration(a *CDense, lambda complex128, v0 []complex128, steps int) ([]complex128, complex128, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic(fmt.Sprintf("mat: inverse iteration on non-square %d×%d", n, a.Cols))
+	}
+	shifted := a.Clone()
+	// Perturb the shift slightly off the eigenvalue so the solve is stable.
+	scale := a.FrobNorm()
+	if scale == 0 {
+		scale = 1
+	}
+	pert := complex(1e-10*scale, 0)
+	for {
+		for i := 0; i < n; i++ {
+			shifted.Set(i, i, a.At(i, i)-lambda-pert)
+		}
+		f, err := CLUFactor(shifted)
+		if err == nil {
+			v := v0
+			if v == nil {
+				v = make([]complex128, n)
+				st := uint64(0x9e3779b97f4a7c15)
+				for i := range v {
+					st = st*6364136223846793005 + 1442695040888963407
+					v[i] = complex(float64(st>>40)/float64(1<<24)-0.5, float64(st>>33&0xffffff)/float64(1<<24)-0.5)
+				}
+			}
+			nrm := CNorm2(v)
+			if nrm == 0 {
+				return nil, 0, errors.New("mat: zero start vector")
+			}
+			CScaleVec(complex(1/nrm, 0), v)
+			for s := 0; s < steps; s++ {
+				v = f.Solve(v)
+				nrm = CNorm2(v)
+				if nrm == 0 || math.IsInf(nrm, 0) || math.IsNaN(nrm) {
+					break
+				}
+				CScaleVec(complex(1/nrm, 0), v)
+			}
+			av := a.MulVec(v)
+			mu := CDot(v, av)
+			return v, mu, nil
+		}
+		// Singular shift: widen the perturbation and retry.
+		pert *= 10
+		if cmplx.Abs(pert) > 1e-3*scale {
+			return nil, 0, ErrSingular
+		}
+	}
+}

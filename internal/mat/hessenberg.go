@@ -1,0 +1,92 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// CHessenberg reduces the square complex matrix a to upper Hessenberg form
+// by unitary similarity: a = Q·H·Qᴴ. It returns H and Q. The input is not
+// modified.
+func CHessenberg(a *CDense) (h, q *CDense) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("mat: Hessenberg of non-square %d×%d matrix", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	h = a.Clone()
+	q = CEye(n)
+	if n < 3 {
+		return h, q
+	}
+	v := make([]complex128, n)
+	for k := 0; k < n-2; k++ {
+		// Householder vector annihilating h[k+2..n-1, k].
+		var norm float64
+		for i := k + 1; i < n; i++ {
+			norm = math.Hypot(norm, cmplx.Abs(h.At(i, k)))
+		}
+		if norm == 0 {
+			continue
+		}
+		alpha := h.At(k+1, k)
+		var beta complex128
+		if alpha == 0 {
+			beta = complex(norm, 0)
+		} else {
+			beta = -alpha / complex(cmplx.Abs(alpha), 0) * complex(norm, 0)
+		}
+		// v = x − beta·e1; then normalize to unit 2-norm.
+		for i := k + 1; i < n; i++ {
+			v[i] = h.At(i, k)
+		}
+		v[k+1] -= beta
+		vn := CNorm2(v[k+1 : n])
+		if vn == 0 {
+			continue
+		}
+		inv := complex(1/vn, 0)
+		for i := k + 1; i < n; i++ {
+			v[i] *= inv
+		}
+		// H ← (I − 2vvᴴ)·H: rows k+1..n-1.
+		for j := k; j < n; j++ {
+			var s complex128
+			for i := k + 1; i < n; i++ {
+				s += cmplx.Conj(v[i]) * h.At(i, j)
+			}
+			s *= 2
+			for i := k + 1; i < n; i++ {
+				h.Set(i, j, h.At(i, j)-s*v[i])
+			}
+		}
+		// H ← H·(I − 2vvᴴ): columns k+1..n-1.
+		for i := 0; i < n; i++ {
+			var s complex128
+			for j := k + 1; j < n; j++ {
+				s += h.At(i, j) * v[j]
+			}
+			s *= 2
+			for j := k + 1; j < n; j++ {
+				h.Set(i, j, h.At(i, j)-s*cmplx.Conj(v[j]))
+			}
+		}
+		// Q ← Q·(I − 2vvᴴ).
+		for i := 0; i < n; i++ {
+			var s complex128
+			for j := k + 1; j < n; j++ {
+				s += q.At(i, j) * v[j]
+			}
+			s *= 2
+			for j := k + 1; j < n; j++ {
+				q.Set(i, j, q.At(i, j)-s*cmplx.Conj(v[j]))
+			}
+		}
+		// Clean the annihilated entries.
+		h.Set(k+1, k, beta)
+		for i := k + 2; i < n; i++ {
+			h.Set(i, k, 0)
+		}
+	}
+	return h, q
+}

@@ -1,0 +1,155 @@
+package mat
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCDenseScaleSubT(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	a := randCDense(rng, 3, 4)
+	s := complex(2, -1)
+	scaled := a.Scale(s)
+	for i := range a.Data {
+		if scaled.Data[i] != s*a.Data[i] {
+			t.Fatal("Scale mismatch")
+		}
+	}
+	if !a.Sub(a).Equalish(NewCDense(3, 4), 0) {
+		t.Fatal("A−A != 0")
+	}
+	at := a.T()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if at.At(j, i) != a.At(i, j) {
+				t.Fatal("plain transpose mismatch")
+			}
+		}
+	}
+}
+
+func TestCDenseRowIsView(t *testing.T) {
+	a := NewCDense(2, 2)
+	a.Row(1)[0] = complex(5, 5)
+	if a.At(1, 0) != complex(5, 5) {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestDenseRowIsView(t *testing.T) {
+	a := NewDense(2, 3)
+	a.Row(0)[2] = 7
+	if a.At(0, 2) != 7 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestEqualishShapeMismatch(t *testing.T) {
+	if NewDense(2, 2).Equalish(NewDense(2, 3), 1) {
+		t.Fatal("shape mismatch not detected")
+	}
+	if NewCDense(2, 2).Equalish(NewCDense(3, 2), 1) {
+		t.Fatal("complex shape mismatch not detected")
+	}
+}
+
+func TestCCopyIndependent(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	y := CCopy(x)
+	y[0] = 9
+	if x[0] != 1 {
+		t.Fatal("CCopy shares storage")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	d := DenseFromSlice(1, 2, []float64{1, -2})
+	if !strings.Contains(d.String(), "1.0000e") {
+		t.Fatalf("Dense.String: %q", d.String())
+	}
+	c := NewCDense(1, 1)
+	c.Set(0, 0, complex(1, -2))
+	if !strings.Contains(c.String(), "i)") {
+		t.Fatalf("CDense.String: %q", c.String())
+	}
+}
+
+func TestCDenseMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := randCDense(rng, 4, 3)
+	x := make([]complex128, 3)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	xm := NewCDense(3, 1)
+	for i := range x {
+		xm.Set(i, 0, x[i])
+	}
+	y := a.MulVec(x)
+	ym := a.Mul(xm)
+	for i := range y {
+		if cmplx.Abs(y[i]-ym.At(i, 0)) > 1e-13 {
+			t.Fatal("CDense MulVec mismatch")
+		}
+	}
+}
+
+func TestCEyeAndCDenseFromSlice(t *testing.T) {
+	e := CEye(2)
+	if e.At(0, 0) != 1 || e.At(0, 1) != 0 {
+		t.Fatal("CEye wrong")
+	}
+	m := CDenseFromSlice(1, 2, []complex128{1, 2})
+	if m.At(0, 1) != 2 {
+		t.Fatal("CDenseFromSlice wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong length")
+		}
+	}()
+	CDenseFromSlice(2, 2, []complex128{1})
+}
+
+func TestVectorOpsLengthPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Dot":   func() { Dot([]float64{1}, []float64{1, 2}) },
+		"Axpy":  func() { Axpy(1, []float64{1}, []float64{1, 2}) },
+		"CDot":  func() { CDot([]complex128{1}, []complex128{1, 2}) },
+		"CAxpy": func() { CAxpy(1, []complex128{1}, []complex128{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic on length mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLUSolveDimensionPanics(t *testing.T) {
+	f, err := LUFactor(Eye(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Solve([]float64{1, 2, 3})
+}
+
+func TestCDenseRealPart(t *testing.T) {
+	c := NewCDense(1, 2)
+	c.Set(0, 0, complex(3, 4))
+	c.Set(0, 1, complex(-1, 2))
+	r := c.Real()
+	if r.At(0, 0) != 3 || r.At(0, 1) != -1 {
+		t.Fatal("Real() wrong")
+	}
+}

@@ -1,0 +1,174 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrRankDeficient is returned by least-squares solves when the coefficient
+// matrix does not have full column rank to working precision.
+var ErrRankDeficient = errors.New("mat: rank-deficient least-squares system")
+
+// QR holds a Householder QR factorization A = Q·R of an m×n matrix, m ≥ n.
+// The factors are stored compactly: the upper triangle of qr holds R and the
+// columns below the diagonal hold the Householder vectors (with implicit
+// unit leading entries scaled via tau).
+type QR struct {
+	qr  *Dense
+	tau []float64
+}
+
+// QRFactor computes the Householder QR factorization of a (m ≥ n). The
+// input is not modified.
+func QRFactor(a *Dense) *QR {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("mat: QR needs rows ≥ cols, got %d×%d", m, n))
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k, rows k..m-1.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		alpha := qr.At(k, k)
+		if alpha > 0 {
+			norm = -norm
+		}
+		// v = x − norm·e1, normalized so v[k] = 1.
+		v0 := alpha - norm
+		for i := k + 1; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/v0)
+		}
+		tau[k] = -v0 / norm
+		qr.Set(k, k, norm)
+		// Apply H = I − tau·v·vᵀ to the trailing columns.
+		for j := k + 1; j < n; j++ {
+			s := qr.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s *= tau[k]
+			qr.Set(k, j, qr.At(k, j)-s)
+			for i := k + 1; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)-s*qr.At(i, k))
+			}
+		}
+	}
+	return &QR{qr: qr, tau: tau}
+}
+
+// applyQT computes y ← Qᵀ·y in place (y has length m).
+func (f *QR) applyQT(y []float64) {
+	m, n := f.qr.Rows, f.qr.Cols
+	for k := 0; k < n; k++ {
+		if f.tau[k] == 0 {
+			continue
+		}
+		s := y[k]
+		for i := k + 1; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s *= f.tau[k]
+		y[k] -= s
+		for i := k + 1; i < m; i++ {
+			y[i] -= s * f.qr.At(i, k)
+		}
+	}
+}
+
+// applyQ computes y ← Q·y in place (y has length m).
+func (f *QR) applyQ(y []float64) {
+	m, n := f.qr.Rows, f.qr.Cols
+	for k := n - 1; k >= 0; k-- {
+		if f.tau[k] == 0 {
+			continue
+		}
+		s := y[k]
+		for i := k + 1; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s *= f.tau[k]
+		y[k] -= s
+		for i := k + 1; i < m; i++ {
+			y[i] -= s * f.qr.At(i, k)
+		}
+	}
+}
+
+// SolveLS solves the least-squares problem min‖A·x − b‖₂ and returns x
+// (length n). Returns ErrRankDeficient if R has a (near-)zero diagonal.
+func (f *QR) SolveLS(b []float64) ([]float64, error) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		panic(fmt.Sprintf("mat: QR solve dimension mismatch %d vs %d", len(b), m))
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	f.applyQT(y)
+	// Back substitution with R.
+	x := y[:n]
+	rmax := 0.0
+	for k := 0; k < n; k++ {
+		if a := math.Abs(f.qr.At(k, k)); a > rmax {
+			rmax = a
+		}
+	}
+	tol := float64(m) * rmax * 1e-14
+	for i := n - 1; i >= 0; i-- {
+		d := f.qr.At(i, i)
+		if math.Abs(d) <= tol {
+			return nil, ErrRankDeficient
+		}
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / d
+	}
+	out := make([]float64, n)
+	copy(out, x)
+	return out, nil
+}
+
+// R returns the n×n upper-triangular factor.
+func (f *QR) R() *Dense {
+	n := f.qr.Cols
+	r := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// Q returns the thin m×n orthonormal factor.
+func (f *QR) Q() *Dense {
+	m, n := f.qr.Rows, f.qr.Cols
+	q := NewDense(m, n)
+	col := make([]float64, m)
+	for j := 0; j < n; j++ {
+		for i := range col {
+			col[i] = 0
+		}
+		col[j] = 1
+		f.applyQ(col)
+		for i := 0; i < m; i++ {
+			q.Set(i, j, col[i])
+		}
+	}
+	return q
+}
+
+// LeastSquares solves min‖A·x − b‖₂ directly (convenience wrapper).
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	return QRFactor(a).SolveLS(b)
+}

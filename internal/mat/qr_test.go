@@ -1,0 +1,98 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, dims := range [][2]int{{3, 3}, {5, 3}, {10, 4}, {20, 20}, {50, 7}} {
+		m, n := dims[0], dims[1]
+		a := randDense(rng, m, n)
+		f := QRFactor(a)
+		q, r := f.Q(), f.R()
+		if !q.Mul(r).Equalish(a, 1e-10) {
+			t.Fatalf("%dx%d: QR != A", m, n)
+		}
+		// Orthonormality of Q.
+		if !q.T().Mul(q).Equalish(Eye(n), 1e-10) {
+			t.Fatalf("%dx%d: QᵀQ != I", m, n)
+		}
+		// R upper triangular.
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("%dx%d: R not upper triangular", m, n)
+				}
+			}
+		}
+	}
+}
+
+func TestQRLeastSquaresExact(t *testing.T) {
+	// Overdetermined consistent system: solution must be recovered exactly.
+	rng := rand.New(rand.NewSource(21))
+	m, n := 12, 5
+	a := randDense(rng, m, n)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(xTrue)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-10 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestQRLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The LS residual must be orthogonal to the column space: Aᵀ(Ax−b) = 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 6 + rng.Intn(10)
+		n := 2 + rng.Intn(4)
+		a := randDense(rng, m, n)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			return true // rank-deficient random draw: vacuously fine
+		}
+		r := a.MulVec(x)
+		for i := range r {
+			r[i] -= b[i]
+		}
+		g := a.MulVecT(r)
+		return Norm2(g) < 1e-9*(1+Norm2(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	a := DenseFromSlice(4, 2, []float64{1, 2, 2, 4, 3, 6, 4, 8}) // rank 1
+	_, err := LeastSquares(a, []float64{1, 0, 0, 0})
+	if err != ErrRankDeficient {
+		t.Fatalf("expected ErrRankDeficient, got %v", err)
+	}
+}
+
+func TestQRTallPanicsOnWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wide matrix")
+		}
+	}()
+	QRFactor(NewDense(2, 3))
+}

@@ -1,0 +1,118 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ---- real vector helpers ----
+
+// Dot returns the inner product xᵀy.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: vector length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow.
+func Norm2(x []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Axpy computes y ← y + a·x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: vector length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// ScaleVec computes x ← a·x in place.
+func ScaleVec(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// ---- complex vector helpers ----
+
+// CDot returns the inner product xᴴy (conjugating x).
+func CDot(x, y []complex128) complex128 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: vector length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s complex128
+	for i, v := range x {
+		s += cmplx.Conj(v) * y[i]
+	}
+	return s
+}
+
+// CNorm2 returns the Euclidean norm of a complex vector.
+func CNorm2(x []complex128) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		for _, p := range [2]float64{real(v), imag(v)} {
+			if p == 0 {
+				continue
+			}
+			a := math.Abs(p)
+			if scale < a {
+				r := scale / a
+				ssq = 1 + ssq*r*r
+				scale = a
+			} else {
+				r := a / scale
+				ssq += r * r
+			}
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// CAxpy computes y ← y + a·x in place.
+func CAxpy(a complex128, x, y []complex128) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: vector length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// CScaleVec computes x ← a·x in place.
+func CScaleVec(a complex128, x []complex128) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// CCopy returns a copy of x.
+func CCopy(x []complex128) []complex128 {
+	y := make([]complex128, len(x))
+	copy(y, x)
+	return y
+}

@@ -1,0 +1,227 @@
+// Package passivity turns the Hamiltonian eigensolver output into a full
+// passivity characterization of a scattering macromodel (violation bands
+// between unit singular-value crossings) and enforces passivity by
+// iterative residue perturbation, re-running the characterization after
+// each perturbation pass (DATE'11 Sec. II; enforcement per refs. [8]/[15]).
+package passivity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/hamiltonian"
+	"repro/internal/statespace"
+)
+
+// Band is a frequency interval on which σ_max(H(jω)) stays on one side of
+// the unit threshold.
+type Band struct {
+	Lo, Hi    float64 // Hi = +Inf for the terminal band
+	PeakOmega float64 // frequency of the largest sampled σ_max inside the band
+	PeakSigma float64 // the largest sampled σ_max
+	Violating bool    // PeakSigma > 1
+}
+
+// Report is a full passivity characterization.
+type Report struct {
+	Passive   bool
+	Crossings []float64 // unit-crossing frequencies from the Hamiltonian spectrum
+	Bands     []Band
+	OmegaMax  float64 // searched band upper edge
+	Solver    core.Stats
+}
+
+// Violations returns only the violating bands.
+func (r *Report) Violations() []Band {
+	var out []Band
+	for _, b := range r.Bands {
+		if b.Violating {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Options configures characterization.
+type Options struct {
+	// Core configures the parallel eigensolver.
+	Core core.Options
+	// ProbePoints is the number of σ samples per band when locating the
+	// in-band peak. Default 40.
+	ProbePoints int
+}
+
+func (o *Options) setDefaults() {
+	if o.ProbePoints == 0 {
+		o.ProbePoints = 40
+	}
+}
+
+// Characterize computes the full passivity characterization of the model:
+// the imaginary Hamiltonian eigenvalues give the exact crossing
+// frequencies, and a σ_max probe in every enclosed band classifies it.
+func Characterize(m *statespace.Model, opts Options) (*Report, error) {
+	opts.setDefaults()
+	op, err := hamiltonian.New(m, hamiltonian.Scattering)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Solve(op, opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Crossings: res.Crossings,
+		OmegaMax:  res.OmegaMax,
+		Solver:    res.Stats,
+	}
+	rep.Bands, err = classifyBands(m, res.Crossings, res.OmegaMax, opts.ProbePoints)
+	if err != nil {
+		return nil, err
+	}
+	rep.Passive = len(rep.Violations()) == 0
+	return rep, nil
+}
+
+// classifyBands cuts [0, ∞) at the crossing frequencies and probes σ_max
+// inside each band.
+func classifyBands(m *statespace.Model, crossings []float64, omegaMax float64, probes int) ([]Band, error) {
+	edges := append([]float64{0}, crossings...)
+	bands := make([]Band, 0, len(edges))
+	for i := range edges {
+		lo := edges[i]
+		hi := math.Inf(1)
+		probeHi := 2 * lo
+		if i+1 < len(edges) {
+			hi = edges[i+1]
+			probeHi = hi
+		} else if lo == 0 {
+			probeHi = omegaMax // passive model: probe the whole searched band
+		}
+		if probeHi <= lo {
+			probeHi = lo + math.Max(lo, omegaMax)*0.5
+		}
+		b := Band{Lo: lo, Hi: hi}
+		peakW, peakS, err := probePeak(m, lo, probeHi, probes)
+		if err != nil {
+			return nil, err
+		}
+		b.PeakOmega = peakW
+		b.PeakSigma = peakS
+		b.Violating = peakS > 1
+		bands = append(bands, b)
+	}
+	return bands, nil
+}
+
+// probePeak samples σ_max on (lo, hi) and refines the best sample with a
+// short golden-section search.
+func probePeak(m *statespace.Model, lo, hi float64, probes int) (float64, float64, error) {
+	if probes < 3 {
+		probes = 3
+	}
+	if hi <= lo {
+		return lo, 0, errors.New("passivity: empty probe interval")
+	}
+	bestW, bestS := lo, -1.0
+	// Interior samples only: the band edges are exact crossings (σ = 1).
+	for i := 1; i <= probes; i++ {
+		w := lo + (hi-lo)*float64(i)/float64(probes+1)
+		s, err := m.MaxSigma(w)
+		if err != nil {
+			return 0, 0, err
+		}
+		if s > bestS {
+			bestW, bestS = w, s
+		}
+	}
+	// Golden-section refinement around the best sample.
+	step := (hi - lo) / float64(probes+1)
+	a, b := math.Max(lo, bestW-step), math.Min(hi, bestW+step)
+	const phi = 0.6180339887498949
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, err := m.MaxSigma(x1)
+	if err != nil {
+		return 0, 0, err
+	}
+	f2, err := m.MaxSigma(x2)
+	if err != nil {
+		return 0, 0, err
+	}
+	for iter := 0; iter < 25 && (b-a) > 1e-9*(hi-lo); iter++ {
+		if f1 > f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			if f1, err = m.MaxSigma(x1); err != nil {
+				return 0, 0, err
+			}
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			if f2, err = m.MaxSigma(x2); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	w := 0.5 * (a + b)
+	s, err := m.MaxSigma(w)
+	if err != nil {
+		return 0, 0, err
+	}
+	if s < bestS {
+		w, s = bestW, bestS
+	}
+	return w, s, nil
+}
+
+// VerifyBySampling is an independent cross-check of a characterization: it
+// sweeps σ_max over a resonance-aware grid and reports every grid point
+// violating the threshold together with the band classification implied by
+// the report. Used by tests and by the CLI --verify flag.
+func VerifyBySampling(m *statespace.Model, rep *Report, points int) error {
+	if points <= 0 {
+		points = 500
+	}
+	maxW := rep.OmegaMax
+	if maxW == 0 {
+		maxW = 3 * m.MaxPoleMagnitude()
+	}
+	grid := statespace.SweepGrid(m, maxW*1e-4, maxW, points)
+	for _, w := range grid {
+		s, err := m.MaxSigma(w)
+		if err != nil {
+			return err
+		}
+		inViolation := false
+		for _, b := range rep.Bands {
+			if b.Violating && w > b.Lo && (math.IsInf(b.Hi, 1) || w < b.Hi) {
+				inViolation = true
+				break
+			}
+		}
+		// Allow slack near crossings where σ ≈ 1.
+		const slack = 1e-3
+		if s > 1+slack && !inViolation {
+			return fmt.Errorf("passivity: σ=%g at ω=%g outside any reported violation band", s, w)
+		}
+		if s < 1-slack && inViolation {
+			return fmt.Errorf("passivity: σ=%g at ω=%g inside a reported violation band", s, w)
+		}
+	}
+	return nil
+}
+
+// WorstViolation returns the largest σ_max over all violating bands (1 if
+// the model is passive).
+func (r *Report) WorstViolation() float64 {
+	worst := 1.0
+	for _, b := range r.Bands {
+		if b.Violating && b.PeakSigma > worst {
+			worst = b.PeakSigma
+		}
+	}
+	return worst
+}

@@ -1,0 +1,135 @@
+package passivity
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/statespace"
+)
+
+func TestProbePeakFindsResonance(t *testing.T) {
+	// A single high-Q resonance: probePeak must locate the resonant
+	// frequency accurately via the golden-section refinement.
+	m := genModel(t, 51, 6, 1.05)
+	// Find the strongest resonance directly with a fine sweep.
+	grid := statespace.SweepGrid(m, 1e7, 1e11, 4000)
+	var bestW, bestS float64
+	for _, w := range grid {
+		s, err := m.MaxSigma(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > bestS {
+			bestW, bestS = w, s
+		}
+	}
+	w, s, err := probePeak(m, bestW/3, bestW*3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-bestS) > 2e-3*bestS {
+		t.Fatalf("probePeak σ=%g, sweep σ=%g", s, bestS)
+	}
+	if math.Abs(w-bestW)/bestW > 0.02 {
+		t.Fatalf("probePeak ω=%g, sweep ω=%g", w, bestW)
+	}
+}
+
+func TestProbePeakEmptyInterval(t *testing.T) {
+	m := genModel(t, 52, 6, 1.02)
+	if _, _, err := probePeak(m, 10, 10, 5); err == nil {
+		t.Fatal("expected error for empty interval")
+	}
+}
+
+func TestVerifyBySamplingDetectsTamperedReport(t *testing.T) {
+	m := genModel(t, 53, 22, 1.06)
+	rep, err := Characterize(m, charOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passive {
+		t.Skip("model came out passive")
+	}
+	// Tamper: claim the model is clean.
+	bad := *rep
+	bad.Bands = []Band{{Lo: 0, Hi: math.Inf(1), Violating: false, PeakSigma: 0.9}}
+	err = VerifyBySampling(m, &bad, 400)
+	if err == nil || !strings.Contains(err.Error(), "outside any reported violation band") {
+		t.Fatalf("tampered report not detected: %v", err)
+	}
+	// Tamper the other way: claim a violation where there is none.
+	bad2 := *rep
+	bad2.Bands = append([]Band(nil), rep.Bands...)
+	for i := range bad2.Bands {
+		bad2.Bands[i].Violating = true
+	}
+	err = VerifyBySampling(m, &bad2, 400)
+	if err == nil || !strings.Contains(err.Error(), "inside a reported violation band") {
+		t.Fatalf("phantom violation not detected: %v", err)
+	}
+}
+
+func TestEnforceMarginControlsHeadroom(t *testing.T) {
+	m := genModel(t, 54, 20, 1.04)
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	enforced, _, err := Enforce(m, EnforceOptions{Char: charOpts(), Margin: 5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a 5e-3 margin the peaks should sit visibly below 1.
+	grid := statespace.SweepGrid(enforced, 1e7, 3*enforced.MaxPoleMagnitude(), 600)
+	peak, err := statespace.PeakSigma(enforced, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 1 {
+		t.Fatalf("peak %g above 1 after margin enforcement", peak)
+	}
+}
+
+func TestCharacterizeSolverStatsPropagated(t *testing.T) {
+	m := genModel(t, 55, 16, 1.05)
+	rep, err := Characterize(m, charOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Solver.ShiftsProcessed == 0 || rep.Solver.Elapsed <= 0 {
+		t.Fatalf("solver stats missing: %+v", rep.Solver)
+	}
+	if rep.OmegaMax <= 0 {
+		t.Fatal("OmegaMax not set")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.setDefaults()
+	if o.ProbePoints != 40 {
+		t.Fatalf("ProbePoints default = %d", o.ProbePoints)
+	}
+	var e EnforceOptions
+	e.setDefaults()
+	if e.MaxIters != 20 || e.Margin != 1e-3 || e.MaxSigmaPerBand != 4 {
+		t.Fatalf("enforce defaults: %+v", e)
+	}
+}
+
+func TestResidueNorm(t *testing.T) {
+	m := genModel(t, 56, 8, 1.02)
+	n := residueNorm(m)
+	if n <= 0 {
+		t.Fatal("zero residue norm for a non-degenerate model")
+	}
+	var ss float64
+	for k := range m.Cols {
+		f := m.Cols[k].C.FrobNorm()
+		ss += f * f
+	}
+	if math.Abs(n-math.Sqrt(ss)) > 1e-12*n {
+		t.Fatal("residueNorm formula mismatch")
+	}
+}

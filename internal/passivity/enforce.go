@@ -1,0 +1,213 @@
+package passivity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/statespace"
+)
+
+// EnforceOptions configures iterative passivity enforcement.
+type EnforceOptions struct {
+	// Characterize options used at every iteration.
+	Char Options
+	// MaxIters bounds the outer perturbation loop. Default 20.
+	MaxIters int
+	// Margin is the distance below 1 the violated singular values are
+	// pushed to (σ target = 1 − Margin). Default 1e-3.
+	Margin float64
+	// MaxSigmaPerBand bounds how many violated singular values per band
+	// peak enter the constraint set. Default 4.
+	MaxSigmaPerBand int
+}
+
+func (o *EnforceOptions) setDefaults() {
+	o.Char.setDefaults()
+	if o.MaxIters == 0 {
+		o.MaxIters = 20
+	}
+	if o.Margin == 0 {
+		o.Margin = 1e-3
+	}
+	if o.MaxSigmaPerBand == 0 {
+		o.MaxSigmaPerBand = 4
+	}
+}
+
+// EnforceReport summarizes an enforcement run.
+type EnforceReport struct {
+	Iterations    int
+	InitialWorst  float64 // worst σ_max before enforcement
+	FinalWorst    float64 // worst σ_max after
+	ResidueChange float64 // ‖ΔC‖_F / ‖C‖_F cumulative relative perturbation
+	FinalReport   *Report
+}
+
+// ErrEnforcementFailed is returned when the iteration cap is reached with
+// violations still present.
+var ErrEnforcementFailed = errors.New("passivity: enforcement did not converge within the iteration budget")
+
+// Enforce perturbs the residue matrices C of a non-passive macromodel until
+// the Hamiltonian characterization reports no imaginary eigenvalues. Each
+// pass linearizes the violated singular values at the in-band peaks,
+//
+//	σ_i(ω*) + Re(u_iᴴ · δC (jω*I − A)⁻¹B · v_i) ≤ 1 − margin,
+//
+// and applies the minimum-Frobenius-norm residue update satisfying these
+// constraints (least-norm solve through the small Gram matrix). The model
+// poles are untouched, preserving stability; D is untouched, preserving
+// asymptotic passivity. The input model is not modified.
+func Enforce(m *statespace.Model, opts EnforceOptions) (*statespace.Model, *EnforceReport, error) {
+	opts.setDefaults()
+	work := m.Clone()
+	rep := &EnforceReport{}
+
+	baseNorm := residueNorm(m)
+	var cumulative float64
+
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		chr, err := Characterize(work, opts.Char)
+		if err != nil {
+			return nil, nil, err
+		}
+		if iter == 0 {
+			rep.InitialWorst = chr.WorstViolation()
+		}
+		if chr.Passive {
+			rep.Iterations = iter
+			rep.FinalWorst = chr.WorstViolation()
+			rep.ResidueChange = cumulative / baseNorm
+			rep.FinalReport = chr
+			return work, rep, nil
+		}
+		step, err := perturbationStep(work, chr, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		cumulative += step
+	}
+	return nil, nil, fmt.Errorf("%w (worst σ still %g)", ErrEnforcementFailed, func() float64 {
+		chr, err := Characterize(work, opts.Char)
+		if err != nil {
+			return math.NaN()
+		}
+		return chr.WorstViolation()
+	}())
+}
+
+// perturbationStep builds and applies one least-norm residue update.
+// Returns ‖δC‖_F.
+func perturbationStep(work *statespace.Model, chr *Report, opts EnforceOptions) (float64, error) {
+	n := work.Order()
+	p := work.P
+	nvars := n * p // δC is p×n, row-major flattening index i*n + s
+
+	type constraint struct {
+		row []float64
+		rhs float64
+	}
+	var cons []constraint
+	for _, b := range chr.Violations() {
+		w := b.PeakOmega
+		h := work.EvalJW(w)
+		sv, err := mat.CSVDecompose(h)
+		if err != nil {
+			return 0, err
+		}
+		// Precompute g_v = (jωI − A)⁻¹ B v for each violated σ.
+		count := 0
+		for sidx, sigma := range sv.S {
+			if sigma <= 1 || count >= opts.MaxSigmaPerBand {
+				break
+			}
+			count++
+			u := make([]complex128, p)
+			v := make([]complex128, p)
+			for r := 0; r < p; r++ {
+				u[r] = sv.U.At(r, sidx)
+				v[r] = sv.V.At(r, sidx)
+			}
+			bv := make([]complex128, n)
+			work.CApplyB(bv, v)
+			g := make([]complex128, n)
+			// (jωI − A) g = B v  ⇔  (A − jωI) g = −B v.
+			for i := range bv {
+				bv[i] = -bv[i]
+			}
+			if err := work.CSolveShiftedA(g, bv, complex(0, w)); err != nil {
+				return 0, err
+			}
+			// δσ = Σ_{i,s} δC[i,s]·Re(conj(u_i)·g_s); target σ+δσ = 1−margin.
+			row := make([]float64, nvars)
+			for i := 0; i < p; i++ {
+				cu := real(u[i])
+				cuIm := imag(u[i])
+				for s := 0; s < n; s++ {
+					// Re(conj(u_i)·g_s)
+					row[i*n+s] = cu*real(g[s]) + cuIm*imag(g[s])
+				}
+			}
+			cons = append(cons, constraint{row: row, rhs: (1 - opts.Margin) - sigma})
+		}
+	}
+	if len(cons) == 0 {
+		return 0, errors.New("passivity: violation bands reported but no σ > 1 found at peaks")
+	}
+	// Least-norm solution δc = Aᵀ(AAᵀ)⁻¹ r.
+	k := len(cons)
+	gram := mat.NewDense(k, k)
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			d := mat.Dot(cons[a].row, cons[b].row)
+			gram.Set(a, b, d)
+			gram.Set(b, a, d)
+		}
+	}
+	// Tikhonov floor keeps near-parallel constraints solvable.
+	trace := 0.0
+	for a := 0; a < k; a++ {
+		trace += gram.At(a, a)
+	}
+	ridge := 1e-12 * trace / float64(k)
+	for a := 0; a < k; a++ {
+		gram.Set(a, a, gram.At(a, a)+ridge)
+	}
+	rhs := make([]float64, k)
+	for a := 0; a < k; a++ {
+		rhs[a] = cons[a].rhs
+	}
+	f, err := mat.LUFactor(gram)
+	if err != nil {
+		return 0, fmt.Errorf("passivity: singular constraint Gram matrix: %w", err)
+	}
+	y := f.Solve(rhs)
+	delta := make([]float64, nvars)
+	for a := 0; a < k; a++ {
+		mat.Axpy(y[a], cons[a].row, delta)
+	}
+	// Apply δC to the per-column residue blocks.
+	off := 0
+	for kcol := range work.Cols {
+		col := &work.Cols[kcol]
+		mOrd := col.Order()
+		for i := 0; i < p; i++ {
+			for s := 0; s < mOrd; s++ {
+				col.C.Set(i, s, col.C.At(i, s)+delta[i*n+off+s])
+			}
+		}
+		off += mOrd
+	}
+	return mat.Norm2(delta), nil
+}
+
+// residueNorm returns the Frobenius norm of the stacked residue matrices.
+func residueNorm(m *statespace.Model) float64 {
+	var ss float64
+	for k := range m.Cols {
+		f := m.Cols[k].C.FrobNorm()
+		ss += f * f
+	}
+	return math.Sqrt(ss)
+}

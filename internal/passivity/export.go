@@ -1,0 +1,80 @@
+package passivity
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// jsonBand mirrors Band with an encodable upper edge (null = +Inf).
+type jsonBand struct {
+	Lo        float64  `json:"lo"`
+	Hi        *float64 `json:"hi"` // null encodes +Inf
+	PeakOmega float64  `json:"peak_omega"`
+	PeakSigma float64  `json:"peak_sigma"`
+	Violating bool     `json:"violating"`
+}
+
+// jsonReport is the serialized characterization.
+type jsonReport struct {
+	Passive   bool       `json:"passive"`
+	Crossings []float64  `json:"crossings"`
+	Bands     []jsonBand `json:"bands"`
+	OmegaMax  float64    `json:"omega_max"`
+	Solver    jsonSolver `json:"solver"`
+}
+
+type jsonSolver struct {
+	Shifts           int     `json:"shifts"`
+	TentativeDeleted int     `json:"tentative_deleted"`
+	Restarts         int     `json:"restarts"`
+	OpApplies        int     `json:"op_applies"`
+	ElapsedSeconds   float64 `json:"elapsed_seconds"`
+}
+
+// WriteJSON serializes the report for downstream tooling. Infinite band
+// edges are encoded as null.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{
+		Passive:   r.Passive,
+		Crossings: append([]float64{}, r.Crossings...),
+		OmegaMax:  r.OmegaMax,
+		Solver: jsonSolver{
+			Shifts:           r.Solver.ShiftsProcessed,
+			TentativeDeleted: r.Solver.TentativeDeleted,
+			Restarts:         r.Solver.Restarts,
+			OpApplies:        r.Solver.OpApplies,
+			ElapsedSeconds:   r.Solver.Elapsed.Seconds(),
+		},
+	}
+	for _, b := range r.Bands {
+		jb := jsonBand{
+			Lo:        b.Lo,
+			PeakOmega: b.PeakOmega,
+			PeakSigma: b.PeakSigma,
+			Violating: b.Violating,
+		}
+		if !math.IsInf(b.Hi, 1) {
+			hi := b.Hi
+			jb.Hi = &hi
+		}
+		out.Bands = append(out.Bands, jb)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteCSV emits the crossing list as two-column CSV (index, omega).
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "index,omega_rad_s"); err != nil {
+		return err
+	}
+	for i, x := range r.Crossings {
+		if _, err := fmt.Fprintf(w, "%d,%.12g\n", i, x); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package passivity
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Passive:   false,
+		Crossings: []float64{1e8, 2e8},
+		Bands: []Band{
+			{Lo: 0, Hi: 1e8, PeakOmega: 5e7, PeakSigma: 0.9},
+			{Lo: 1e8, Hi: 2e8, PeakOmega: 1.5e8, PeakSigma: 1.04, Violating: true},
+			{Lo: 2e8, Hi: math.Inf(1), PeakOmega: 4e8, PeakSigma: 0.8},
+		},
+		OmegaMax: 1e10,
+		Solver: core.Stats{
+			ShiftsProcessed: 12, Restarts: 14, OpApplies: 700,
+			TentativeDeleted: 2, Elapsed: 1500 * time.Millisecond,
+		},
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded["passive"] != false {
+		t.Fatal("passive flag wrong")
+	}
+	bands := decoded["bands"].([]any)
+	if len(bands) != 3 {
+		t.Fatalf("%d bands", len(bands))
+	}
+	last := bands[2].(map[string]any)
+	if last["hi"] != nil {
+		t.Fatalf("infinite hi not encoded as null: %v", last["hi"])
+	}
+	mid := bands[1].(map[string]any)
+	if mid["violating"] != true {
+		t.Fatal("violating flag lost")
+	}
+	solver := decoded["solver"].(map[string]any)
+	if solver["elapsed_seconds"].(float64) != 1.5 {
+		t.Fatalf("elapsed %v", solver["elapsed_seconds"])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines: %q", len(lines), buf.String())
+	}
+	if lines[0] != "index,omega_rad_s" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,1e+08") && !strings.HasPrefix(lines[1], "0,100000000") {
+		t.Fatalf("row %q", lines[1])
+	}
+}

@@ -1,0 +1,179 @@
+package passivity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arnoldi"
+	"repro/internal/core"
+	"repro/internal/statespace"
+)
+
+func genModel(t *testing.T, seed int64, order int, peak float64) *statespace.Model {
+	t.Helper()
+	m, err := statespace.Generate(seed, statespace.GenOptions{
+		Ports: 2, Order: order, TargetPeak: peak, GridPoints: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func charOpts() Options {
+	return Options{Core: core.Options{
+		Threads: 2, Seed: 11,
+		Arnoldi: arnoldi.SingleShiftParams{NWanted: 4, MaxDim: 40},
+	}}
+}
+
+func TestCharacterizePassiveModel(t *testing.T) {
+	m := genModel(t, 41, 20, 0.9)
+	rep, err := Characterize(m, charOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passive {
+		t.Fatalf("passive model reported non-passive: crossings %v", rep.Crossings)
+	}
+	if len(rep.Crossings) != 0 {
+		t.Fatalf("passive model with crossings %v", rep.Crossings)
+	}
+	if len(rep.Bands) != 1 || rep.Bands[0].Violating {
+		t.Fatalf("expected a single clean band, got %+v", rep.Bands)
+	}
+	if rep.WorstViolation() != 1 {
+		t.Fatalf("WorstViolation = %g, want 1", rep.WorstViolation())
+	}
+	if err := VerifyBySampling(m, rep, 300); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCharacterizeNonPassiveModel(t *testing.T) {
+	m := genModel(t, 42, 26, 1.06)
+	rep, err := Characterize(m, charOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passive {
+		t.Fatal("non-passive model reported passive")
+	}
+	if len(rep.Crossings) == 0 || len(rep.Crossings)%2 != 0 {
+		// Crossings of a model with σ(D) < 1 come in pairs (bands open and
+		// close; σ starts and ends below 1).
+		t.Fatalf("expected an even, positive crossing count, got %v", rep.Crossings)
+	}
+	viol := rep.Violations()
+	if len(viol) == 0 {
+		t.Fatal("no violating bands reported")
+	}
+	for _, b := range viol {
+		if b.PeakSigma <= 1 {
+			t.Fatalf("violating band with peak σ %g", b.PeakSigma)
+		}
+		if b.PeakOmega <= b.Lo || (!math.IsInf(b.Hi, 1) && b.PeakOmega >= b.Hi) {
+			t.Fatalf("peak ω %g outside band [%g, %g]", b.PeakOmega, b.Lo, b.Hi)
+		}
+	}
+	if rep.WorstViolation() <= 1.0 || rep.WorstViolation() > 1.2 {
+		t.Fatalf("worst violation %g out of expected range", rep.WorstViolation())
+	}
+	if err := VerifyBySampling(m, rep, 300); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandsPartitionFrequencyAxis(t *testing.T) {
+	m := genModel(t, 43, 24, 1.05)
+	rep, err := Characterize(m, charOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bands) != len(rep.Crossings)+1 {
+		t.Fatalf("%d bands for %d crossings", len(rep.Bands), len(rep.Crossings))
+	}
+	if rep.Bands[0].Lo != 0 {
+		t.Fatal("first band must start at 0")
+	}
+	for i := 1; i < len(rep.Bands); i++ {
+		if rep.Bands[i].Lo != rep.Bands[i-1].Hi {
+			t.Fatalf("band %d not contiguous", i)
+		}
+	}
+	if !math.IsInf(rep.Bands[len(rep.Bands)-1].Hi, 1) {
+		t.Fatal("last band must extend to +Inf")
+	}
+}
+
+func TestEnforceMakesModelPassive(t *testing.T) {
+	m := genModel(t, 44, 22, 1.05)
+	enforced, erep, err := Enforce(m, EnforceOptions{Char: charOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if erep.InitialWorst <= 1 {
+		t.Fatalf("initial model unexpectedly passive (worst %g)", erep.InitialWorst)
+	}
+	if !erep.FinalReport.Passive {
+		t.Fatal("final report not passive")
+	}
+	// Independent verification: σ_max below 1 (+tiny slack) on a fine sweep.
+	grid := statespace.SweepGrid(enforced, 1e6, 3*enforced.MaxPoleMagnitude(), 800)
+	peak, err := statespace.PeakSigma(enforced, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 1+1e-9 {
+		t.Fatalf("enforced model still has σ_max = %g", peak)
+	}
+	// The original model must be untouched.
+	origPeak, err := statespace.PeakSigma(m, statespace.SweepGrid(m, 1e6, 3*m.MaxPoleMagnitude(), 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origPeak <= 1 {
+		t.Fatal("Enforce modified its input model")
+	}
+	// Perturbation should be small relative to the residues.
+	if erep.ResidueChange <= 0 || erep.ResidueChange > 0.5 {
+		t.Fatalf("relative residue change %g out of expected range", erep.ResidueChange)
+	}
+	// Poles must be identical (stability preserved by construction).
+	origPoles := m.Poles()
+	newPoles := enforced.Poles()
+	for i := range origPoles {
+		if origPoles[i] != newPoles[i] {
+			t.Fatal("enforcement moved a pole")
+		}
+	}
+}
+
+func TestEnforceOnPassiveModelIsNoop(t *testing.T) {
+	m := genModel(t, 45, 18, 0.9)
+	enforced, erep, err := Enforce(m, EnforceOptions{Char: charOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if erep.Iterations != 0 || erep.ResidueChange != 0 {
+		t.Fatalf("passive model perturbed: %+v", erep)
+	}
+	for k := range m.Cols {
+		if !enforced.Cols[k].C.Equalish(m.Cols[k].C, 0) {
+			t.Fatal("residues changed on a passive model")
+		}
+	}
+}
+
+func TestEnforceIterationBudget(t *testing.T) {
+	m := genModel(t, 46, 22, 1.08)
+	_, _, err := Enforce(m, EnforceOptions{Char: charOpts(), MaxIters: 1})
+	if err == nil {
+		// A single pass may legitimately succeed on an easy model; make the
+		// violation nastier to be sure the budget path is exercised.
+		m2 := genModel(t, 46, 22, 1.30)
+		if _, _, err2 := Enforce(m2, EnforceOptions{Char: charOpts(), MaxIters: 1}); err2 == nil {
+			t.Skip("enforcement converged in one pass on both models")
+		}
+	}
+}

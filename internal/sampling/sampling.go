@@ -1,0 +1,250 @@
+// Package sampling implements adaptive-frequency-sampling passivity
+// characterization (Grivet-Talocia 2007, ref. [17] of the DATE'11 paper):
+// the pre-Hamiltonian approach that hunts for singular-value threshold
+// crossings by recursively refining a frequency sweep. It serves as the
+// baseline the Hamiltonian eigensolver is motivated against — sampling is
+// simple and embarrassingly parallel, but it can only certify passivity up
+// to the resolution of the sweep and famously misses narrow violation
+// bands (demonstrated in this package's tests).
+package sampling
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/statespace"
+)
+
+// Options controls the adaptive sweep.
+type Options struct {
+	// OmegaMin, OmegaMax bound the searched band. OmegaMax = 0 uses
+	// 3× the largest pole magnitude.
+	OmegaMin, OmegaMax float64
+	// InitialPoints is the size of the coarse bootstrap grid. Default 128.
+	InitialPoints int
+	// MaxRefinements bounds the number of interval subdivisions. Default
+	// 4096.
+	MaxRefinements int
+	// RelResolution stops refining an interval once it is narrower than
+	// RelResolution × OmegaMax. Default 1e-6.
+	RelResolution float64
+	// Threshold is the passivity threshold on σ_max. Default 1.
+	Threshold float64
+	// Workers parallelizes the σ evaluations. Default 1.
+	Workers int
+}
+
+func (o *Options) setDefaults(m *statespace.Model) {
+	if o.OmegaMax == 0 {
+		o.OmegaMax = 3 * m.MaxPoleMagnitude()
+	}
+	if o.InitialPoints == 0 {
+		o.InitialPoints = 128
+	}
+	if o.MaxRefinements == 0 {
+		o.MaxRefinements = 4096
+	}
+	if o.RelResolution == 0 {
+		o.RelResolution = 1e-6
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+}
+
+// Crossing is a detected threshold crossing, bracketed between two sampled
+// frequencies and refined by bisection.
+type Crossing struct {
+	Omega  float64 // refined crossing estimate
+	Rising bool    // σ_max crosses upward with increasing ω
+}
+
+// Result of an adaptive sweep.
+type Result struct {
+	Crossings []Crossing
+	// Evaluations counts σ_max evaluations (the cost unit of this method).
+	Evaluations int
+	// Resolution is the finest interval width the sweep reached.
+	Resolution float64
+	// Passive is the sweep's verdict — only as trustworthy as the
+	// resolution allows.
+	Passive bool
+}
+
+// sample caches σ_max evaluations on demand.
+type sampler struct {
+	m     *statespace.Model
+	mu    sync.Mutex
+	cache map[float64]float64
+	evals int
+	wkr   chan struct{}
+}
+
+func (s *sampler) sigma(w float64) (float64, error) {
+	s.mu.Lock()
+	if v, ok := s.cache[w]; ok {
+		s.mu.Unlock()
+		return v, nil
+	}
+	s.mu.Unlock()
+	v, err := s.m.MaxSigma(w)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.cache[w] = v
+	s.evals++
+	s.mu.Unlock()
+	return v, nil
+}
+
+// Characterize runs the adaptive sweep and returns the detected crossings.
+func Characterize(m *statespace.Model, opts Options) (*Result, error) {
+	opts.setDefaults(m)
+	if opts.OmegaMax <= opts.OmegaMin {
+		return nil, errors.New("sampling: empty band")
+	}
+	s := &sampler{m: m, cache: make(map[float64]float64)}
+
+	// Bootstrap grid: log-spaced plus the resonance frequencies (an
+	// adaptive sampler in the spirit of [17] seeds on the model poles).
+	grid := statespace.SweepGrid(m, math.Max(opts.OmegaMin, opts.OmegaMax*1e-6), opts.OmegaMax, opts.InitialPoints)
+	if opts.OmegaMin == 0 {
+		grid = append([]float64{0}, grid...)
+	}
+	sort.Float64s(grid)
+	// Deduplicate.
+	pts := grid[:0]
+	for _, w := range grid {
+		if len(pts) == 0 || w > pts[len(pts)-1] {
+			pts = append(pts, w)
+		}
+	}
+
+	// Parallel pre-evaluation of the bootstrap grid.
+	if opts.Workers > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, opts.Workers)
+		var firstErr error
+		var errMu sync.Mutex
+		for _, w := range pts {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(w float64) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if _, err := s.sigma(w); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
+	// Refinement queue: intervals whose endpoints disagree about the
+	// threshold, or whose curvature suggests a hidden excursion.
+	type iv struct{ lo, hi float64 }
+	var queue []iv
+	for i := 1; i < len(pts); i++ {
+		queue = append(queue, iv{pts[i-1], pts[i]})
+	}
+	minWidth := opts.RelResolution * opts.OmegaMax
+	resolution := opts.OmegaMax
+	var brackets []iv
+	refines := 0
+	for len(queue) > 0 && refines < opts.MaxRefinements {
+		g := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		w := g.hi - g.lo
+		if w < resolution {
+			resolution = w
+		}
+		slo, err := s.sigma(g.lo)
+		if err != nil {
+			return nil, err
+		}
+		shi, err := s.sigma(g.hi)
+		if err != nil {
+			return nil, err
+		}
+		crossed := (slo-opts.Threshold)*(shi-opts.Threshold) < 0
+		if w <= minWidth {
+			if crossed {
+				brackets = append(brackets, g)
+			}
+			continue
+		}
+		mid := 0.5 * (g.lo + g.hi)
+		smid, err := s.sigma(mid)
+		if err != nil {
+			return nil, err
+		}
+		refines++
+		// Refine when a crossing is bracketed on either half, or when the
+		// midpoint bulges toward the threshold (possible hidden band).
+		loCross := (slo-opts.Threshold)*(smid-opts.Threshold) < 0
+		hiCross := (smid-opts.Threshold)*(shi-opts.Threshold) < 0
+		bulge := smid > math.Max(slo, shi) && smid > opts.Threshold*0.97
+		if loCross || bulge || w > 4*minWidth && smid > 0.9*opts.Threshold {
+			queue = append(queue, iv{g.lo, mid})
+		}
+		if hiCross || bulge || w > 4*minWidth && smid > 0.9*opts.Threshold {
+			queue = append(queue, iv{mid, g.hi})
+		}
+	}
+
+	// Bisect each bracket to the resolution limit.
+	res := &Result{Resolution: resolution}
+	for _, b := range brackets {
+		lo, hi := b.lo, b.hi
+		slo, err := s.sigma(lo)
+		if err != nil {
+			return nil, err
+		}
+		for hi-lo > minWidth/16 {
+			mid := 0.5 * (lo + hi)
+			smid, err := s.sigma(mid)
+			if err != nil {
+				return nil, err
+			}
+			if (slo-opts.Threshold)*(smid-opts.Threshold) < 0 {
+				hi = mid
+			} else {
+				lo, slo = mid, smid
+			}
+		}
+		shiFinal, err := s.sigma(b.hi)
+		if err != nil {
+			return nil, err
+		}
+		res.Crossings = append(res.Crossings, Crossing{
+			Omega:  0.5 * (lo + hi),
+			Rising: shiFinal > opts.Threshold,
+		})
+	}
+	sort.Slice(res.Crossings, func(i, j int) bool { return res.Crossings[i].Omega < res.Crossings[j].Omega })
+	res.Evaluations = s.evals
+	res.Passive = len(res.Crossings) == 0
+	return res, nil
+}
+
+// Frequencies returns just the crossing frequencies, sorted.
+func (r *Result) Frequencies() []float64 {
+	out := make([]float64, len(r.Crossings))
+	for i, c := range r.Crossings {
+		out[i] = c.Omega
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hamiltonian"
+	"repro/internal/mat"
+	"repro/internal/statespace"
+)
+
+func genModel(t *testing.T, seed int64, order int, peak float64) *statespace.Model {
+	t.Helper()
+	m, err := statespace.Generate(seed, statespace.GenOptions{
+		Ports: 2, Order: order, TargetPeak: peak, GridPoints: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSamplingFindsCrossingsOfNonPassiveModel(t *testing.T) {
+	m := genModel(t, 71, 20, 1.06)
+	op, err := hamiltonian.New(m, hamiltonian.Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := op.FullImagEigs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) == 0 {
+		t.Skip("model came out passive")
+	}
+	res, err := Characterize(m, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passive {
+		t.Fatal("sampling missed all violations")
+	}
+	// Every sampled crossing must match a true Hamiltonian crossing.
+	for _, c := range res.Crossings {
+		best := math.Inf(1)
+		for _, w := range truth {
+			if d := math.Abs(c.Omega - w); d < best {
+				best = d
+			}
+		}
+		if best > 1e-4*res.Crossings[len(res.Crossings)-1].Omega+1e3 {
+			t.Fatalf("sampled crossing %g has no Hamiltonian counterpart (gap %g)", c.Omega, best)
+		}
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("evaluation counter broken")
+	}
+}
+
+func TestSamplingPassiveModel(t *testing.T) {
+	m := genModel(t, 72, 16, 0.9)
+	res, err := Characterize(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passive || len(res.Crossings) != 0 {
+		t.Fatalf("passive model flagged: %+v", res.Frequencies())
+	}
+}
+
+// TestSamplingMissesNarrowViolation demonstrates the fundamental weakness
+// the paper's Hamiltonian approach fixes: a violation band much narrower
+// than the sweep resolution is invisible to sampling but is found exactly
+// by the eigensolver.
+func TestSamplingMissesNarrowViolation(t *testing.T) {
+	// Hand-build a 1-port model: a single extremely high-Q resonance
+	// produces a violation band of relative width ~1/Q.
+	q := 1e7
+	w0 := 1e9
+	sigma := -w0 / q // half-width ~100 rad/s on a 1e9 band
+	col := statespace.Column{
+		Blocks: []statespace.Block{{Size: 2, Sigma: sigma, Omega: w0, B1: 2}},
+		C:      mat.NewDense(1, 2),
+	}
+	// Residue tuned so the resonance peaks just above 1: with b = [2,0]
+	// the resonant gain is H(jω₀) ≈ c₁/|σ|, so c₁ = 1.1|σ| peaks at ≈1.1.
+	col.C.Set(0, 0, 1.1*math.Abs(sigma))
+	m := &statespace.Model{P: 1, D: mat.NewDense(1, 1), Cols: []statespace.Column{col}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Confirm the violation exists at the resonance.
+	peak, err := m.MaxSigma(w0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak <= 1 {
+		t.Fatalf("setup bug: σ(jω₀) = %g ≤ 1", peak)
+	}
+
+	// A plain log sweep at a realistic resolution misses it: don't seed
+	// with the pole locations (InitialPoints grid only). We emulate a
+	// blind sweep by removing the model's resonance hints — build the
+	// sweep manually over a wide band.
+	blind := 0
+	for _, w := range statespace.LogGrid(1e7, 1e11, 2000) {
+		s, err := m.MaxSigma(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > 1 {
+			blind++
+		}
+	}
+	if blind != 0 {
+		t.Fatalf("blind 2000-point sweep unexpectedly caught the %g-rad/s-wide band", 2*math.Abs(sigma))
+	}
+
+	// The Hamiltonian eigensolver finds the band edges exactly.
+	op, err := hamiltonian.New(m, hamiltonian.Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossings, err := op.FullImagEigs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossings) != 2 {
+		t.Fatalf("Hamiltonian found %d crossings, want 2 (band edges): %v", len(crossings), crossings)
+	}
+	width := crossings[1] - crossings[0]
+	if width <= 0 || width > 1e4 {
+		t.Fatalf("violation band width %g implausible", width)
+	}
+}
+
+func TestSamplingEmptyBandError(t *testing.T) {
+	m := genModel(t, 73, 10, 1.02)
+	if _, err := Characterize(m, Options{OmegaMin: 10, OmegaMax: 5}); err == nil {
+		t.Fatal("expected error for empty band")
+	}
+}
+
+func TestSamplingCrossingsComeInPairs(t *testing.T) {
+	m := genModel(t, 74, 24, 1.08)
+	res, err := Characterize(m, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Crossings)%2 != 0 {
+		t.Fatalf("odd crossing count %d", len(res.Crossings))
+	}
+	// Rising/falling must alternate starting with rising (σ(D) < 1 at ω=0).
+	for i, c := range res.Crossings {
+		wantRising := i%2 == 0
+		if c.Rising != wantRising {
+			t.Fatalf("crossing %d direction %v, want %v", i, c.Rising, wantRising)
+		}
+	}
+}

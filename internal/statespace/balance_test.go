@@ -1,0 +1,88 @@
+package statespace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestBalancedPreservesTransferExactly(t *testing.T) {
+	m, err := Generate(17, GenOptions{Ports: 3, Order: 14, TargetPeak: 1.05, GridPoints: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := m.Balanced()
+	for _, w := range []float64{0, 1e8, 3e9, 5e10} {
+		h0 := m.EvalJW(w)
+		h1 := b.EvalJW(w)
+		if !h1.Equalish(h0, 1e-12*(1+h0.MaxAbs())) {
+			t.Fatalf("Balanced changed H(jω) at ω=%g", w)
+		}
+	}
+	// Poles untouched.
+	p0, p1 := m.Poles(), b.Poles()
+	for i := range p0 {
+		if p0[i] != p1[i] {
+			t.Fatal("Balanced moved a pole")
+		}
+	}
+}
+
+func TestBalancedEqualizesBlockNorms(t *testing.T) {
+	m, err := Generate(18, GenOptions{Ports: 2, Order: 10, TargetPeak: 1.02, GridPoints: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := m.Balanced()
+	for k := range b.Cols {
+		col := &b.Cols[k]
+		off := 0
+		for _, blk := range col.Blocks {
+			bnorm := math.Hypot(blk.B1, blk.B2)
+			var cs float64
+			for i := 0; i < b.P; i++ {
+				for s := 0; s < blk.Size; s++ {
+					v := col.C.At(i, off+s)
+					cs += v * v
+				}
+			}
+			cnorm := math.Sqrt(cs)
+			if bnorm == 0 || cnorm == 0 {
+				off += blk.Size
+				continue
+			}
+			if math.Abs(bnorm-cnorm) > 1e-9*(bnorm+cnorm) {
+				t.Fatalf("column %d block at %d: ‖b‖=%g vs ‖c‖=%g", k, off, bnorm, cnorm)
+			}
+			off += blk.Size
+		}
+	}
+}
+
+func TestBalancedHandlesZeroResidueBlock(t *testing.T) {
+	m := &Model{
+		P: 1,
+		D: mat.NewDense(1, 1),
+		Cols: []Column{{
+			Blocks: []Block{{Size: 1, Sigma: -1e9, B1: 1}},
+			C:      mat.NewDense(1, 1), // unobservable state: zero residue
+		}},
+	}
+	b := m.Balanced() // must not divide by zero
+	if b.Cols[0].Blocks[0].B1 != 1 {
+		t.Fatal("zero-residue block should be left untouched")
+	}
+}
+
+func TestBalancedDoesNotMutateOriginal(t *testing.T) {
+	m, err := Generate(19, GenOptions{Ports: 2, Order: 8, TargetPeak: 1.02, GridPoints: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Clone()
+	_ = m.Balanced()
+	if !m.Cols[0].C.Equalish(before.Cols[0].C, 0) || m.Cols[0].Blocks[0] != before.Cols[0].Blocks[0] {
+		t.Fatal("Balanced mutated its receiver")
+	}
+}

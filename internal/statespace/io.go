@@ -1,0 +1,65 @@
+package statespace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SaveModel serializes a model to a file with encoding/gob.
+func SaveModel(path string, m *Model) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(m); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("statespace: encoding model: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadModel reads a model saved by SaveModel and validates it.
+func LoadModel(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m Model
+	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("statespace: decoding model: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("statespace: cached model invalid: %w", err)
+	}
+	return &m, nil
+}
+
+// CachedCase returns the Table-I case model, generating it on first use and
+// caching it under dir (generation of the large cases costs seconds to
+// minutes; the cache makes benchmark reruns cheap).
+func CachedCase(spec CaseSpec, dir string) (*Model, error) {
+	path := filepath.Join(dir, fmt.Sprintf("case%02d_n%d_p%d.gob", spec.ID, spec.N, spec.P))
+	if m, err := LoadModel(path); err == nil {
+		return m, nil
+	}
+	m, err := BuildCase(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := SaveModel(path, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

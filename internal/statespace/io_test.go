@@ -1,0 +1,114 @@
+package statespace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, err := Generate(88, GenOptions{Ports: 2, Order: 10, TargetPeak: 1.02, GridPoints: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.P != m.P || got.Order() != m.Order() {
+		t.Fatal("shape mismatch after round trip")
+	}
+	if !got.D.Equalish(m.D, 0) {
+		t.Fatal("D mismatch after round trip")
+	}
+	for k := range m.Cols {
+		if !got.Cols[k].C.Equalish(m.Cols[k].C, 0) {
+			t.Fatalf("column %d residue mismatch", k)
+		}
+		if len(got.Cols[k].Blocks) != len(m.Cols[k].Blocks) {
+			t.Fatalf("column %d block count mismatch", k)
+		}
+		for b := range m.Cols[k].Blocks {
+			if got.Cols[k].Blocks[b] != m.Cols[k].Blocks[b] {
+				t.Fatalf("column %d block %d mismatch", k, b)
+			}
+		}
+	}
+	// Behavioural equality.
+	w := 5e9
+	if !got.EvalJW(w).Equalish(m.EvalJW(w), 1e-14) {
+		t.Fatal("transfer mismatch after round trip")
+	}
+}
+
+func TestLoadModelMissingFile(t *testing.T) {
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestLoadModelCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.gob")
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(path); err == nil {
+		t.Fatal("expected error for corrupt file")
+	}
+}
+
+func TestCachedCaseGeneratesThenReuses(t *testing.T) {
+	dir := t.TempDir()
+	spec := CaseSpec{ID: 99, N: 12, P: 2, TargetPeak: 1.02, Seed: 9}
+	m1, err := CachedCase(spec, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second call must hit the cache file (mutate the file's model? just
+	// check the file exists and the models agree).
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected one cache file, got %v (%v)", entries, err)
+	}
+	m2, err := CachedCase(spec, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m1.D.Equalish(m2.D, 0) {
+		t.Fatal("cache reuse returned a different model")
+	}
+}
+
+func TestFrequencyScaledPreservesTransfer(t *testing.T) {
+	m, err := Generate(12, GenOptions{Ports: 2, Order: 8, TargetPeak: 1.05, GridPoints: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := m.MaxPoleMagnitude()
+	s := m.FrequencyScaled(w0)
+	for _, w := range []float64{1e8, 2e9, 1.3e10} {
+		h0 := m.EvalJW(w)
+		h1 := s.EvalJW(w / w0)
+		if !h1.Equalish(h0, 1e-10*(1+h0.MaxAbs())) {
+			t.Fatalf("H'(ω/ω₀) != H(ω) at ω=%g", w)
+		}
+	}
+}
+
+func TestFrequencyScaledRejectsBadScale(t *testing.T) {
+	m, err := Generate(13, GenOptions{Ports: 2, Order: 6, TargetPeak: 1.05, GridPoints: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive scale")
+		}
+	}()
+	m.FrequencyScaled(0)
+}

@@ -1,0 +1,364 @@
+package statespace
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+// smallModel builds a deterministic 2-port, order-5 model for tests.
+func smallModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := Generate(42, GenOptions{Ports: 2, Order: 5, TargetPeak: 1.05, GridPoints: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	m, err := Generate(7, GenOptions{Ports: 3, Order: 20, TargetPeak: 1.02, GridPoints: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Order() != 20 {
+		t.Fatalf("Order = %d, want 20", m.Order())
+	}
+	if m.P != 3 || len(m.Cols) != 3 {
+		t.Fatalf("wrong port structure")
+	}
+	for _, p := range m.Poles() {
+		if real(p) >= 0 {
+			t.Fatalf("unstable pole %v", p)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(9, GenOptions{Ports: 2, Order: 8, GridPoints: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(9, GenOptions{Ports: 2, Order: 8, GridPoints: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.D.Equalish(b.D, 0) {
+		t.Fatal("same seed produced different D")
+	}
+	for k := range a.Cols {
+		if !a.Cols[k].C.Equalish(b.Cols[k].C, 0) {
+			t.Fatalf("same seed produced different residues in column %d", k)
+		}
+	}
+}
+
+func TestGenerateRejectsBadArgs(t *testing.T) {
+	if _, err := Generate(1, GenOptions{Ports: 0, Order: 5}); err == nil {
+		t.Fatal("expected error for zero ports")
+	}
+	if _, err := Generate(1, GenOptions{Ports: 10, Order: 5}); err == nil {
+		t.Fatal("expected error for order < ports")
+	}
+	if _, err := Generate(1, GenOptions{Ports: 2, Order: 8, TargetPeak: 0.05, DNorm: 0.1}); err == nil {
+		t.Fatal("expected error for target peak below D norm")
+	}
+}
+
+func TestEvalMatchesDenseRealization(t *testing.T) {
+	m := smallModel(t)
+	a := m.DenseA().ToComplex()
+	b := m.DenseB().ToComplex()
+	c := m.DenseC().ToComplex()
+	d := m.D.ToComplex()
+	n := m.Order()
+	for _, w := range []float64{0, 1e8, 3e9, 2e10} {
+		s := complex(0, w)
+		// H = D + C (sI − A)⁻¹ B, densely.
+		si := mat.CEye(n).Scale(s).Sub(a)
+		inv, err := mat.CInverse(si)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := d.Add(c.Mul(inv).Mul(b))
+		got := m.Eval(s)
+		if !got.Equalish(want, 1e-8*(1+want.FrobNorm())) {
+			t.Fatalf("ω=%g: Eval mismatch", w)
+		}
+	}
+}
+
+func TestEvalConjugateSymmetry(t *testing.T) {
+	// Real realization ⇒ H(conj(s)) = conj(H(s)).
+	m := smallModel(t)
+	s := complex(2e8, 7e9)
+	h1 := m.Eval(s)
+	h2 := m.Eval(cmplx.Conj(s))
+	for i := 0; i < m.P; i++ {
+		for j := 0; j < m.P; j++ {
+			if cmplx.Abs(h2.At(i, j)-cmplx.Conj(h1.At(i, j))) > 1e-10*(1+cmplx.Abs(h1.At(i, j))) {
+				t.Fatalf("conjugate symmetry violated at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestStructuredOpsMatchDense(t *testing.T) {
+	m := smallModel(t)
+	n := m.Order()
+	rng := rand.New(rand.NewSource(5))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	u := make([]complex128, m.P)
+	for i := range u {
+		u[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	a := m.DenseA().ToComplex()
+	bD := m.DenseB().ToComplex()
+	cD := m.DenseC().ToComplex()
+
+	y := make([]complex128, n)
+	m.CApplyA(y, x)
+	if d := diffNorm(y, a.MulVec(x)); d > 1e-10 {
+		t.Fatalf("CApplyA mismatch %g", d)
+	}
+	m.CApplyAT(y, x)
+	if d := diffNorm(y, a.T().MulVec(x)); d > 1e-10 {
+		t.Fatalf("CApplyAT mismatch %g", d)
+	}
+	m.CApplyB(y, u)
+	if d := diffNorm(y, bD.MulVec(u)); d > 1e-10 {
+		t.Fatalf("CApplyB mismatch %g", d)
+	}
+	yp := make([]complex128, m.P)
+	m.CApplyBT(yp, x)
+	if d := diffNorm(yp, bD.T().MulVec(x)); d > 1e-10 {
+		t.Fatalf("CApplyBT mismatch %g", d)
+	}
+	m.CApplyC(yp, x)
+	if d := diffNorm(yp, cD.MulVec(x)); d > 1e-10 {
+		t.Fatalf("CApplyC mismatch %g", d)
+	}
+	m.CApplyCT(y, u)
+	if d := diffNorm(y, cD.T().MulVec(u)); d > 1e-10 {
+		t.Fatalf("CApplyCT mismatch %g", d)
+	}
+}
+
+func diffNorm(a, b []complex128) float64 {
+	d := make([]complex128, len(a))
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	return mat.CNorm2(d)
+}
+
+func TestShiftedSolvesInvertApply(t *testing.T) {
+	m := smallModel(t)
+	n := m.Order()
+	rng := rand.New(rand.NewSource(6))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	theta := complex(1e7, 5e9)
+	y := make([]complex128, n)
+	z := make([]complex128, n)
+	// (A − θI)⁻¹ then (A − θI) applied should return x.
+	if err := m.CSolveShiftedA(y, x, theta); err != nil {
+		t.Fatal(err)
+	}
+	m.CApplyA(z, y)
+	for i := range z {
+		z[i] -= theta * y[i]
+	}
+	if d := diffNorm(z, x); d > 1e-9*mat.CNorm2(x) {
+		t.Fatalf("CSolveShiftedA roundtrip error %g", d)
+	}
+	if err := m.CSolveShiftedAT(y, x, theta); err != nil {
+		t.Fatal(err)
+	}
+	m.CApplyAT(z, y)
+	for i := range z {
+		z[i] -= theta * y[i]
+	}
+	if d := diffNorm(z, x); d > 1e-9*mat.CNorm2(x) {
+		t.Fatalf("CSolveShiftedAT roundtrip error %g", d)
+	}
+}
+
+func TestShiftedSolveSingularAtPole(t *testing.T) {
+	m := &Model{
+		P: 1,
+		D: mat.NewDense(1, 1),
+		Cols: []Column{{
+			Blocks: []Block{{Size: 1, Sigma: -2, B1: 1}},
+			C:      mat.DenseFromSlice(1, 1, []float64{1}),
+		}},
+	}
+	y := make([]complex128, 1)
+	if err := m.CSolveShiftedA(y, []complex128{1}, complex(-2, 0)); err != mat.ErrSingular {
+		t.Fatalf("expected ErrSingular at the pole, got %v", err)
+	}
+}
+
+func TestPoleResidueRoundTrip(t *testing.T) {
+	// Build a column from poles/residues and verify the realization
+	// reproduces the expansion at several frequencies.
+	poles := []complex128{complex(-3e8, 0), complex(-5e8, 6e9)}
+	res := mat.NewCDense(2, 2)
+	res.Set(0, 0, complex(2e8, 0))
+	res.Set(1, 0, complex(-1e8, 0))
+	res.Set(0, 1, complex(3e8, 1e8))
+	res.Set(1, 1, complex(-2e8, 5e7))
+	col, err := ColumnFromPoleResidue(poles, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{P: 2, D: mat.NewDense(2, 2), Cols: []Column{col, {Blocks: []Block{{Size: 1, Sigma: -1e9, B1: 1}}, C: mat.NewDense(2, 1)}}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{0, 1e9, 6e9, 3e10} {
+		s := complex(0, w)
+		h := m.Eval(s)
+		for row := 0; row < 2; row++ {
+			want := res.At(row, 0)/(s-poles[0]) +
+				res.At(row, 1)/(s-poles[1]) +
+				cmplx.Conj(res.At(row, 1))/(s-cmplx.Conj(poles[1]))
+			if cmplx.Abs(h.At(row, 0)-want) > 1e-9*(1+cmplx.Abs(want)) {
+				t.Fatalf("ω=%g row=%d: got %v want %v", w, row, h.At(row, 0), want)
+			}
+		}
+	}
+}
+
+func TestColumnFromPoleResidueErrors(t *testing.T) {
+	res := mat.NewCDense(1, 1)
+	if _, err := ColumnFromPoleResidue([]complex128{complex(1, 0)}, res); err == nil {
+		t.Fatal("expected unstable-pole error")
+	}
+	if _, err := ColumnFromPoleResidue([]complex128{complex(-1, -2)}, res); err == nil {
+		t.Fatal("expected Im<0 rejection")
+	}
+	res.Set(0, 0, complex(1, 1))
+	if _, err := ColumnFromPoleResidue([]complex128{complex(-1, 0)}, res); err == nil {
+		t.Fatal("expected complex-residue-on-real-pole error")
+	}
+}
+
+func TestCalibratedPeakHitsTarget(t *testing.T) {
+	for _, target := range []float64{0.9, 1.05} {
+		m, err := Generate(3, GenOptions{Ports: 2, Order: 12, TargetPeak: target, GridPoints: 120})
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid := SweepGrid(m, 3e7, 3e10, 500)
+		peak, err := PeakSigma(m, grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(peak-target) > 0.02*target {
+			t.Fatalf("target %g: calibrated peak %g", target, peak)
+		}
+	}
+}
+
+func TestMaxSigmaMatchesSVD(t *testing.T) {
+	m := smallModel(t)
+	w := 5e9
+	s1, err := m.MaxSigma(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := mat.SingularValues(m.EvalJW(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1-sv[0]) > 1e-12*(1+sv[0]) {
+		t.Fatalf("MaxSigma %g vs SVD %g", s1, sv[0])
+	}
+}
+
+func TestLogGrid(t *testing.T) {
+	g := LogGrid(1, 100, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12*want[i] {
+			t.Fatalf("LogGrid = %v", g)
+		}
+	}
+	if g := LogGrid(5, 50, 1); len(g) != 1 || g[0] != 5 {
+		t.Fatalf("LogGrid n=1 = %v", g)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := smallModel(t)
+	c := m.Clone()
+	c.D.Set(0, 0, 99)
+	c.Cols[0].C.Set(0, 0, 99)
+	if m.D.At(0, 0) == 99 || m.Cols[0].C.At(0, 0) == 99 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestTableICaseSpecs(t *testing.T) {
+	cases := TableICases()
+	if len(cases) != 12 {
+		t.Fatalf("expected 12 cases, got %d", len(cases))
+	}
+	// Spot-check the paper's (n, p) values.
+	if cases[0].N != 1000 || cases[0].P != 20 {
+		t.Fatal("case 1 wrong dims")
+	}
+	if cases[9].N != 4150 || cases[9].P != 83 {
+		t.Fatal("case 10 wrong dims")
+	}
+	for _, c := range cases {
+		if c.PaperNlambda == 0 && c.TargetPeak >= 1 {
+			t.Fatalf("case %d: passive case with target peak ≥ 1", c.ID)
+		}
+		if c.PaperNlambda > 0 && c.TargetPeak <= 1 {
+			t.Fatalf("case %d: non-passive case with target peak ≤ 1", c.ID)
+		}
+	}
+	if _, err := FindCase(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindCase(13); err == nil {
+		t.Fatal("expected error for unknown case")
+	}
+}
+
+func TestRandomModelPassivityConsistencyProperty(t *testing.T) {
+	// For random small models, peak σ over a fine grid must be within a few
+	// percent of the calibration target (monotonicity sanity).
+	f := func(seed int64) bool {
+		target := 0.95
+		if seed%2 == 0 {
+			target = 1.08
+		}
+		m, err := Generate(seed, GenOptions{Ports: 2, Order: 10, TargetPeak: target, GridPoints: 100})
+		if err != nil {
+			return false
+		}
+		peak, err := PeakSigma(m, SweepGrid(m, 3e7, 3e10, 300))
+		if err != nil {
+			return false
+		}
+		return math.Abs(peak-target) < 0.05*target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package statespace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ColumnFromPoleResidue builds a real SIMO column realization from a
+// pole–residue expansion of one column of H(s):
+//
+//	H[:,k](s) = Σ_i r_i/(s − p_i)
+//
+// Poles must be strictly stable. Real poles carry real residue vectors;
+// complex poles must be supplied once with Im p > 0 together with their
+// (complex) residue vector — the conjugate partner is implied. residues is
+// p×len(poles) with column i the residue vector of pole i.
+//
+// The transformation to a real realization follows Grivet-Talocia & Ubolli
+// 2006: a complex pair p = σ±jω with residue r = r'+jr” becomes the 2×2
+// block [[σ, ω], [−ω, σ]] with input [2, 0]ᵀ and output row [r', r”].
+func ColumnFromPoleResidue(poles []complex128, residues *mat.CDense) (Column, error) {
+	p := residues.Rows
+	if residues.Cols != len(poles) {
+		return Column{}, fmt.Errorf("statespace: %d poles but %d residue columns", len(poles), residues.Cols)
+	}
+	var col Column
+	order := 0
+	for _, pl := range poles {
+		if real(pl) >= 0 {
+			return Column{}, fmt.Errorf("statespace: unstable pole %v", pl)
+		}
+		if imag(pl) < 0 {
+			return Column{}, errors.New("statespace: supply complex poles with Im > 0 only (conjugate implied)")
+		}
+		if imag(pl) == 0 {
+			order++
+		} else {
+			order += 2
+		}
+	}
+	c := mat.NewDense(p, order)
+	off := 0
+	for i, pl := range poles {
+		if imag(pl) == 0 {
+			col.Blocks = append(col.Blocks, Block{Size: 1, Sigma: real(pl), B1: 1})
+			for row := 0; row < p; row++ {
+				ri := residues.At(row, i)
+				if math.Abs(imag(ri)) > 1e-9*(1+math.Abs(real(ri))) {
+					return Column{}, fmt.Errorf("statespace: real pole %v with complex residue %v", pl, ri)
+				}
+				c.Set(row, off, real(ri))
+			}
+			off++
+			continue
+		}
+		col.Blocks = append(col.Blocks, Block{Size: 2, Sigma: real(pl), Omega: imag(pl), B1: 2, B2: 0})
+		for row := 0; row < p; row++ {
+			ri := residues.At(row, i)
+			c.Set(row, off, real(ri))
+			c.Set(row, off+1, imag(ri))
+		}
+		off += 2
+	}
+	col.C = c
+	return col, nil
+}
+
+// FromPoleResidue assembles a full model from per-column pole–residue data.
+// poles[k] and residues[k] describe column k; D is the direct coupling.
+func FromPoleResidue(d *mat.Dense, poles [][]complex128, residues []*mat.CDense) (*Model, error) {
+	p := d.Rows
+	if d.Cols != p {
+		return nil, errors.New("statespace: D must be square")
+	}
+	if len(poles) != p || len(residues) != p {
+		return nil, fmt.Errorf("statespace: need %d columns of pole-residue data", p)
+	}
+	m := &Model{P: p, D: d.Clone(), Cols: make([]Column, p)}
+	for k := 0; k < p; k++ {
+		col, err := ColumnFromPoleResidue(poles[k], residues[k])
+		if err != nil {
+			return nil, fmt.Errorf("statespace: column %d: %w", k, err)
+		}
+		m.Cols[k] = col
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,216 @@
+// Package touchstone reads and writes Touchstone® .snp files (version
+// 1.x), the industry interchange format for tabulated scattering data. It
+// is the bridge between real measurement/EM-solver outputs and the Vector
+// Fitting front end of this library (paper Sec. II: "frequency samples of
+// the scattering matrix ... via electromagnetic simulation or direct
+// measurement").
+//
+// Supported: # HZ/KHZ/MHZ/GHZ S RI/MA/DB R <ref>, comment lines, the
+// standard column layouts for 1- and 2-port files and the row-wrapped
+// layout for n ≥ 3 ports. Only S-parameters are accepted (Y/Z/H/G data is
+// rejected), matching the scattering representation used throughout.
+package touchstone
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+	"strconv"
+	"strings"
+
+	"repro/internal/mat"
+	"repro/internal/vectfit"
+)
+
+// Format is the number-pair encoding of the data columns.
+type Format int
+
+const (
+	// RI encodes real/imaginary pairs.
+	RI Format = iota
+	// MA encodes magnitude/angle-in-degrees pairs.
+	MA
+	// DB encodes 20·log10(magnitude)/angle-in-degrees pairs.
+	DB
+)
+
+func (f Format) String() string {
+	switch f {
+	case RI:
+		return "RI"
+	case MA:
+		return "MA"
+	case DB:
+		return "DB"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// Data is a parsed Touchstone file.
+type Data struct {
+	Ports     int
+	Reference float64 // reference impedance in ohms
+	Samples   []vectfit.Sample
+}
+
+var unitScale = map[string]float64{
+	"HZ": 2 * math.Pi, "KHZ": 2 * math.Pi * 1e3,
+	"MHZ": 2 * math.Pi * 1e6, "GHZ": 2 * math.Pi * 1e9,
+}
+
+// Parse reads a Touchstone stream with the given port count (the count is
+// conventionally encoded in the file extension .sNp, so callers must
+// supply it).
+func Parse(r io.Reader, ports int) (*Data, error) {
+	if ports < 1 {
+		return nil, errors.New("touchstone: ports must be ≥ 1")
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	d := &Data{Ports: ports, Reference: 50}
+	format := MA // Touchstone default
+	scale := 2 * math.Pi * 1e9
+	sawOption := false
+	var values []float64
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "!"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if sawOption {
+				return nil, errors.New("touchstone: multiple option lines")
+			}
+			sawOption = true
+			toks := strings.Fields(strings.ToUpper(line[1:]))
+			for i := 0; i < len(toks); i++ {
+				switch tok := toks[i]; tok {
+				case "HZ", "KHZ", "MHZ", "GHZ":
+					scale = unitScale[tok]
+				case "S":
+					// scattering — accepted
+				case "Y", "Z", "H", "G":
+					return nil, fmt.Errorf("touchstone: %s-parameters not supported (scattering only)", tok)
+				case "RI":
+					format = RI
+				case "MA":
+					format = MA
+				case "DB":
+					format = DB
+				case "R":
+					if i+1 >= len(toks) {
+						return nil, errors.New("touchstone: R without impedance value")
+					}
+					v, err := strconv.ParseFloat(toks[i+1], 64)
+					if err != nil {
+						return nil, fmt.Errorf("touchstone: bad reference impedance %q", toks[i+1])
+					}
+					d.Reference = v
+					i++
+				default:
+					return nil, fmt.Errorf("touchstone: unknown option token %q", tok)
+				}
+			}
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("touchstone: bad number %q", f)
+			}
+			values = append(values, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	perSample := 1 + 2*ports*ports
+	if len(values) == 0 || len(values)%perSample != 0 {
+		return nil, fmt.Errorf("touchstone: %d values is not a multiple of %d (1 freq + %d pairs)",
+			len(values), perSample, ports*ports)
+	}
+	nSamples := len(values) / perSample
+	var lastFreq float64
+	for s := 0; s < nSamples; s++ {
+		chunk := values[s*perSample : (s+1)*perSample]
+		freq := chunk[0] * scale
+		if s > 0 && freq <= lastFreq {
+			return nil, fmt.Errorf("touchstone: frequencies not strictly increasing at sample %d", s)
+		}
+		lastFreq = freq
+		h := mat.NewCDense(ports, ports)
+		for k := 0; k < ports*ports; k++ {
+			a, b := chunk[1+2*k], chunk[2+2*k]
+			var v complex128
+			switch format {
+			case RI:
+				v = complex(a, b)
+			case MA:
+				v = cmplx.Rect(a, b*math.Pi/180)
+			case DB:
+				v = cmplx.Rect(math.Pow(10, a/20), b*math.Pi/180)
+			}
+			// Touchstone order: row-major S11 S12 … except 2-port files,
+			// which historically store S11 S21 S12 S22 (column-major).
+			i, j := k/ports, k%ports
+			if ports == 2 {
+				i, j = k%ports, k/ports
+			}
+			h.Set(i, j, v)
+		}
+		d.Samples = append(d.Samples, vectfit.Sample{Omega: freq, H: h})
+	}
+	return d, nil
+}
+
+// Write emits the samples as a Touchstone file in the requested format,
+// with frequencies in GHz.
+func Write(w io.Writer, samples []vectfit.Sample, format Format, reference float64) error {
+	if len(samples) == 0 {
+		return errors.New("touchstone: no samples")
+	}
+	ports := samples[0].H.Rows
+	if reference <= 0 {
+		reference = 50
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "! generated by repro (DATE'11 Hamiltonian eigensolver reproduction)\n")
+	fmt.Fprintf(bw, "# GHz S %s R %g\n", format, reference)
+	for _, s := range samples {
+		if s.H.Rows != ports || s.H.Cols != ports {
+			return errors.New("touchstone: inconsistent sample dimensions")
+		}
+		fmt.Fprintf(bw, "%.9g", s.Omega/(2*math.Pi*1e9))
+		for k := 0; k < ports*ports; k++ {
+			i, j := k/ports, k%ports
+			if ports == 2 {
+				i, j = k%ports, k/ports
+			}
+			v := s.H.At(i, j)
+			var a, b float64
+			switch format {
+			case RI:
+				a, b = real(v), imag(v)
+			case MA:
+				a, b = cmplx.Abs(v), cmplx.Phase(v)*180/math.Pi
+			case DB:
+				a, b = 20*math.Log10(cmplx.Abs(v)), cmplx.Phase(v)*180/math.Pi
+			}
+			fmt.Fprintf(bw, " %.12g %.12g", a, b)
+			// Wrap rows for n≥3 ports per the spec's readability rule.
+			if ports >= 3 && (k+1)%ports == 0 && k+1 < ports*ports {
+				fmt.Fprintf(bw, "\n")
+			}
+		}
+		fmt.Fprintf(bw, "\n")
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,166 @@
+package touchstone
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+
+	"repro/internal/statespace"
+	"repro/internal/vectfit"
+)
+
+func sampleSet(t *testing.T, ports int) []vectfit.Sample {
+	t.Helper()
+	m, err := statespace.Generate(7, statespace.GenOptions{
+		Ports: ports, Order: 4 * ports, TargetPeak: 0.9, GridPoints: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vectfit.SampleModel(m, statespace.LogGrid(2*math.Pi*1e8, 2*math.Pi*2e10, 40))
+}
+
+func roundTrip(t *testing.T, ports int, format Format) {
+	t.Helper()
+	in := sampleSet(t, ports)
+	var buf bytes.Buffer
+	if err := Write(&buf, in, format, 50); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(&buf, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ports != ports || len(d.Samples) != len(in) {
+		t.Fatalf("round trip shape: %d ports, %d samples", d.Ports, len(d.Samples))
+	}
+	for s := range in {
+		if math.Abs(d.Samples[s].Omega-in[s].Omega) > 1e-6*in[s].Omega {
+			t.Fatalf("sample %d frequency %g vs %g", s, d.Samples[s].Omega, in[s].Omega)
+		}
+		for i := 0; i < ports; i++ {
+			for j := 0; j < ports; j++ {
+				got := d.Samples[s].H.At(i, j)
+				want := in[s].H.At(i, j)
+				if cmplx.Abs(got-want) > 1e-9*(1+cmplx.Abs(want)) {
+					t.Fatalf("sample %d entry (%d,%d): %v vs %v", s, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripFormatsAndPorts(t *testing.T) {
+	for _, ports := range []int{1, 2, 3, 4} {
+		for _, f := range []Format{RI, MA, DB} {
+			roundTrip(t, ports, f)
+		}
+	}
+}
+
+func TestParseOptionLine(t *testing.T) {
+	src := `! comment
+# MHz S RI R 75
+100 0.5 0.1
+200 0.4 -0.2
+`
+	d, err := Parse(strings.NewReader(src), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reference != 75 {
+		t.Fatalf("reference %g", d.Reference)
+	}
+	if len(d.Samples) != 2 {
+		t.Fatalf("%d samples", len(d.Samples))
+	}
+	wantW := 2 * math.Pi * 100e6
+	if math.Abs(d.Samples[0].Omega-wantW) > 1e-3 {
+		t.Fatalf("omega %g, want %g", d.Samples[0].Omega, wantW)
+	}
+	if d.Samples[0].H.At(0, 0) != complex(0.5, 0.1) {
+		t.Fatalf("S11 = %v", d.Samples[0].H.At(0, 0))
+	}
+}
+
+func TestParseTwoPortColumnOrder(t *testing.T) {
+	// 2-port files store S11 S21 S12 S22.
+	src := "# GHz S RI R 50\n1 11 0 21 0 12 0 22 0\n"
+	d, err := Parse(strings.NewReader(src), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := d.Samples[0].H
+	if real(h.At(0, 0)) != 11 || real(h.At(1, 0)) != 21 || real(h.At(0, 1)) != 12 || real(h.At(1, 1)) != 22 {
+		t.Fatalf("2-port order wrong: %v", h)
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"y-params":        "# GHz Y RI R 50\n1 0.5 0.1\n",
+		"bad number":      "# GHz S RI R 50\n1 x 0.1\n",
+		"wrong count":     "# GHz S RI R 50\n1 0.5\n",
+		"double option":   "# GHz S RI\n# GHz S RI\n1 0.5 0.1\n",
+		"non-monotone":    "# GHz S RI R 50\n2 0.5 0.1\n1 0.4 0.2\n",
+		"unknown token":   "# GHz S RI FOO\n1 0.5 0.1\n",
+		"R without value": "# GHz S RI R\n1 0.5 0.1\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src), 1); err == nil {
+			t.Fatalf("%s: expected parse error", name)
+		}
+	}
+	if _, err := Parse(strings.NewReader(""), 0); err == nil {
+		t.Fatal("expected error for 0 ports")
+	}
+}
+
+func TestDefaultFormatIsMA(t *testing.T) {
+	// Without an option line, Touchstone defaults to GHz S MA R 50.
+	src := "1 1.0 90\n" // magnitude 1 at +90° = j
+	d, err := Parse(strings.NewReader(src), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(d.Samples[0].H.At(0, 0)-complex(0, 1)) > 1e-12 {
+		t.Fatalf("MA default broken: %v", d.Samples[0].H.At(0, 0))
+	}
+}
+
+func TestEndToEndTouchstoneToPassivity(t *testing.T) {
+	// Full flow: model → touchstone → parse → vector fit → Hamiltonian.
+	in := sampleSet(t, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, in, RI, 50); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := vectfit.Fit(d.Samples, 8, vectfit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.RMSError > 1e-6 {
+		t.Fatalf("fit RMS %g", fit.RMSError)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, nil, RI, 50); err == nil {
+		t.Fatal("expected error for empty samples")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if RI.String() != "RI" || MA.String() != "MA" || DB.String() != "DB" {
+		t.Fatal("format strings wrong")
+	}
+	if Format(9).String() != "Format(9)" {
+		t.Fatal("fallback string wrong")
+	}
+}

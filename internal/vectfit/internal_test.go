@@ -1,0 +1,153 @@
+package vectfit
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/statespace"
+)
+
+func TestStateOrderAndCountComplex(t *testing.T) {
+	poles := []complex128{complex(-1, 0), complex(-2, 3), complex(-4, 0), complex(-5, 6)}
+	if stateOrder(poles) != 6 {
+		t.Fatalf("stateOrder = %d, want 6", stateOrder(poles))
+	}
+	if countComplex(poles) != 2 {
+		t.Fatalf("countComplex = %d, want 2", countComplex(poles))
+	}
+}
+
+func TestLsSolveMatchesQROnWellConditioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, n := 20, 6
+	a := mat.NewDense(m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x1, err := lsSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := mat.LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-9*(1+math.Abs(x2[i])) {
+			t.Fatalf("lsSolve disagrees with QR at %d: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestLsSolveHandlesWildColumnScales(t *testing.T) {
+	// Columns spanning 1e-10 … 1: plain QR's rank test rejects this; the
+	// equilibrated SVD solve must recover the exact solution.
+	rng := rand.New(rand.NewSource(2))
+	m, n := 30, 4
+	a := mat.NewDense(m, n)
+	scales := []float64{1e-10, 1e-5, 1, 1e3}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64()*scales[j])
+		}
+	}
+	xTrue := []float64{1e9, 2e4, -3, 4e-3}
+	b := a.MulVec(xTrue)
+	x, err := lsSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-6*(1+math.Abs(xTrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestRelocatePolesConvergesOnScalarRational(t *testing.T) {
+	// A scalar transfer with two known pole pairs: starting from wrong
+	// poles, a few sigma iterations must relocate onto the true ones.
+	truePoles := []complex128{complex(-2e8, 3e9), complex(-5e7, 8e8)}
+	resid := mat.NewCDense(1, 2)
+	resid.Set(0, 0, complex(1e8, -2e8))
+	resid.Set(0, 1, complex(3e7, 1e7))
+	col, err := statespace.ColumnFromPoleResidue(truePoles, resid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &statespace.Model{P: 1, D: mat.DenseFromSlice(1, 1, []float64{0.3}), Cols: []statespace.Column{col}}
+	omegas := statespace.LogGrid(1e8, 1e10, 80)
+	f := mat.NewCDense(1, len(omegas))
+	for k, w := range omegas {
+		f.Set(0, k, model.EvalJW(w).At(0, 0))
+	}
+	poles := InitialPoles(1e8, 1e10, 4)
+	for it := 0; it < 10; it++ {
+		poles, err = relocatePoles(omegas, f, poles, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range truePoles {
+		best := math.Inf(1)
+		for _, got := range poles {
+			if d := cmplx.Abs(got - want); d < best {
+				best = d
+			}
+		}
+		if best > 1e-3*cmplx.Abs(want) {
+			t.Fatalf("pole %v not recovered (closest gap %g); got %v", want, best, poles)
+		}
+	}
+}
+
+func TestFitResiduesExactOnKnownExpansion(t *testing.T) {
+	poles := []complex128{complex(-1e8, 0), complex(-2e8, 5e9)}
+	wantRes := mat.NewCDense(1, 2)
+	wantRes.Set(0, 0, complex(7e7, 0))
+	wantRes.Set(0, 1, complex(-3e7, 9e6))
+	wantD := 0.25
+	omegas := statespace.LogGrid(1e7, 1e11, 60)
+	f := mat.NewCDense(1, len(omegas))
+	for k, w := range omegas {
+		s := complex(0, w)
+		v := complex(wantD, 0) +
+			wantRes.At(0, 0)/(s-poles[0]) +
+			wantRes.At(0, 1)/(s-poles[1]) +
+			cmplx.Conj(wantRes.At(0, 1))/(s-cmplx.Conj(poles[1]))
+		f.Set(0, k, v)
+	}
+	res, d, rms, err := fitResidues(omegas, f, poles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms > 1e-6 {
+		t.Fatalf("rms %g", rms)
+	}
+	if math.Abs(d[0]-wantD) > 1e-8 {
+		t.Fatalf("d = %v, want %v", d[0], wantD)
+	}
+	for i := 0; i < 2; i++ {
+		if cmplx.Abs(res.At(0, i)-wantRes.At(0, i)) > 1e-3*(1+cmplx.Abs(wantRes.At(0, i))) {
+			t.Fatalf("residue %d = %v, want %v", i, res.At(0, i), wantRes.At(0, i))
+		}
+	}
+}
+
+func TestSampleModelShapes(t *testing.T) {
+	m, err := statespace.Generate(5, statespace.GenOptions{Ports: 3, Order: 9, TargetPeak: 0.9, GridPoints: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := SampleModel(m, []float64{1e8, 1e9})
+	if len(samples) != 2 || samples[0].H.Rows != 3 || samples[1].Omega != 1e9 {
+		t.Fatal("SampleModel shapes wrong")
+	}
+}

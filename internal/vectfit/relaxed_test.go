@@ -1,0 +1,116 @@
+package vectfit
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/statespace"
+)
+
+func TestRelaxedFitMatchesStrictOnCleanData(t *testing.T) {
+	m := knownModel(t)
+	samples := SampleModel(m, statespace.LogGrid(3e7, 3e10, 120))
+	strict, err := Fit(samples, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := Fit(samples, 8, Options{Relaxed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.RMSError > 1e-6 {
+		t.Fatalf("relaxed RMS %g", relaxed.RMSError)
+	}
+	// Both must reproduce the device response.
+	for _, w := range statespace.LogGrid(1e8, 1e10, 40) {
+		h0 := m.EvalJW(w)
+		h1 := relaxed.Model.EvalJW(w)
+		h2 := strict.Model.EvalJW(w)
+		if !h1.Equalish(h0, 1e-4*(1+h0.MaxAbs())) {
+			t.Fatalf("relaxed fit deviates at ω=%g", w)
+		}
+		if !h2.Equalish(h0, 1e-4*(1+h0.MaxAbs())) {
+			t.Fatalf("strict fit deviates at ω=%g", w)
+		}
+	}
+}
+
+func TestRelaxedFitNoisyDataConverges(t *testing.T) {
+	// Relaxed VF's raison d'être: with noisy data the strict σ(∞)=1
+	// constraint biases pole relocation; the relaxed variant still lands a
+	// good fit.
+	m := knownModel(t)
+	grid := statespace.LogGrid(3e7, 3e10, 150)
+	samples := SampleModel(m, grid)
+	seed := uint64(0xdeadbeefcafef00d)
+	noisy := make([]Sample, len(samples))
+	for i, s := range samples {
+		h := s.H.Clone()
+		for j := range h.Data {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			n1 := float64(seed>>40)/float64(1<<24) - 0.5
+			seed = seed*6364136223846793005 + 1442695040888963407
+			n2 := float64(seed>>40)/float64(1<<24) - 0.5
+			h.Data[j] *= complex(1+2e-3*n1, 2e-3*n2)
+		}
+		noisy[i] = Sample{Omega: s.Omega, H: h}
+	}
+	res, err := Fit(noisy, 8, Options{Relaxed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, w := range statespace.LogGrid(1e8, 1e10, 50) {
+		h0 := m.EvalJW(w)
+		h1 := res.Model.EvalJW(w)
+		for i := range h0.Data {
+			if d := cmplx.Abs(h1.Data[i] - h0.Data[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0.05 {
+		t.Fatalf("relaxed noisy fit deviates by %g", worst)
+	}
+	for _, p := range res.Model.Poles() {
+		if real(p) >= 0 {
+			t.Fatalf("unstable pole %v from relaxed fit", p)
+		}
+	}
+}
+
+func TestRelaxedRelocationRecoversScalarPoles(t *testing.T) {
+	truePoles := []complex128{complex(-2e8, 3e9), complex(-5e7, 8e8)}
+	resid := mat.NewCDense(1, 2)
+	resid.Set(0, 0, complex(1e8, -2e8))
+	resid.Set(0, 1, complex(3e7, 1e7))
+	col, err := statespace.ColumnFromPoleResidue(truePoles, resid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &statespace.Model{P: 1, D: mat.DenseFromSlice(1, 1, []float64{0.3}), Cols: []statespace.Column{col}}
+	omegas := statespace.LogGrid(1e8, 1e10, 80)
+	f := mat.NewCDense(1, len(omegas))
+	for k, w := range omegas {
+		f.Set(0, k, model.EvalJW(w).At(0, 0))
+	}
+	poles := InitialPoles(1e8, 1e10, 4)
+	for it := 0; it < 10; it++ {
+		poles, err = relocatePoles(omegas, f, poles, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range truePoles {
+		best := 1e300
+		for _, got := range poles {
+			if d := cmplx.Abs(got - want); d < best {
+				best = d
+			}
+		}
+		if best > 1e-3*cmplx.Abs(want) {
+			t.Fatalf("relaxed relocation missed pole %v (gap %g); got %v", want, best, poles)
+		}
+	}
+}

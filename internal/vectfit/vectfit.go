@@ -1,0 +1,490 @@
+// Package vectfit implements the Vector Fitting algorithm of Gustavsen &
+// Semlyen (IEEE Trans. Power Delivery 1999), the rational identification
+// step that produces the macromodels consumed by the Hamiltonian passivity
+// tools (paper Sec. II, refs. [1]–[5]). Each column of the p×p scattering
+// matrix is fitted independently with its own pole set, which yields
+// exactly the multiple-SIMO block structure of paper Eq. 2.
+package vectfit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/statespace"
+)
+
+// Options controls the fit.
+type Options struct {
+	// Iterations is the number of pole-relocation passes. Default 8.
+	Iterations int
+	// RelTol stops the pole iteration early when the RMS fit error changes
+	// by less than this relative amount. Default 1e-10.
+	RelTol float64
+	// Relaxed enables the relaxed non-triviality constraint of Gustavsen
+	// (2006): the sigma function gets a free constant term and a single
+	// normalization row Σ_k Re σ(jω_k) = K replaces the hard σ(∞) = 1
+	// assumption, which improves convergence on noisy data.
+	Relaxed bool
+}
+
+func (o *Options) setDefaults() {
+	if o.Iterations == 0 {
+		o.Iterations = 8
+	}
+	if o.RelTol == 0 {
+		o.RelTol = 1e-10
+	}
+}
+
+// Sample is one tabulated frequency response: the p×p matrix H(jω).
+type Sample struct {
+	Omega float64
+	H     *mat.CDense
+}
+
+// Result carries the fitted model plus per-column diagnostics.
+type Result struct {
+	Model *statespace.Model
+	// RMSError is the final root-mean-square fit error over all samples
+	// and matrix entries.
+	RMSError float64
+	// Iterations actually performed per column.
+	Iterations []int
+}
+
+// Fit identifies a stable rational macromodel of the given per-column
+// order from tabulated samples. Samples must share a common, positive,
+// strictly increasing frequency grid.
+func Fit(samples []Sample, order int, opts Options) (*Result, error) {
+	opts.setDefaults()
+	if len(samples) < 4 {
+		return nil, errors.New("vectfit: need at least 4 samples")
+	}
+	p := samples[0].H.Rows
+	if samples[0].H.Cols != p {
+		return nil, errors.New("vectfit: samples must be square matrices")
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Omega <= samples[i-1].Omega {
+			return nil, errors.New("vectfit: frequencies must be strictly increasing")
+		}
+		if samples[i].H.Rows != p || samples[i].H.Cols != p {
+			return nil, errors.New("vectfit: inconsistent sample dimensions")
+		}
+	}
+	if order < 2 {
+		return nil, errors.New("vectfit: order must be at least 2")
+	}
+	if 2*len(samples)*p < order+1+order {
+		return nil, fmt.Errorf("vectfit: %d samples insufficient for order %d", len(samples), order)
+	}
+
+	omegas := make([]float64, len(samples))
+	for i, s := range samples {
+		omegas[i] = s.Omega
+	}
+
+	polesByCol := make([][]complex128, p)
+	residByCol := make([]*mat.CDense, p)
+	dCol := mat.NewDense(p, p)
+	iters := make([]int, p)
+
+	for col := 0; col < p; col++ {
+		// Column samples: p×K.
+		f := mat.NewCDense(p, len(samples))
+		for k, s := range samples {
+			for r := 0; r < p; r++ {
+				f.Set(r, k, s.H.At(r, col))
+			}
+		}
+		poles := InitialPoles(omegas[0], omegas[len(omegas)-1], order)
+		var lastErr float64 = math.Inf(1)
+		it := 0
+		for ; it < opts.Iterations; it++ {
+			next, err := relocatePoles(omegas, f, poles, opts.Relaxed)
+			if err != nil {
+				return nil, fmt.Errorf("vectfit: column %d iteration %d: %w", col, it, err)
+			}
+			poles = next
+			// Monitor convergence with a residue fit.
+			_, _, rms, err := fitResidues(omegas, f, poles)
+			if err != nil {
+				return nil, fmt.Errorf("vectfit: column %d iteration %d: %w", col, it, err)
+			}
+			if math.Abs(lastErr-rms) <= opts.RelTol*math.Max(rms, 1e-300) {
+				it++
+				break
+			}
+			lastErr = rms
+		}
+		res, d, _, err := fitResidues(omegas, f, poles)
+		if err != nil {
+			return nil, fmt.Errorf("vectfit: column %d final fit: %w", col, err)
+		}
+		polesByCol[col] = poles
+		residByCol[col] = res
+		for r := 0; r < p; r++ {
+			dCol.Set(r, col, d[r])
+		}
+		iters[col] = it
+	}
+
+	model, err := statespace.FromPoleResidue(dCol, polesByCol, residByCol)
+	if err != nil {
+		return nil, fmt.Errorf("vectfit: assembling realization: %w", err)
+	}
+	// Final RMS over all entries.
+	var ss float64
+	cnt := 0
+	for _, s := range samples {
+		h := model.EvalJW(s.Omega)
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				d := h.At(i, j) - s.H.At(i, j)
+				ss += real(d)*real(d) + imag(d)*imag(d)
+				cnt++
+			}
+		}
+	}
+	return &Result{
+		Model:      model,
+		RMSError:   math.Sqrt(ss / float64(cnt)),
+		Iterations: iters,
+	}, nil
+}
+
+// InitialPoles produces the standard VF starting poles: complex pairs with
+// imaginary parts log-spaced over the sample band and real parts at 1% of
+// the imaginary part (Im > 0 representatives only; an odd order adds one
+// real pole).
+func InitialPoles(omegaLo, omegaHi float64, order int) []complex128 {
+	if omegaLo <= 0 {
+		omegaLo = omegaHi * 1e-4
+	}
+	var poles []complex128
+	nPairs := order / 2
+	if order%2 == 1 {
+		poles = append(poles, complex(-omegaHi*1e-2, 0))
+	}
+	if nPairs == 1 {
+		w := math.Sqrt(omegaLo * omegaHi)
+		poles = append(poles, complex(-0.01*w, w))
+		return poles
+	}
+	llo, lhi := math.Log(omegaLo), math.Log(omegaHi)
+	for i := 0; i < nPairs; i++ {
+		w := math.Exp(llo + float64(i)/float64(nPairs-1)*(lhi-llo))
+		poles = append(poles, complex(-0.01*w, w))
+	}
+	return poles
+}
+
+// lsSolve solves min‖A·x − b‖ with column equilibration: partial-fraction
+// basis columns scale like 1/ω (~1e-10 at GHz) while the d column is O(1),
+// which would otherwise defeat the QR rank test.
+func lsSolve(a *mat.Dense, b []float64) ([]float64, error) {
+	n := a.Cols
+	scales := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var ss float64
+		for i := 0; i < a.Rows; i++ {
+			v := a.At(i, j)
+			ss += v * v
+		}
+		s := math.Sqrt(ss)
+		if s == 0 {
+			s = 1
+		}
+		scales[j] = s
+	}
+	scaled := a.Clone()
+	for i := 0; i < a.Rows; i++ {
+		row := scaled.Row(i)
+		for j := 0; j < n; j++ {
+			row[j] /= scales[j]
+		}
+	}
+	// Truncated-SVD least squares: the sigma systems of VF are routinely
+	// ill-conditioned beyond what a QR rank test tolerates; discarding
+	// directions below 1e-12·σ_max is the standard remedy.
+	sv, err := mat.SVDecompose(scaled)
+	if err != nil {
+		return nil, err
+	}
+	utb := sv.U.MulVecT(b)
+	cutoff := 1e-12 * sv.S[0]
+	x := make([]float64, n)
+	for t := 0; t < len(sv.S); t++ {
+		if sv.S[t] <= cutoff {
+			break
+		}
+		coef := utb[t] / sv.S[t]
+		for j := 0; j < n; j++ {
+			x[j] += coef * sv.V.At(j, t)
+		}
+	}
+	for j := range x {
+		x[j] /= scales[j]
+	}
+	return x, nil
+}
+
+// basisAt evaluates the real-coefficient partial-fraction basis at s: for a
+// real pole one function 1/(s−a); for a complex pair (a, a*) two functions
+// 1/(s−a)+1/(s−a*) and j/(s−a)−j/(s−a*). Returns one complex value per
+// basis function (order-many total).
+func basisAt(s complex128, poles []complex128) []complex128 {
+	out := make([]complex128, 0, len(poles)+countComplex(poles))
+	for _, a := range poles {
+		if imag(a) == 0 {
+			out = append(out, 1/(s-a))
+			continue
+		}
+		ac := cmplx.Conj(a)
+		f1 := 1/(s-a) + 1/(s-ac)
+		f2 := complex(0, 1)/(s-a) - complex(0, 1)/(s-ac)
+		out = append(out, f1, f2)
+	}
+	return out
+}
+
+func countComplex(poles []complex128) int {
+	c := 0
+	for _, a := range poles {
+		if imag(a) != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// stateOrder returns the realized order of the pole set (complex poles
+// count twice: the conjugate is implied).
+func stateOrder(poles []complex128) int {
+	n := 0
+	for _, a := range poles {
+		if imag(a) == 0 {
+			n++
+		} else {
+			n += 2
+		}
+	}
+	return n
+}
+
+// relocatePoles performs one sigma-iteration of VF: solve the linear LS for
+// the sigma residues c̃ and compute the new poles as the zeros of σ(s),
+// i.e. the eigenvalues of A − b·c̃ᵀ, flipped into the left half-plane.
+// With relaxed=true the sigma function carries a free constant term c̃0 and
+// a normalization row Σ_k Re σ(jω_k) = K (Gustavsen's relaxed VF).
+func relocatePoles(omegas []float64, f *mat.CDense, poles []complex128, relaxed bool) ([]complex128, error) {
+	p := f.Rows
+	k := len(omegas)
+	m := stateOrder(poles) // number of real basis coefficients
+	// Unknown layout: for each output j: [c_j (m), d_j (1)]; then c̃ (m)
+	// and, in relaxed mode, c̃0.
+	nun := p*(m+1) + m
+	rows := 2 * k * p
+	if relaxed {
+		nun++
+		rows++
+	}
+	a := mat.NewDense(rows, nun)
+	b := make([]float64, rows)
+	ct := p * (m + 1)
+	for ki := 0; ki < k; ki++ {
+		s := complex(0, omegas[ki])
+		phi := basisAt(s, poles)
+		for j := 0; j < p; j++ {
+			fjk := f.At(j, ki)
+			rowRe := 2 * (ki*p + j)
+			rowIm := rowRe + 1
+			base := j * (m + 1)
+			for t := 0; t < m; t++ {
+				a.Set(rowRe, base+t, real(phi[t]))
+				a.Set(rowIm, base+t, imag(phi[t]))
+			}
+			a.Set(rowRe, base+m, 1) // d_j
+			a.Set(rowIm, base+m, 0)
+			// −f_j(s)·c̃ terms.
+			for t := 0; t < m; t++ {
+				v := fjk * phi[t]
+				a.Set(rowRe, ct+t, -real(v))
+				a.Set(rowIm, ct+t, -imag(v))
+			}
+			if relaxed {
+				// −f_j(s)·c̃0 term; RHS moves to zero.
+				a.Set(rowRe, ct+m, -real(fjk))
+				a.Set(rowIm, ct+m, -imag(fjk))
+			} else {
+				b[rowRe] = real(fjk)
+				b[rowIm] = imag(fjk)
+			}
+		}
+	}
+	if relaxed {
+		// Normalization: Σ_k Re σ(jω_k) = k (avoids the trivial solution).
+		row := rows - 1
+		for ki := 0; ki < k; ki++ {
+			phi := basisAt(complex(0, omegas[ki]), poles)
+			for t := 0; t < m; t++ {
+				a.Set(row, ct+t, a.At(row, ct+t)+real(phi[t]))
+			}
+			a.Set(row, ct+m, a.At(row, ct+m)+1)
+		}
+		b[row] = float64(k)
+	}
+	x, err := lsSolve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	ctilde := append([]float64(nil), x[ct:ct+m]...)
+	if relaxed {
+		c0 := x[ct+m]
+		if math.Abs(c0) < 1e-8 {
+			c0 = 1 // degenerate relaxation: fall back to the strict form
+		}
+		for t := range ctilde {
+			ctilde[t] /= c0
+		}
+	}
+
+	// New poles: eigenvalues of Â = A − b·c̃ᵀ in the real block realization
+	// of the sigma basis.
+	am := mat.NewDense(m, m)
+	bv := make([]float64, m)
+	off := 0
+	for _, pl := range poles {
+		if imag(pl) == 0 {
+			am.Set(off, off, real(pl))
+			bv[off] = 1
+			off++
+			continue
+		}
+		sr, si := real(pl), imag(pl)
+		am.Set(off, off, sr)
+		am.Set(off, off+1, si)
+		am.Set(off+1, off, -si)
+		am.Set(off+1, off+1, sr)
+		bv[off] = 2
+		bv[off+1] = 0
+		off += 2
+	}
+	for i := 0; i < m; i++ {
+		if bv[i] == 0 {
+			continue
+		}
+		for j := 0; j < m; j++ {
+			am.Set(i, j, am.At(i, j)-bv[i]*ctilde[j])
+		}
+	}
+	eigs, err := mat.EigValues(am)
+	if err != nil {
+		return nil, err
+	}
+	return normalizePoles(eigs), nil
+}
+
+// normalizePoles flips unstable poles into the left half-plane, snaps
+// almost-real poles to the real axis, and returns one representative per
+// conjugate pair (Im > 0), sorted by magnitude.
+func normalizePoles(eigs []complex128) []complex128 {
+	var out []complex128
+	for _, e := range eigs {
+		re, im := real(e), imag(e)
+		if re > 0 {
+			re = -re // stability flip (standard VF step)
+		}
+		if re == 0 {
+			re = -1e-6 * math.Max(math.Abs(im), 1)
+		}
+		if math.Abs(im) <= 1e-9*math.Abs(re) {
+			out = append(out, complex(re, 0))
+			continue
+		}
+		if im < 0 {
+			continue // conjugate partner carries the pair
+		}
+		out = append(out, complex(re, im))
+	}
+	sort.Slice(out, func(i, j int) bool { return cmplx.Abs(out[i]) < cmplx.Abs(out[j]) })
+	return out
+}
+
+// fitResidues solves the final LS with fixed poles: per output j,
+// f_j(s) ≈ d_j + Σ residues. Returns the p×len(poles) complex residue
+// matrix (Im>0 pair representatives), the d vector, and the RMS error.
+func fitResidues(omegas []float64, f *mat.CDense, poles []complex128) (*mat.CDense, []float64, float64, error) {
+	p := f.Rows
+	k := len(omegas)
+	m := stateOrder(poles)
+	nun := m + 1
+	res := mat.NewCDense(p, len(poles))
+	d := make([]float64, p)
+	var ss float64
+	a := mat.NewDense(2*k, nun)
+	b := make([]float64, 2*k)
+	for j := 0; j < p; j++ {
+		for ki := 0; ki < k; ki++ {
+			s := complex(0, omegas[ki])
+			phi := basisAt(s, poles)
+			for t := 0; t < m; t++ {
+				a.Set(2*ki, t, real(phi[t]))
+				a.Set(2*ki+1, t, imag(phi[t]))
+			}
+			a.Set(2*ki, m, 1)
+			a.Set(2*ki+1, m, 0)
+			fjk := f.At(j, ki)
+			b[2*ki] = real(fjk)
+			b[2*ki+1] = imag(fjk)
+		}
+		x, err := lsSolve(a, b)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		// Convert real basis coefficients back to complex residues.
+		t := 0
+		for pi, pl := range poles {
+			if imag(pl) == 0 {
+				res.Set(j, pi, complex(x[t], 0))
+				t++
+				continue
+			}
+			// c·φ1 + c'·φ2 corresponds to residue r = c + j·c' on the
+			// Im>0 pole (conjugate on the partner).
+			res.Set(j, pi, complex(x[t], x[t+1]))
+			t += 2
+		}
+		d[j] = x[m]
+		// Accumulate fit error.
+		for ki := 0; ki < k; ki++ {
+			s := complex(0, omegas[ki])
+			acc := complex(d[j], 0)
+			for pi, pl := range poles {
+				r := res.At(j, pi)
+				if imag(pl) == 0 {
+					acc += r / (s - pl)
+				} else {
+					acc += r/(s-pl) + cmplx.Conj(r)/(s-cmplx.Conj(pl))
+				}
+			}
+			diff := acc - f.At(j, ki)
+			ss += real(diff)*real(diff) + imag(diff)*imag(diff)
+		}
+	}
+	return res, d, math.Sqrt(ss / float64(2*k*p)), nil
+}
+
+// SampleModel tabulates a model on the given frequency grid (helper for
+// tests and examples: it plays the role of the field solver or VNA data).
+func SampleModel(m *statespace.Model, omegas []float64) []Sample {
+	out := make([]Sample, len(omegas))
+	for i, w := range omegas {
+		out[i] = Sample{Omega: w, H: m.EvalJW(w)}
+	}
+	return out
+}

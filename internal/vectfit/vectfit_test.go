@@ -1,0 +1,219 @@
+package vectfit
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/statespace"
+)
+
+// knownModel builds a small 2-port model with known poles for recovery tests.
+func knownModel(t *testing.T) *statespace.Model {
+	t.Helper()
+	m, err := statespace.Generate(77, statespace.GenOptions{
+		Ports: 2, Order: 8, TargetPeak: 0.95, GridPoints: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInitialPoles(t *testing.T) {
+	poles := InitialPoles(1e8, 1e10, 6)
+	if stateOrder(poles) != 6 {
+		t.Fatalf("stateOrder = %d, want 6", stateOrder(poles))
+	}
+	for _, p := range poles {
+		if real(p) >= 0 {
+			t.Fatalf("unstable initial pole %v", p)
+		}
+		if imag(p) < 0 {
+			t.Fatalf("initial pole with Im < 0: %v", p)
+		}
+	}
+	polesOdd := InitialPoles(1e8, 1e10, 7)
+	if stateOrder(polesOdd) != 7 {
+		t.Fatalf("odd stateOrder = %d, want 7", stateOrder(polesOdd))
+	}
+}
+
+func TestBasisMatchesPartialFractions(t *testing.T) {
+	poles := []complex128{complex(-2, 0), complex(-1, 5)}
+	s := complex(0, 3)
+	phi := basisAt(s, poles)
+	if len(phi) != 3 {
+		t.Fatalf("basis size %d, want 3", len(phi))
+	}
+	want0 := 1 / (s - poles[0])
+	if cmplx.Abs(phi[0]-want0) > 1e-14 {
+		t.Fatal("real-pole basis wrong")
+	}
+	a := poles[1]
+	want1 := 1/(s-a) + 1/(s-cmplx.Conj(a))
+	want2 := complex(0, 1)/(s-a) - complex(0, 1)/(s-cmplx.Conj(a))
+	if cmplx.Abs(phi[1]-want1) > 1e-14 || cmplx.Abs(phi[2]-want2) > 1e-14 {
+		t.Fatal("complex-pair basis wrong")
+	}
+	// Real coefficients must produce conjugate-symmetric functions.
+	val := 2*phi[1] + 3*phi[2]
+	phiConj := basisAt(cmplx.Conj(s), poles)
+	valConj := 2*phiConj[1] + 3*phiConj[2]
+	if cmplx.Abs(valConj-cmplx.Conj(val)) > 1e-13 {
+		t.Fatal("basis not conjugate-symmetric")
+	}
+}
+
+func TestFitRecoversExactRational(t *testing.T) {
+	// Fit samples generated from a known rational model using the exact
+	// order: the fit must reproduce the responses to high accuracy.
+	m := knownModel(t)
+	grid := statespace.LogGrid(3e7, 3e10, 120)
+	samples := SampleModel(m, grid)
+	res, err := Fit(samples, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSError > 1e-6 {
+		t.Fatalf("RMS fit error %g too large", res.RMSError)
+	}
+	// Validate on an off-grid frequency set.
+	check := statespace.LogGrid(5e7, 2e10, 77)
+	for _, w := range check {
+		h0 := m.EvalJW(w)
+		h1 := res.Model.EvalJW(w)
+		if !h1.Equalish(h0, 1e-4*(1+h0.MaxAbs())) {
+			t.Fatalf("fit deviates at off-grid ω=%g", w)
+		}
+	}
+}
+
+func TestFitProducesStableSIMOModel(t *testing.T) {
+	m := knownModel(t)
+	samples := SampleModel(m, statespace.LogGrid(3e7, 3e10, 100))
+	res, err := Fit(samples, 10, Options{Iterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Model.Poles() {
+		if real(p) >= 0 {
+			t.Fatalf("unstable fitted pole %v", p)
+		}
+	}
+	if res.Model.P != 2 {
+		t.Fatalf("wrong port count %d", res.Model.P)
+	}
+	// Per-column order equals the requested order.
+	for k := range res.Model.Cols {
+		if got := res.Model.Cols[k].Order(); got != 10 {
+			t.Fatalf("column %d order %d, want 10", k, got)
+		}
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	m := knownModel(t)
+	samples := SampleModel(m, statespace.LogGrid(1e8, 1e10, 50))
+	if _, err := Fit(samples[:2], 4, Options{}); err == nil {
+		t.Fatal("expected error for too few samples")
+	}
+	if _, err := Fit(samples, 1, Options{}); err == nil {
+		t.Fatal("expected error for order < 2")
+	}
+	bad := append([]Sample(nil), samples...)
+	bad[3].Omega = bad[2].Omega
+	if _, err := Fit(bad, 4, Options{}); err == nil {
+		t.Fatal("expected error for non-increasing grid")
+	}
+	rect := SampleModel(m, statespace.LogGrid(1e8, 1e10, 50))
+	rect[0].H = mat.NewCDense(2, 3)
+	if _, err := Fit(rect, 4, Options{}); err == nil {
+		t.Fatal("expected error for non-square samples")
+	}
+}
+
+func TestNormalizePoles(t *testing.T) {
+	in := []complex128{
+		complex(2, 3),      // unstable: flip
+		complex(2, -3),     // conjugate: dropped (partner kept)
+		complex(-1, 1e-12), // almost real: snapped
+		complex(-1, -1e-12),
+		complex(0, 5), // marginal: pushed left
+		complex(0, -5),
+	}
+	out := normalizePoles(in)
+	for _, p := range out {
+		if real(p) >= 0 {
+			t.Fatalf("normalized pole %v not strictly stable", p)
+		}
+		if imag(p) < 0 {
+			t.Fatalf("normalized pole %v has Im < 0", p)
+		}
+	}
+	if stateOrder(out) != 6 {
+		t.Fatalf("stateOrder after normalize = %d, want 6", stateOrder(out))
+	}
+}
+
+func TestFitNoisyDataStillReasonable(t *testing.T) {
+	// Add 0.1% multiplicative noise: VF should still land within ~1% of
+	// the clean response (robustness property the original paper stresses).
+	m := knownModel(t)
+	grid := statespace.LogGrid(3e7, 3e10, 150)
+	samples := SampleModel(m, grid)
+	seed := uint64(0x9e3779b97f4a7c15)
+	noisy := make([]Sample, len(samples))
+	for i, s := range samples {
+		h := s.H.Clone()
+		for j := range h.Data {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			n1 := float64(seed>>40)/float64(1<<24) - 0.5
+			seed = seed*6364136223846793005 + 1442695040888963407
+			n2 := float64(seed>>40)/float64(1<<24) - 0.5
+			h.Data[j] *= complex(1+1e-3*n1, 1e-3*n2)
+		}
+		noisy[i] = Sample{Omega: s.Omega, H: h}
+	}
+	res, err := Fit(noisy, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, w := range statespace.LogGrid(1e8, 1e10, 60) {
+		h0 := m.EvalJW(w)
+		h1 := res.Model.EvalJW(w)
+		for i := range h0.Data {
+			if d := cmplx.Abs(h1.Data[i] - h0.Data[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0.02 {
+		t.Fatalf("noisy fit deviates by %g", worst)
+	}
+}
+
+func TestFittedModelFeedsPassivityPipeline(t *testing.T) {
+	// End-to-end: fit → Hamiltonian op construction must succeed (σ(D)<1).
+	m := knownModel(t)
+	samples := SampleModel(m, statespace.LogGrid(3e7, 3e10, 100))
+	res, err := Fit(samples, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := mat.Norm2Mat(res.Model.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn >= 1 {
+		t.Fatalf("fitted D norm %g ≥ 1", dn)
+	}
+	if math.IsNaN(res.RMSError) {
+		t.Fatal("NaN RMS error")
+	}
+}

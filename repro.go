@@ -1,0 +1,272 @@
+// Package repro is a Go reproduction of
+//
+//	L. Gobbato, A. Chinea, S. Grivet-Talocia, "A Parallel Hamiltonian
+//	Eigensolver for Passivity Characterization and Enforcement of Large
+//	Interconnect Macromodels", DATE 2011, pp. 26–31.
+//
+// It provides, on top of a from-scratch dense/sparse linear-algebra layer:
+//
+//   - structured state-space macromodels in the multiple-SIMO form of the
+//     paper's Eq. 2 (package statespace, re-exported here), including a
+//     Vector Fitting identifier for tabulated scattering data;
+//   - the scattering Hamiltonian matrix (Eq. 5) with O(n)
+//     Sherman–Morrison–Woodbury shift-invert applies (Eq. 6);
+//   - the paper's contribution: a parallel multi-shift restarted/deflated
+//     Arnoldi eigensolver with dynamic shift scheduling (Sec. IV) that
+//     extracts all purely imaginary Hamiltonian eigenvalues;
+//   - passivity characterization (violation bands) and iterative residue-
+//     perturbation enforcement built on that eigensolver.
+//
+// Quick start:
+//
+//	model, _ := repro.GenerateModel(1, repro.GenOptions{Ports: 4, Order: 200, TargetPeak: 1.05})
+//	report, _ := repro.Characterize(model, repro.CharOptions{
+//	    Core: repro.SolverOptions{Threads: 8},
+//	})
+//	if !report.Passive {
+//	    passiveModel, _, _ := repro.Enforce(model, repro.EnforceOptions{})
+//	    _ = passiveModel
+//	}
+package repro
+
+import (
+	"io"
+
+	"repro/internal/arnoldi"
+	"repro/internal/core"
+	"repro/internal/hamiltonian"
+	"repro/internal/mat"
+	"repro/internal/passivity"
+	"repro/internal/sampling"
+	"repro/internal/statespace"
+	"repro/internal/touchstone"
+	"repro/internal/vectfit"
+)
+
+// ---- macromodels (paper Sec. II) ----
+
+// Model is a structured state-space macromodel H(s) = D + C(sI−A)⁻¹B in
+// the multiple-SIMO block form of paper Eq. 2.
+type Model = statespace.Model
+
+// Block is one 1×1 or 2×2 real diagonal block of A.
+type Block = statespace.Block
+
+// Column is the SIMO realization of one column of H(s).
+type Column = statespace.Column
+
+// GenOptions controls synthetic macromodel generation.
+type GenOptions = statespace.GenOptions
+
+// CaseSpec describes one of the paper's twelve Table-I benchmark cases.
+type CaseSpec = statespace.CaseSpec
+
+// GenerateModel builds a synthetic stable macromodel with a calibrated
+// peak singular value (TargetPeak > 1 yields passivity violations).
+func GenerateModel(seed int64, opts GenOptions) (*Model, error) {
+	return statespace.Generate(seed, opts)
+}
+
+// FromPoleResidue assembles a model from per-column pole–residue data.
+func FromPoleResidue(d *Dense, poles [][]complex128, residues []*CDense) (*Model, error) {
+	return statespace.FromPoleResidue(d, poles, residues)
+}
+
+// TableICases returns the twelve Table-I benchmark specifications.
+func TableICases() []CaseSpec { return statespace.TableICases() }
+
+// BuildCase generates the synthetic macromodel for a Table-I case.
+func BuildCase(spec CaseSpec) (*Model, error) { return statespace.BuildCase(spec) }
+
+// FindCase returns the Table-I spec with the given ID (1–12).
+func FindCase(id int) (CaseSpec, error) { return statespace.FindCase(id) }
+
+// ---- linear algebra (exposed for advanced use and data interchange) ----
+
+// Dense is a real row-major matrix.
+type Dense = mat.Dense
+
+// CDense is a complex row-major matrix.
+type CDense = mat.CDense
+
+// NewDense returns a zero rows×cols real matrix.
+func NewDense(rows, cols int) *Dense { return mat.NewDense(rows, cols) }
+
+// NewCDense returns a zero rows×cols complex matrix.
+func NewCDense(rows, cols int) *CDense { return mat.NewCDense(rows, cols) }
+
+// SingularValues returns the singular values of a complex matrix,
+// descending.
+func SingularValues(a *CDense) ([]float64, error) { return mat.SingularValues(a) }
+
+// ---- Hamiltonian operators (paper Eqs. 5–6) ----
+
+// Hamiltonian is the structured Hamiltonian operator M with O(n·p) applies
+// and SMW shift-invert solves.
+type Hamiltonian = hamiltonian.Op
+
+// Representation selects the passivity test encoded by the Hamiltonian.
+type Representation = hamiltonian.Representation
+
+// Representation values.
+const (
+	Scattering = hamiltonian.Scattering
+	Immittance = hamiltonian.Immittance
+)
+
+// NewHamiltonian builds the Hamiltonian operator of a model.
+func NewHamiltonian(m *Model, rep Representation) (*Hamiltonian, error) {
+	return hamiltonian.New(m, rep)
+}
+
+// ---- the parallel eigensolver (paper Secs. III–IV) ----
+
+// SolverOptions configures the multi-shift eigensolver (threads T, κ, α,
+// band, Arnoldi parameters).
+type SolverOptions = core.Options
+
+// SolverResult carries the crossing frequencies, per-shift records and
+// work statistics.
+type SolverResult = core.Result
+
+// ArnoldiParams are the single-shift iteration parameters (n_ϑ, d, tol).
+type ArnoldiParams = arnoldi.SingleShiftParams
+
+// FindImagEigs runs the parallel multi-shift solver and returns all purely
+// imaginary Hamiltonian eigenvalues of the model (scattering test).
+func FindImagEigs(m *Model, opts SolverOptions) (*SolverResult, error) {
+	return FindImagEigsRep(m, hamiltonian.Scattering, opts)
+}
+
+// FindImagEigsRep is FindImagEigs with an explicit representation: use
+// Immittance for admittance/impedance models, where imaginary Hamiltonian
+// eigenvalues mark the frequencies at which the Hermitian part of H(jω)
+// becomes singular (paper Sec. II: "the same derivations can be performed
+// for the impedance, admittance, and hybrid cases").
+func FindImagEigsRep(m *Model, rep Representation, opts SolverOptions) (*SolverResult, error) {
+	op, err := hamiltonian.New(m, rep)
+	if err != nil {
+		return nil, err
+	}
+	return core.Solve(op, opts)
+}
+
+// FindImagEigsSerial runs the serial bisection baseline of Sec. III.
+func FindImagEigsSerial(m *Model, opts SolverOptions) (*SolverResult, error) {
+	op, err := hamiltonian.New(m, hamiltonian.Scattering)
+	if err != nil {
+		return nil, err
+	}
+	return core.SolveSerialBisection(op, opts)
+}
+
+// FindImagEigsStaticGrid runs the statically pre-distributed shift grid the
+// paper argues against in Sec. IV (kept as an ablation baseline).
+func FindImagEigsStaticGrid(m *Model, opts SolverOptions) (*SolverResult, error) {
+	op, err := hamiltonian.New(m, hamiltonian.Scattering)
+	if err != nil {
+		return nil, err
+	}
+	return core.SolveStaticGrid(op, opts)
+}
+
+// ---- passivity characterization and enforcement ----
+
+// CharOptions configures characterization.
+type CharOptions = passivity.Options
+
+// Report is a full passivity characterization (crossings + bands).
+type Report = passivity.Report
+
+// Band is one frequency band with its σ_max classification.
+type Band = passivity.Band
+
+// EnforceOptions configures iterative passivity enforcement.
+type EnforceOptions = passivity.EnforceOptions
+
+// EnforceReport summarizes an enforcement run.
+type EnforceReport = passivity.EnforceReport
+
+// Characterize computes the passivity characterization of a model using
+// the parallel Hamiltonian eigensolver.
+func Characterize(m *Model, opts CharOptions) (*Report, error) {
+	return passivity.Characterize(m, opts)
+}
+
+// Enforce perturbs the residues of a non-passive model until the
+// Hamiltonian test reports passivity. The input model is not modified.
+func Enforce(m *Model, opts EnforceOptions) (*Model, *EnforceReport, error) {
+	return passivity.Enforce(m, opts)
+}
+
+// VerifyBySampling cross-checks a characterization against a σ_max sweep.
+func VerifyBySampling(m *Model, rep *Report, points int) error {
+	return passivity.VerifyBySampling(m, rep, points)
+}
+
+// ---- vector fitting (paper Sec. II, refs. [1]–[5]) ----
+
+// VFSample is one tabulated frequency response H(jω).
+type VFSample = vectfit.Sample
+
+// VFOptions controls the Vector Fitting iteration.
+type VFOptions = vectfit.Options
+
+// VFResult is a fitted model plus diagnostics.
+type VFResult = vectfit.Result
+
+// FitVector identifies a stable rational macromodel from tabulated
+// samples by Vector Fitting (per-column SIMO, paper Eq. 2 structure).
+func FitVector(samples []VFSample, order int, opts VFOptions) (*VFResult, error) {
+	return vectfit.Fit(samples, order, opts)
+}
+
+// SampleModel tabulates a model on a frequency grid (stand-in for field
+// solver or VNA data in examples and tests).
+func SampleModel(m *Model, omegas []float64) []VFSample {
+	return vectfit.SampleModel(m, omegas)
+}
+
+// LogGrid returns n log-spaced frequencies in [lo, hi].
+func LogGrid(lo, hi float64, n int) []float64 { return statespace.LogGrid(lo, hi, n) }
+
+// ---- Touchstone interchange ----
+
+// TouchstoneData is a parsed .snp file.
+type TouchstoneData = touchstone.Data
+
+// TouchstoneFormat selects RI/MA/DB column encoding.
+type TouchstoneFormat = touchstone.Format
+
+// Touchstone column encodings.
+const (
+	TouchstoneRI = touchstone.RI
+	TouchstoneMA = touchstone.MA
+	TouchstoneDB = touchstone.DB
+)
+
+// ParseTouchstone reads tabulated S-parameters from a Touchstone stream.
+func ParseTouchstone(r io.Reader, ports int) (*TouchstoneData, error) {
+	return touchstone.Parse(r, ports)
+}
+
+// WriteTouchstone emits samples as a Touchstone file (GHz, S-params).
+func WriteTouchstone(w io.Writer, samples []VFSample, format TouchstoneFormat, reference float64) error {
+	return touchstone.Write(w, samples, format, reference)
+}
+
+// ---- adaptive-sampling baseline (paper ref. [17]) ----
+
+// SamplingOptions configures the adaptive-sweep characterization baseline.
+type SamplingOptions = sampling.Options
+
+// SamplingResult is the adaptive-sweep outcome.
+type SamplingResult = sampling.Result
+
+// CharacterizeBySampling runs the pre-Hamiltonian adaptive-sampling
+// passivity test (ref. [17]). It is cheap and parallel but can only
+// certify passivity up to its frequency resolution — the weakness the
+// Hamiltonian eigensolver removes.
+func CharacterizeBySampling(m *Model, opts SamplingOptions) (*SamplingResult, error) {
+	return sampling.Characterize(m, opts)
+}

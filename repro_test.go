@@ -1,0 +1,143 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPIWorkflow exercises the documented quick-start path end to
+// end through the façade only.
+func TestPublicAPIWorkflow(t *testing.T) {
+	model, err := repro.GenerateModel(2024, repro.GenOptions{
+		Ports: 2, Order: 30, TargetPeak: 1.05, GridPoints: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.P != 2 || model.Order() != 30 {
+		t.Fatalf("unexpected model shape %d/%d", model.P, model.Order())
+	}
+	report, err := repro.Characterize(model, repro.CharOptions{
+		Core: repro.SolverOptions{Threads: 2, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Passive {
+		t.Fatal("calibrated non-passive model reported passive")
+	}
+	if err := repro.VerifyBySampling(model, report, 300); err != nil {
+		t.Fatal(err)
+	}
+	passive, erep, err := repro.Enforce(model, repro.EnforceOptions{
+		Char: repro.CharOptions{Core: repro.SolverOptions{Threads: 2, Seed: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !erep.FinalReport.Passive {
+		t.Fatal("enforcement did not produce a passive model")
+	}
+	after, err := repro.Characterize(passive, repro.CharOptions{
+		Core: repro.SolverOptions{Threads: 2, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Passive {
+		t.Fatal("re-characterization of the enforced model is not passive")
+	}
+}
+
+func TestPublicAPISolverBaselinesAgree(t *testing.T) {
+	model, err := repro.GenerateModel(31, repro.GenOptions{
+		Ports: 2, Order: 24, TargetPeak: 1.04, GridPoints: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := repro.FindImagEigs(model, repro.SolverOptions{Threads: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := repro.FindImagEigsSerial(model, repro.SolverOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := repro.FindImagEigsStaticGrid(model, repro.SolverOptions{Threads: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []*repro.SolverResult{ser, grid} {
+		if len(other.Crossings) != len(par.Crossings) {
+			t.Fatalf("solver disagreement: %v vs %v", other.Crossings, par.Crossings)
+		}
+		for i := range par.Crossings {
+			if math.Abs(other.Crossings[i]-par.Crossings[i]) > 1e-5*par.OmegaMax {
+				t.Fatalf("crossing %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestPublicAPIVectorFitting(t *testing.T) {
+	device, err := repro.GenerateModel(99, repro.GenOptions{
+		Ports: 2, Order: 12, TargetPeak: 0.9, GridPoints: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := repro.SampleModel(device, repro.LogGrid(3e7, 3e10, 100))
+	fit, err := repro.FitVector(samples, 12, repro.VFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.RMSError > 1e-6 {
+		t.Fatalf("RMS error %g", fit.RMSError)
+	}
+	// The fitted model flows into the Hamiltonian machinery.
+	if _, err := repro.NewHamiltonian(fit.Model, repro.Scattering); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPITableICases(t *testing.T) {
+	cases := repro.TableICases()
+	if len(cases) != 12 {
+		t.Fatalf("expected 12 cases, got %d", len(cases))
+	}
+	spec, err := repro.FindCase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a shrunken variant to keep the test quick but still exercise
+	// BuildCase end to end.
+	spec.N = 100
+	spec.P = 4
+	m, err := repro.BuildCase(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order() != 100 || m.P != 4 {
+		t.Fatalf("BuildCase produced %d/%d", m.Order(), m.P)
+	}
+}
+
+func TestPublicAPILinearAlgebra(t *testing.T) {
+	a := repro.NewCDense(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, complex(0, 4))
+	s, err := repro.SingularValues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s[0]-4) > 1e-12 || math.Abs(s[1]-3) > 1e-12 {
+		t.Fatalf("singular values %v", s)
+	}
+	d := repro.NewDense(3, 3)
+	if d.Rows != 3 {
+		t.Fatal("NewDense shape")
+	}
+}
