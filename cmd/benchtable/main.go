@@ -12,9 +12,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -24,12 +26,29 @@ import (
 	"repro/internal/statespace"
 )
 
+// tableRow is the machine-readable form of one Table-I line, written to the
+// -json file so the perf trajectory across PRs is trackable (ns, not
+// seconds, to match `go test -bench` output units).
+type tableRow struct {
+	Case         int     `json:"case"`
+	N            int     `json:"n"`
+	P            int     `json:"p"`
+	Threads      int     `json:"threads"`
+	Nlambda      int     `json:"nlambda"`
+	PaperNlambda int     `json:"nlambda_paper"`
+	Tau1NS       int64   `json:"tau1_ns"`
+	TauTMeanNS   int64   `json:"tauT_mean_ns"`
+	TauTMaxNS    int64   `json:"tauT_max_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
 func main() {
 	threads := flag.Int("threads", min(16, runtime.NumCPU()), "parallel thread count T")
 	runs := flag.Int("runs", 3, "independent runs for the parallel mean/worst-case")
 	serialRuns := flag.Int("serialruns", 1, "runs for the serial reference")
 	cases := flag.String("cases", "", "comma-separated case IDs (default: all twelve)")
 	cacheDir := flag.String("cache", "testdata/cases", "model cache directory")
+	jsonOut := flag.String("json", "BENCH_table1.json", "machine-readable output file (empty to disable)")
 	flag.Parse()
 
 	specs := repro.TableICases()
@@ -54,6 +73,7 @@ func main() {
 	fmt.Printf("%-7s %5s %4s %8s %4s | %9s %9s %9s %8s | %6s\n",
 		"Case", "n", "p", "Nλ(pap)", "Nλ", "τ1[s]", "τT[s]", "τTmax[s]", "η", "shifts")
 
+	var rows []tableRow
 	for _, spec := range specs {
 		model, err := statespace.CachedCase(spec, *cacheDir)
 		if err != nil {
@@ -93,6 +113,24 @@ func main() {
 		mean := sum / float64(*runs)
 		fmt.Printf("Case %-2d %5d %4d %8d %4d | %9.3f %9.3f %9.3f %7.2fx | \n",
 			spec.ID, spec.N, spec.P, spec.PaperNlambda, nl, tau1, mean, worst, tau1/mean)
+		rows = append(rows, tableRow{
+			Case: spec.ID, N: spec.N, P: spec.P, Threads: *threads,
+			Nlambda: nl, PaperNlambda: spec.PaperNlambda,
+			Tau1NS:     int64(tau1 * 1e9),
+			TauTMeanNS: int64(mean * 1e9),
+			TauTMaxNS:  int64(worst * 1e9),
+			Speedup:    tau1 / mean,
+		})
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d cases)\n", *jsonOut, len(rows))
 	}
 }
 

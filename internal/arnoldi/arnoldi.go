@@ -114,12 +114,11 @@ func Run(op Operator, start []complex128, locked [][]complex128, cfg Config) (*F
 		}
 		fac.OpApplies++
 		wNormBefore := mat.CNorm2(w)
-		// Deflate against locked, then MGS against the basis.
+		// Deflate against locked, then MGS against the basis (fused
+		// project-and-subtract kernel).
 		orthogonalize(w, locked)
 		for i := 0; i <= j; i++ {
-			hij := mat.CDot(v[i], w)
-			mat.CAxpy(-hij, v[i], w)
-			h.Set(i, j, hij)
+			h.Set(i, j, mat.CProjSub(v[i], w))
 		}
 		// Selective reorthogonalization (Kahan–Parlett "twice is enough"
 		// criterion): a second pass is only needed when cancellation ate a
@@ -127,8 +126,7 @@ func Run(op Operator, start []complex128, locked [][]complex128, cfg Config) (*F
 		if mat.CNorm2(w) < 0.5*wNormBefore {
 			orthogonalize(w, locked)
 			for i := 0; i <= j; i++ {
-				c := mat.CDot(v[i], w)
-				mat.CAxpy(-c, v[i], w)
+				c := mat.CProjSub(v[i], w)
 				h.Set(i, j, h.At(i, j)+c)
 			}
 		}
@@ -215,10 +213,7 @@ func (f *Factorization) RitzPairs() ([]RitzPair, error) {
 // orthogonalize removes the components of w along each (unit) vector in q.
 func orthogonalize(w []complex128, q [][]complex128) {
 	for _, u := range q {
-		c := mat.CDot(u, w)
-		if c != 0 {
-			mat.CAxpy(-c, u, w)
-		}
+		mat.CProjSub(u, w)
 	}
 }
 

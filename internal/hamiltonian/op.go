@@ -15,6 +15,7 @@ package hamiltonian
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/mat"
 	"repro/internal/statespace"
@@ -56,6 +57,37 @@ type Op struct {
 	N     int        // dynamic order n (M is 2n×2n)
 	P     int        // ports
 	w     *mat.Dense // 2p×2p coupling
+
+	// applyPool recycles Apply workspaces (t, wt ∈ C^{2p}, u ∈ C^{2n}) so
+	// steady-state Apply calls are allocation-free; ω_max estimation and
+	// per-eigenvalue residual checks call Apply thousands of times.
+	applyPool sync.Pool
+	// panelPool recycles the p×p SMW setup panels of ShiftInvert.
+	panelPool sync.Pool
+}
+
+type applyScratch struct{ t, wt, u []complex128 }
+
+type smwPanels struct{ x1, x2 []complex128 }
+
+func (op *Op) getApplyScratch() *applyScratch {
+	if ws, ok := op.applyPool.Get().(*applyScratch); ok {
+		return ws
+	}
+	p2, n2 := 2*op.P, 2*op.N
+	return &applyScratch{
+		t:  make([]complex128, p2),
+		wt: make([]complex128, p2),
+		u:  make([]complex128, n2),
+	}
+}
+
+func (op *Op) getPanels() *smwPanels {
+	if ps, ok := op.panelPool.Get().(*smwPanels); ok {
+		return ps
+	}
+	pp := op.P * op.P
+	return &smwPanels{x1: make([]complex128, pp), x2: make([]complex128, pp)}
 }
 
 // New builds the Hamiltonian operator for the model. The operator works on
@@ -144,16 +176,19 @@ func (op *Op) applyU(y, s []complex128) {
 	op.Model.CApplyCT(y[n:2*n], s[p:2*p])
 }
 
-// applyW computes t ← W·t on a 2p complex vector (W is real).
+// applyW computes dst = W·t on a 2p complex vector. W is real, so each
+// element costs two real multiplies instead of a complex×complex product.
 func (op *Op) applyW(dst, t []complex128) {
 	p2 := 2 * op.P
 	for i := 0; i < p2; i++ {
-		var acc complex128
+		var re, im float64
 		row := op.w.Row(i)
-		for j := 0; j < p2; j++ {
-			acc += complex(row[j], 0) * t[j]
+		for j, wij := range row[:p2] {
+			tj := t[j]
+			re += wij * real(tj)
+			im += wij * imag(tj)
 		}
-		dst[i] = acc
+		dst[i] = complex(re, im)
 	}
 }
 
@@ -171,16 +206,14 @@ func (op *Op) Apply(y, x []complex128) {
 		y[i] = -y[i]
 	}
 	// y += U·W·V·x.
-	p2 := 2 * op.P
-	t := make([]complex128, p2)
-	wt := make([]complex128, p2)
-	u := make([]complex128, 2*n)
-	op.applyV(t, x)
-	op.applyW(wt, t)
-	op.applyU(u, wt)
-	for i := range y {
-		y[i] += u[i]
+	ws := op.getApplyScratch()
+	op.applyV(ws.t, x)
+	op.applyW(ws.wt, ws.t)
+	op.applyU(ws.u, ws.wt)
+	for i, v := range ws.u {
+		y[i] += v
 	}
+	op.applyPool.Put(ws)
 }
 
 // ShiftOp is a factored shift-invert operator (M − ϑI)⁻¹ for one shift ϑ.
@@ -201,55 +234,65 @@ type ShiftOp struct {
 //	G = blkdiag((A−ϑI)⁻¹, (−Aᵀ−ϑI)⁻¹)
 //
 // which is algebraically equivalent to paper Eq. 6 but does not require W
-// to be invertible. Setup is O(n·p²). Fails with ErrSingular when ϑ
-// coincides with an eigenvalue of A/−Aᵀ or of M itself.
+// to be invertible. Because G is block diagonal and U, V interleave B, C
+// block-wise, the inner matrix is itself block diagonal,
+//
+//	V·G·U = blkdiag( C·(A−ϑI)⁻¹·B,  −Bᵀ·(Aᵀ+ϑI)⁻¹·Cᵀ ),
+//
+// and each p×p panel follows the block-sparsity of B, so the whole setup is
+// O(n·p) + O(p³) for the capacitance assembly/factorization — not the 2p
+// independent O(n·p) column passes of the naive route. Fails with
+// ErrSingular when ϑ coincides with an eigenvalue of A/−Aᵀ or of M itself.
 func (op *Op) ShiftInvert(theta complex128) (*ShiftOp, error) {
 	n, p := op.N, op.P
 	p2 := 2 * p
+	// All persistent ShiftOp scratch in one allocation.
+	buf := make([]complex128, 4*n+2*p2)
 	so := &ShiftOp{
 		op:    op,
 		theta: theta,
-		g:     make([]complex128, 2*n),
-		gu:    make([]complex128, 2*n),
-		t:     make([]complex128, p2),
-		s:     make([]complex128, p2),
+		g:     buf[:2*n],
+		gu:    buf[2*n : 4*n],
+		t:     buf[4*n : 4*n+p2],
+		s:     buf[4*n+p2:],
 	}
-	// Build V·G·U column by column (2p columns, O(n·p) each).
-	vgu := mat.NewCDense(p2, p2)
-	e := make([]complex128, p2)
-	u := make([]complex128, 2*n)
-	g := make([]complex128, 2*n)
-	t := make([]complex128, p2)
-	for j := 0; j < p2; j++ {
-		for i := range e {
-			e[i] = 0
-		}
-		e[j] = 1
-		op.applyU(u, e)
-		if err := so.applyG(g, u); err != nil {
-			return nil, err
-		}
-		op.applyV(t, g)
-		for i := 0; i < p2; i++ {
-			vgu.Set(i, j, t[i])
-		}
+	// Panels: x1 = C·(A−ϑI)⁻¹·B, x2 = −Bᵀ·(Aᵀ−(−ϑ)I)⁻¹·Cᵀ.
+	ps := op.getPanels()
+	defer op.panelPool.Put(ps)
+	if err := op.Model.CResolventB(ps.x1, theta); err != nil {
+		return nil, fmt.Errorf("hamiltonian: shift %v hits a pole: %w", theta, err)
 	}
-	// cap = I + W·(V·G·U).
+	if err := op.Model.BTResolventCT(ps.x2, -theta); err != nil {
+		return nil, fmt.Errorf("hamiltonian: shift %v hits a pole: %w", theta, err)
+	}
+	for i := range ps.x2 {
+		ps.x2[i] = -ps.x2[i]
+	}
+	// cap = I + W·blkdiag(x1, x2), accumulated row-wise with real×complex
+	// products (W is real) against the contiguous panel rows.
 	capm := mat.NewCDense(p2, p2)
 	for i := 0; i < p2; i++ {
-		row := op.w.Row(i)
-		for j := 0; j < p2; j++ {
-			var acc complex128
-			for k := 0; k < p2; k++ {
-				acc += complex(row[k], 0) * vgu.At(k, j)
+		wrow := op.w.Row(i)
+		dst := capm.Row(i)
+		for k := 0; k < p; k++ {
+			if wik := wrow[k]; wik != 0 {
+				x1row := ps.x1[k*p : (k+1)*p]
+				out := dst[:p]
+				for j, v := range x1row {
+					out[j] += complex(wik*real(v), wik*imag(v))
+				}
 			}
-			if i == j {
-				acc++
+			if wik := wrow[p+k]; wik != 0 {
+				x2row := ps.x2[k*p : (k+1)*p]
+				out := dst[p:]
+				for j, v := range x2row {
+					out[j] += complex(wik*real(v), wik*imag(v))
+				}
 			}
-			capm.Set(i, j, acc)
 		}
+		dst[i]++
 	}
-	f, err := mat.CLUFactor(capm)
+	f, err := mat.CLUFactorInPlace(capm)
 	if err != nil {
 		return nil, fmt.Errorf("hamiltonian: shift %v is (numerically) an eigenvalue: %w", theta, err)
 	}

@@ -7,19 +7,30 @@ import (
 
 // CLU holds a complex LU factorization with partial pivoting: P·A = L·U.
 type CLU struct {
-	lu   *CDense
-	piv  []int
-	sign int
+	lu      *CDense
+	piv     []int
+	sign    int
+	scratch []complex128 // permutation gather buffer for SolveInto
 }
 
 // CLUFactor computes the LU factorization of the square complex matrix a
 // with partial pivoting. The input is not modified.
 func CLUFactor(a *CDense) (*CLU, error) {
-	if a.Rows != a.Cols {
-		panic(fmt.Sprintf("mat: LU of non-square %d×%d matrix", a.Rows, a.Cols))
+	return cluFactor(a.Clone())
+}
+
+// CLUFactorInPlace is CLUFactor without the defensive copy: the input is
+// overwritten with the factors and owned by the returned CLU. Use it when a
+// is a freshly built scratch matrix (e.g. the per-shift SMW capacitance).
+func CLUFactorInPlace(a *CDense) (*CLU, error) {
+	return cluFactor(a)
+}
+
+func cluFactor(lu *CDense) (*CLU, error) {
+	if lu.Rows != lu.Cols {
+		panic(fmt.Sprintf("mat: LU of non-square %d×%d matrix", lu.Rows, lu.Cols))
 	}
-	n := a.Rows
-	lu := a.Clone()
+	n := lu.Rows
 	piv := make([]int, n)
 	for i := range piv {
 		piv[i] = i
@@ -91,17 +102,21 @@ func (f *CLU) Solve(b []complex128) []complex128 {
 	return x
 }
 
-// SolveInto solves A·x = b, writing the solution into dst (len n), using
-// scratch of len n to avoid allocation. dst and b may alias.
+// SolveInto solves A·x = b, writing the solution into dst (len n). dst and
+// b may alias. The permutation gather uses a scratch buffer owned by the
+// factorization (allocated on first use), so steady-state calls are
+// allocation-free; as a consequence SolveInto is not safe for concurrent
+// use on the same CLU.
 func (f *CLU) SolveInto(dst, b []complex128) {
 	n := f.lu.Rows
 	if len(b) != n || len(dst) != n {
 		panic("mat: CLU SolveInto dimension mismatch")
 	}
-	// Permute into a stack-local ordering via dst (safe even when dst==b
-	// because we read b through the permutation first into a temp loop).
-	// To allow aliasing, gather first.
-	tmp := make([]complex128, n)
+	// Gather b through the permutation first so dst may alias b.
+	if f.scratch == nil {
+		f.scratch = make([]complex128, n)
+	}
+	tmp := f.scratch
 	for i := 0; i < n; i++ {
 		tmp[i] = b[f.piv[i]]
 	}

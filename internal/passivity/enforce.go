@@ -199,6 +199,9 @@ func perturbationStep(work *statespace.Model, chr *Report, opts EnforceOptions) 
 		}
 		off += mOrd
 	}
+	// The residues changed in place: drop the cached packed kernel data so
+	// the next structured-operator call rebuilds it.
+	work.InvalidateKernels()
 	return mat.Norm2(delta), nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/mat"
 )
@@ -65,6 +66,11 @@ type Model struct {
 	P    int        // number of ports
 	D    *mat.Dense // p×p direct coupling
 	Cols []Column   // one per port column, len == P
+
+	// pack caches the flat kernel representation (see packed.go), built
+	// lazily on first structured-operator call. In-place mutators must call
+	// InvalidateKernels.
+	pack atomic.Pointer[packed]
 }
 
 // Order returns the total dynamic order n = Σ m_k.
@@ -276,174 +282,6 @@ func (m *Model) ApplyA(x []float64) []float64 {
 		}
 	}
 	return y
-}
-
-// CApplyA computes y = A·x on a complex state vector, writing into y.
-func (m *Model) CApplyA(y, x []complex128) {
-	off := 0
-	for k := range m.Cols {
-		for _, b := range m.Cols[k].Blocks {
-			if b.Size == 1 {
-				y[off] = complex(b.Sigma, 0) * x[off]
-				off++
-				continue
-			}
-			s, w := complex(b.Sigma, 0), complex(b.Omega, 0)
-			x0, x1 := x[off], x[off+1]
-			y[off] = s*x0 + w*x1
-			y[off+1] = -w*x0 + s*x1
-			off += 2
-		}
-	}
-}
-
-// CApplyAT computes y = Aᵀ·x on a complex state vector.
-func (m *Model) CApplyAT(y, x []complex128) {
-	off := 0
-	for k := range m.Cols {
-		for _, b := range m.Cols[k].Blocks {
-			if b.Size == 1 {
-				y[off] = complex(b.Sigma, 0) * x[off]
-				off++
-				continue
-			}
-			s, w := complex(b.Sigma, 0), complex(b.Omega, 0)
-			x0, x1 := x[off], x[off+1]
-			y[off] = s*x0 - w*x1
-			y[off+1] = w*x0 + s*x1
-			off += 2
-		}
-	}
-}
-
-// CSolveShiftedA solves (A − θI)·y = x blockwise in O(n). Returns an error
-// if θ coincides with a pole (singular block).
-func (m *Model) CSolveShiftedA(y, x []complex128, theta complex128) error {
-	off := 0
-	for k := range m.Cols {
-		for _, b := range m.Cols[k].Blocks {
-			if b.Size == 1 {
-				d := complex(b.Sigma, 0) - theta
-				if d == 0 {
-					return mat.ErrSingular
-				}
-				y[off] = x[off] / d
-				off++
-				continue
-			}
-			// Solve [[σ−θ, ω], [−ω, σ−θ]]·y = x.
-			d := complex(b.Sigma, 0) - theta
-			det := d*d + complex(b.Omega*b.Omega, 0)
-			if det == 0 {
-				return mat.ErrSingular
-			}
-			x0, x1 := x[off], x[off+1]
-			w := complex(b.Omega, 0)
-			y[off] = (d*x0 - w*x1) / det
-			y[off+1] = (w*x0 + d*x1) / det
-			off += 2
-		}
-	}
-	return nil
-}
-
-// CSolveShiftedAT solves (Aᵀ − θI)·y = x blockwise in O(n).
-func (m *Model) CSolveShiftedAT(y, x []complex128, theta complex128) error {
-	off := 0
-	for k := range m.Cols {
-		for _, b := range m.Cols[k].Blocks {
-			if b.Size == 1 {
-				d := complex(b.Sigma, 0) - theta
-				if d == 0 {
-					return mat.ErrSingular
-				}
-				y[off] = x[off] / d
-				off++
-				continue
-			}
-			// Aᵀ block is [[σ, −ω], [ω, σ]]; solve (Aᵀ − θI)y = x.
-			d := complex(b.Sigma, 0) - theta
-			det := d*d + complex(b.Omega*b.Omega, 0)
-			if det == 0 {
-				return mat.ErrSingular
-			}
-			x0, x1 := x[off], x[off+1]
-			w := complex(b.Omega, 0)
-			y[off] = (d*x0 + w*x1) / det
-			y[off+1] = (-w*x0 + d*x1) / det
-			off += 2
-		}
-	}
-	return nil
-}
-
-// CApplyB computes y = B·u, u ∈ C^p, y ∈ C^n.
-func (m *Model) CApplyB(y []complex128, u []complex128) {
-	off := 0
-	for k := range m.Cols {
-		uk := u[k]
-		for _, b := range m.Cols[k].Blocks {
-			y[off] = complex(b.B1, 0) * uk
-			if b.Size == 2 {
-				y[off+1] = complex(b.B2, 0) * uk
-			}
-			off += b.Size
-		}
-	}
-}
-
-// CApplyBT computes y = Bᵀ·x, x ∈ C^n, y ∈ C^p.
-func (m *Model) CApplyBT(y []complex128, x []complex128) {
-	off := 0
-	for k := range m.Cols {
-		var acc complex128
-		for _, b := range m.Cols[k].Blocks {
-			acc += complex(b.B1, 0) * x[off]
-			if b.Size == 2 {
-				acc += complex(b.B2, 0) * x[off+1]
-			}
-			off += b.Size
-		}
-		y[k] = acc
-	}
-}
-
-// CApplyC computes y = C·x, x ∈ C^n, y ∈ C^p.
-func (m *Model) CApplyC(y []complex128, x []complex128) {
-	for i := range y {
-		y[i] = 0
-	}
-	off := 0
-	for k := range m.Cols {
-		col := &m.Cols[k]
-		mOrd := col.Order()
-		for i := 0; i < m.P; i++ {
-			ri := col.C.Row(i)
-			var acc complex128
-			for j := 0; j < mOrd; j++ {
-				acc += complex(ri[j], 0) * x[off+j]
-			}
-			y[i] += acc
-		}
-		off += mOrd
-	}
-}
-
-// CApplyCT computes y = Cᵀ·u, u ∈ C^p, y ∈ C^n.
-func (m *Model) CApplyCT(y []complex128, u []complex128) {
-	off := 0
-	for k := range m.Cols {
-		col := &m.Cols[k]
-		mOrd := col.Order()
-		for j := 0; j < mOrd; j++ {
-			var acc complex128
-			for i := 0; i < m.P; i++ {
-				acc += complex(col.C.At(i, j), 0) * u[i]
-			}
-			y[off+j] = acc
-		}
-		off += mOrd
-	}
 }
 
 // MaxPoleMagnitude returns max |p_i| over the model poles; this bounds the

@@ -1,0 +1,352 @@
+package statespace
+
+import "repro/internal/mat"
+
+// packed is the flat, precomputed kernel representation of a Model. The
+// Block/Column structs are convenient to build and mutate, but walking them
+// per apply costs a pointer chase per column plus a struct load per block,
+// and the residues sit behind column-strided At(i,j) access. packed lays
+// everything out for the O(n·p) hot loops instead:
+//
+//   - block coefficients (σ, ω, b1, b2) in flat []float64, split by block
+//     size so each kernel runs two branch-free loops;
+//   - the global p×n C both row-major (c, streamed by CApplyC) and
+//     transposed n×p (ct, streamed by CApplyCT and the SMW panels);
+//   - per-block state offsets and owning port column.
+//
+// All coefficients are real, so every kernel uses real×complex arithmetic
+// (2 real multiplies per element) instead of promoting to complex×complex
+// (4 multiplies + 2 adds) via complex(x, 0).
+//
+// A packed is immutable once built; Model caches one lazily and drops the
+// cache on in-place mutation (InvalidateKernels).
+type packed struct {
+	n, p int
+
+	// 1×1 blocks: state offset, pole, input weight, owning port column.
+	off1 []int32
+	sig1 []float64
+	b11  []float64
+	col1 []int32
+
+	// 2×2 blocks: state offset, σ ± jω pair, input weights, owning column.
+	off2 []int32
+	sig2 []float64
+	om2  []float64
+	b21  []float64
+	b22  []float64
+	col2 []int32
+
+	c  []float64 // global C, p×n row-major
+	ct []float64 // global Cᵀ, n×p row-major
+}
+
+// packKernels returns the cached packed representation, building it on
+// first use. Safe for concurrent callers: a race builds the (identical)
+// representation twice and one copy wins.
+func (m *Model) packKernels() *packed {
+	if pk := m.pack.Load(); pk != nil {
+		return pk
+	}
+	pk := m.buildPacked()
+	m.pack.Store(pk)
+	return pk
+}
+
+// InvalidateKernels drops the cached packed kernel data. Callers that
+// mutate a Model in place (pole or residue updates) must invalidate before
+// the next structured-operator call; Clone/Balanced/FrequencyScaled return
+// fresh models and need no invalidation.
+func (m *Model) InvalidateKernels() { m.pack.Store(nil) }
+
+func (m *Model) buildPacked() *packed {
+	n := m.Order()
+	pk := &packed{
+		n:  n,
+		p:  m.P,
+		c:  make([]float64, m.P*n),
+		ct: make([]float64, n*m.P),
+	}
+	off := 0
+	for k := range m.Cols {
+		col := &m.Cols[k]
+		mOrd := col.Order()
+		for i := 0; i < m.P; i++ {
+			ri := col.C.Row(i)
+			copy(pk.c[i*n+off:i*n+off+mOrd], ri)
+			for j := 0; j < mOrd; j++ {
+				pk.ct[(off+j)*m.P+i] = ri[j]
+			}
+		}
+		boff := off
+		for _, b := range col.Blocks {
+			if b.Size == 1 {
+				pk.off1 = append(pk.off1, int32(boff))
+				pk.sig1 = append(pk.sig1, b.Sigma)
+				pk.b11 = append(pk.b11, b.B1)
+				pk.col1 = append(pk.col1, int32(k))
+			} else {
+				pk.off2 = append(pk.off2, int32(boff))
+				pk.sig2 = append(pk.sig2, b.Sigma)
+				pk.om2 = append(pk.om2, b.Omega)
+				pk.b21 = append(pk.b21, b.B1)
+				pk.b22 = append(pk.b22, b.B2)
+				pk.col2 = append(pk.col2, int32(k))
+			}
+			boff += b.Size
+		}
+		off += mOrd
+	}
+	return pk
+}
+
+// scmul returns a·z for real a without promoting a to complex.
+func scmul(a float64, z complex128) complex128 {
+	return complex(a*real(z), a*imag(z))
+}
+
+// CApplyA computes y = A·x on a complex state vector, writing into y.
+func (m *Model) CApplyA(y, x []complex128) {
+	pk := m.packKernels()
+	for i, off := range pk.off1 {
+		y[off] = scmul(pk.sig1[i], x[off])
+	}
+	for i, off := range pk.off2 {
+		s, w := pk.sig2[i], pk.om2[i]
+		x0, x1 := x[off], x[off+1]
+		y[off] = complex(s*real(x0)+w*real(x1), s*imag(x0)+w*imag(x1))
+		y[off+1] = complex(s*real(x1)-w*real(x0), s*imag(x1)-w*imag(x0))
+	}
+}
+
+// CApplyAT computes y = Aᵀ·x on a complex state vector.
+func (m *Model) CApplyAT(y, x []complex128) {
+	pk := m.packKernels()
+	for i, off := range pk.off1 {
+		y[off] = scmul(pk.sig1[i], x[off])
+	}
+	for i, off := range pk.off2 {
+		s, w := pk.sig2[i], pk.om2[i]
+		x0, x1 := x[off], x[off+1]
+		y[off] = complex(s*real(x0)-w*real(x1), s*imag(x0)-w*imag(x1))
+		y[off+1] = complex(s*real(x1)+w*real(x0), s*imag(x1)+w*imag(x0))
+	}
+}
+
+// CSolveShiftedA solves (A − θI)·y = x blockwise in O(n). Returns an error
+// if θ coincides with a pole (singular block).
+func (m *Model) CSolveShiftedA(y, x []complex128, theta complex128) error {
+	pk := m.packKernels()
+	for i, off := range pk.off1 {
+		d := complex(pk.sig1[i], 0) - theta
+		if d == 0 {
+			return mat.ErrSingular
+		}
+		y[off] = x[off] / d
+	}
+	for i, off := range pk.off2 {
+		// Solve [[σ−θ, ω], [−ω, σ−θ]]·y = x.
+		w := pk.om2[i]
+		d := complex(pk.sig2[i], 0) - theta
+		det := d*d + complex(w*w, 0)
+		if det == 0 {
+			return mat.ErrSingular
+		}
+		idet := 1 / det
+		x0, x1 := x[off], x[off+1]
+		y[off] = (d*x0 - scmul(w, x1)) * idet
+		y[off+1] = (scmul(w, x0) + d*x1) * idet
+	}
+	return nil
+}
+
+// CSolveShiftedAT solves (Aᵀ − θI)·y = x blockwise in O(n).
+func (m *Model) CSolveShiftedAT(y, x []complex128, theta complex128) error {
+	pk := m.packKernels()
+	for i, off := range pk.off1 {
+		d := complex(pk.sig1[i], 0) - theta
+		if d == 0 {
+			return mat.ErrSingular
+		}
+		y[off] = x[off] / d
+	}
+	for i, off := range pk.off2 {
+		// Aᵀ block is [[σ, −ω], [ω, σ]]; solve (Aᵀ − θI)y = x.
+		w := pk.om2[i]
+		d := complex(pk.sig2[i], 0) - theta
+		det := d*d + complex(w*w, 0)
+		if det == 0 {
+			return mat.ErrSingular
+		}
+		idet := 1 / det
+		x0, x1 := x[off], x[off+1]
+		y[off] = (d*x0 + scmul(w, x1)) * idet
+		y[off+1] = (d*x1 - scmul(w, x0)) * idet
+	}
+	return nil
+}
+
+// CApplyB computes y = B·u, u ∈ C^p, y ∈ C^n.
+func (m *Model) CApplyB(y []complex128, u []complex128) {
+	pk := m.packKernels()
+	for i, off := range pk.off1 {
+		y[off] = scmul(pk.b11[i], u[pk.col1[i]])
+	}
+	for i, off := range pk.off2 {
+		uk := u[pk.col2[i]]
+		y[off] = scmul(pk.b21[i], uk)
+		y[off+1] = scmul(pk.b22[i], uk)
+	}
+}
+
+// CApplyBT computes y = Bᵀ·x, x ∈ C^n, y ∈ C^p.
+func (m *Model) CApplyBT(y []complex128, x []complex128) {
+	pk := m.packKernels()
+	for k := 0; k < pk.p; k++ {
+		y[k] = 0
+	}
+	for i, off := range pk.off1 {
+		y[pk.col1[i]] += scmul(pk.b11[i], x[off])
+	}
+	for i, off := range pk.off2 {
+		b1, b2 := pk.b21[i], pk.b22[i]
+		x0, x1 := x[off], x[off+1]
+		y[pk.col2[i]] += complex(b1*real(x0)+b2*real(x1), b1*imag(x0)+b2*imag(x1))
+	}
+}
+
+// CApplyC computes y = C·x, x ∈ C^n, y ∈ C^p. Each output element streams
+// one contiguous row of the packed C. The accumulation is sequential in j,
+// which keeps the result bit-identical to the dense row·vector reference.
+func (m *Model) CApplyC(y []complex128, x []complex128) {
+	pk := m.packKernels()
+	n := pk.n
+	for i := 0; i < pk.p; i++ {
+		row := pk.c[i*n : (i+1)*n : (i+1)*n]
+		var re, im float64
+		for j, cj := range row {
+			xj := x[j]
+			re += cj * real(xj)
+			im += cj * imag(xj)
+		}
+		y[i] = complex(re, im)
+	}
+}
+
+// CApplyCT computes y = Cᵀ·u, u ∈ C^p, y ∈ C^n, streaming the transposed
+// packing so every state reads one contiguous p-row.
+func (m *Model) CApplyCT(y []complex128, u []complex128) {
+	pk := m.packKernels()
+	p := pk.p
+	for j := 0; j < pk.n; j++ {
+		row := pk.ct[j*p : (j+1)*p : (j+1)*p]
+		var re, im float64
+		for i, cij := range row {
+			ui := u[i]
+			re += cij * real(ui)
+			im += cij * imag(ui)
+		}
+		y[j] = complex(re, im)
+	}
+}
+
+// CResolventB computes the p×p panel X = C·(A − θI)⁻¹·B into dst
+// (row-major, len p²) in O(n·p): B's k-th column is supported only on
+// column k's states, so each per-column resolvent solve is block-local and
+// feeds a rank-m_k update of X's k-th column through the packed Cᵀ rows.
+// Note C·(A − θI)⁻¹·B = −(H(θ) − D). Returns mat.ErrSingular when θ hits a
+// pole.
+func (m *Model) CResolventB(dst []complex128, theta complex128) error {
+	pk := m.packKernels()
+	p := pk.p
+	for i := range dst[:p*p] {
+		dst[i] = 0
+	}
+	for i, off := range pk.off1 {
+		d := complex(pk.sig1[i], 0) - theta
+		if d == 0 {
+			return mat.ErrSingular
+		}
+		x0 := complex(pk.b11[i], 0) / d
+		k := int(pk.col1[i])
+		r0, i0 := real(x0), imag(x0)
+		row := pk.ct[int(off)*p : (int(off)+1)*p]
+		for r, cv := range row {
+			dst[r*p+k] += complex(cv*r0, cv*i0)
+		}
+	}
+	for i, off := range pk.off2 {
+		w := pk.om2[i]
+		d := complex(pk.sig2[i], 0) - theta
+		det := d*d + complex(w*w, 0)
+		if det == 0 {
+			return mat.ErrSingular
+		}
+		idet := 1 / det
+		b1, b2 := pk.b21[i], pk.b22[i]
+		// [[σ−θ, ω], [−ω, σ−θ]]·x = b.
+		x0 := (scmul(b1, d) - complex(w*b2, 0)) * idet
+		x1 := (scmul(b2, d) + complex(w*b1, 0)) * idet
+		k := int(pk.col2[i])
+		r0, i0 := real(x0), imag(x0)
+		r1, i1 := real(x1), imag(x1)
+		row0 := pk.ct[int(off)*p : (int(off)+1)*p]
+		row1 := pk.ct[(int(off)+1)*p : (int(off)+2)*p]
+		for r := 0; r < p; r++ {
+			c0, c1 := row0[r], row1[r]
+			dst[r*p+k] += complex(c0*r0+c1*r1, c0*i0+c1*i1)
+		}
+	}
+	return nil
+}
+
+// BTResolventCT computes the p×p panel X = Bᵀ·(Aᵀ − θI)⁻¹·Cᵀ into dst
+// (row-major, len p²) in O(n·p): row k of Bᵀ selects column k's states, so
+// the p right-hand sides of each block-local transposed solve come straight
+// from the packed Cᵀ rows. For a 2×2 block the bilinear form collapses to
+//
+//	bᵀ·(Aᵀblk − θI)⁻¹·c = (d·(b₁c₀ + b₂c₁) + ω·(b₁c₁ − b₂c₀)) / (d² + ω²)
+//
+// with d = σ − θ, costing one complex multiply per (block, port) pair.
+func (m *Model) BTResolventCT(dst []complex128, theta complex128) error {
+	pk := m.packKernels()
+	p := pk.p
+	for i := range dst[:p*p] {
+		dst[i] = 0
+	}
+	for i, off := range pk.off1 {
+		d := complex(pk.sig1[i], 0) - theta
+		if d == 0 {
+			return mat.ErrSingular
+		}
+		id := complex(pk.b11[i], 0) / d
+		k := int(pk.col1[i])
+		out := dst[k*p : (k+1)*p]
+		row := pk.ct[int(off)*p : (int(off)+1)*p]
+		for r, cv := range row {
+			out[r] += scmul(cv, id)
+		}
+	}
+	for i, off := range pk.off2 {
+		w := pk.om2[i]
+		d := complex(pk.sig2[i], 0) - theta
+		det := d*d + complex(w*w, 0)
+		if det == 0 {
+			return mat.ErrSingular
+		}
+		idet := 1 / det
+		b1, b2 := pk.b21[i], pk.b22[i]
+		k := int(pk.col2[i])
+		out := dst[k*p : (k+1)*p]
+		row0 := pk.ct[int(off)*p : (int(off)+1)*p]
+		row1 := pk.ct[(int(off)+1)*p : (int(off)+2)*p]
+		dr, di := real(d), imag(d)
+		for r := 0; r < p; r++ {
+			c0, c1 := row0[r], row1[r]
+			u := b1*c0 + b2*c1
+			v := b1*c1 - b2*c0
+			out[r] += complex(dr*u+w*v, di*u) * idet
+		}
+	}
+	return nil
+}
