@@ -1,0 +1,250 @@
+// Command fleetbench exercises the shared-pool fleet engine on the paper's
+// twelve Table-I cases:
+//
+//  1. Solo baseline — each case characterized one after another, each with
+//     its own private pool of -workers threads (the pre-fleet deployment
+//     model: total wall time is the sum).
+//  2. Fleet — all cases submitted concurrently to ONE shared pool of
+//     -workers threads. Wall time is the makespan; per-case crossings must
+//     come out bit-identical to the solo run (the canonical-polish
+//     guarantee in core.collect).
+//  3. Warm-start A/B — enforcement on a violating case with and without
+//     warm-started re-characterizations, reporting the drop in total
+//     Stats.ShiftsProcessed.
+//
+// Results go to stdout and to -json (BENCH_fleet.json) so the throughput
+// trajectory stays trackable across PRs.
+//
+//	fleetbench -workers 16 -cases 1,2,3 -warmcase 2
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/statespace"
+)
+
+type caseRow struct {
+	Case         int     `json:"case"`
+	N            int     `json:"n"`
+	P            int     `json:"p"`
+	Nlambda      int     `json:"nlambda"`
+	NlambdaSolo  int     `json:"nlambda_solo"`
+	PaperNlambda int     `json:"nlambda_paper"`
+	BitIdentical bool    `json:"crossings_bit_identical"`
+	SoloNS       int64   `json:"solo_ns"`
+	FleetNS      int64   `json:"fleet_ns"` // per-job latency inside the fleet run
+	Shifts       int     `json:"shifts"`
+	ShiftsSolo   int     `json:"shifts_solo"`
+	Passive      bool    `json:"passive"`
+	WorstSigma   float64 `json:"worst_sigma"`
+}
+
+type warmRow struct {
+	Case          int     `json:"case"`
+	ColdShifts    int     `json:"cold_shifts"`
+	WarmShifts    int     `json:"warm_shifts"`
+	ShiftsSavedPC float64 `json:"shifts_saved_pct"`
+	ColdNS        int64   `json:"cold_ns"`
+	WarmNS        int64   `json:"warm_ns"`
+	Iterations    int     `json:"iterations"`
+	Passive       bool    `json:"passive"`
+}
+
+type benchOut struct {
+	Workers         int       `json:"workers"`
+	HostCores       int       `json:"host_cores"`
+	Cases           []caseRow `json:"cases"`
+	SoloWallNS      int64     `json:"solo_wall_ns"`
+	FleetWallNS     int64     `json:"fleet_wall_ns"`
+	Speedup         float64   `json:"speedup"`
+	ThroughputJobsS float64   `json:"fleet_throughput_jobs_per_s"`
+	AllBitIdentical bool      `json:"all_crossings_bit_identical"`
+	WarmStart       *warmRow  `json:"warmstart,omitempty"`
+}
+
+func main() {
+	workers := flag.Int("workers", min(16, runtime.NumCPU()), "shared pool worker count")
+	cases := flag.String("cases", "", "comma-separated case IDs (default: all twelve)")
+	cacheDir := flag.String("cache", "testdata/cases", "model cache directory")
+	jsonOut := flag.String("json", "BENCH_fleet.json", "machine-readable output file (empty to disable)")
+	warmCase := flag.Int("warmcase", 2, "violating Table-I case for the warm-start A/B (0 to skip)")
+	flag.Parse()
+
+	specs := repro.TableICases()
+	if *cases != "" {
+		var sel []repro.CaseSpec
+		for _, tok := range strings.Split(*cases, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				log.Fatalf("bad case id %q", tok)
+			}
+			spec, err := repro.FindCase(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sel = append(sel, spec)
+		}
+		specs = sel
+	}
+
+	charOpts := func() repro.CharOptions {
+		return repro.CharOptions{Core: repro.SolverOptions{Threads: *workers, Seed: 1}}
+	}
+
+	models := make([]*repro.Model, len(specs))
+	for i, spec := range specs {
+		m, err := statespace.CachedCase(spec, *cacheDir)
+		if err != nil {
+			log.Fatalf("case %d: %v", spec.ID, err)
+		}
+		models[i] = m
+	}
+
+	out := benchOut{Workers: *workers, HostCores: runtime.NumCPU(), AllBitIdentical: true}
+	fmt.Printf("Fleet bench — %d cases, shared pool of %d workers (host: %d cores)\n",
+		len(specs), *workers, runtime.NumCPU())
+
+	// Phase 1: solo baseline, sequential, private pool per solve.
+	soloReps := make([]*repro.Report, len(specs))
+	soloNS := make([]int64, len(specs))
+	soloStart := time.Now()
+	for i, spec := range specs {
+		start := time.Now()
+		rep, err := repro.Characterize(models[i], charOpts())
+		if err != nil {
+			log.Fatalf("solo case %d: %v", spec.ID, err)
+		}
+		soloNS[i] = time.Since(start).Nanoseconds()
+		soloReps[i] = rep
+	}
+	out.SoloWallNS = time.Since(soloStart).Nanoseconds()
+
+	// Phase 2: the same characterizations, all at once, on one shared pool.
+	engine := repro.NewFleet(*workers)
+	jobs := make([]*repro.FleetJob, len(specs))
+	fleetNS := make([]int64, len(specs))
+	var latencyWG sync.WaitGroup
+	fleetStart := time.Now()
+	for i := range specs {
+		j, err := engine.Submit(context.Background(), repro.FleetRequest{
+			Model: models[i],
+			Char:  charOpts(),
+		})
+		if err != nil {
+			log.Fatalf("submit case %d: %v", specs[i].ID, err)
+		}
+		jobs[i] = j
+		latencyWG.Add(1)
+		go func(i int) {
+			defer latencyWG.Done()
+			<-jobs[i].Done()
+			fleetNS[i] = time.Since(fleetStart).Nanoseconds()
+		}(i)
+	}
+	fleetReps := make([]*repro.Report, len(specs))
+	for i, j := range jobs {
+		res, err := j.Wait()
+		if err != nil {
+			log.Fatalf("fleet case %d: %v", specs[i].ID, err)
+		}
+		fleetReps[i] = res.Report
+	}
+	out.FleetWallNS = time.Since(fleetStart).Nanoseconds()
+	latencyWG.Wait()
+	engine.Close()
+
+	fmt.Printf("%-7s %5s %4s %8s %4s %6s | %9s %9s | %4s\n",
+		"Case", "n", "p", "Nλ(pap)", "Nλ", "shifts", "solo[s]", "fleet[s]", "bit=")
+	for i, spec := range specs {
+		solo, fl := soloReps[i], fleetReps[i]
+		bit := len(solo.Crossings) == len(fl.Crossings)
+		if bit {
+			for k := range solo.Crossings {
+				if solo.Crossings[k] != fl.Crossings[k] {
+					bit = false
+					break
+				}
+			}
+		}
+		if !bit {
+			out.AllBitIdentical = false
+		}
+		row := caseRow{
+			Case: spec.ID, N: spec.N, P: spec.P,
+			Nlambda: len(fl.Crossings), NlambdaSolo: len(solo.Crossings),
+			PaperNlambda: spec.PaperNlambda, BitIdentical: bit,
+			SoloNS: soloNS[i], FleetNS: fleetNS[i],
+			Shifts: fl.Solver.ShiftsProcessed, ShiftsSolo: solo.Solver.ShiftsProcessed,
+			Passive: fl.Passive, WorstSigma: fl.WorstViolation(),
+		}
+		out.Cases = append(out.Cases, row)
+		fmt.Printf("Case %-2d %5d %4d %8d %4d %6d | %9.3f %9.3f | %v\n",
+			spec.ID, spec.N, spec.P, spec.PaperNlambda, row.Nlambda, row.Shifts,
+			float64(row.SoloNS)/1e9, float64(row.FleetNS)/1e9, bit)
+	}
+	out.Speedup = float64(out.SoloWallNS) / float64(out.FleetWallNS)
+	out.ThroughputJobsS = float64(len(specs)) / (float64(out.FleetWallNS) / 1e9)
+	fmt.Printf("solo wall %.3fs, fleet wall %.3fs → %.2fx, %.2f jobs/s, all bit-identical: %v\n",
+		float64(out.SoloWallNS)/1e9, float64(out.FleetWallNS)/1e9,
+		out.Speedup, out.ThroughputJobsS, out.AllBitIdentical)
+
+	// Phase 3: warm-start A/B on a violating case.
+	if *warmCase > 0 {
+		spec, err := repro.FindCase(*warmCase)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := statespace.CachedCase(spec, *cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := func(cold bool) (*repro.EnforceReport, int64) {
+			start := time.Now()
+			_, rep, err := repro.Enforce(m, repro.EnforceOptions{
+				Char: charOpts(), ColdStart: cold,
+			})
+			if err != nil {
+				log.Fatalf("enforce (cold=%v) case %d: %v", cold, spec.ID, err)
+			}
+			return rep, time.Since(start).Nanoseconds()
+		}
+		coldRep, coldNS := run(true)
+		warmRep, warmNS := run(false)
+		w := warmRow{
+			Case:       spec.ID,
+			ColdShifts: coldRep.SolverTotals.ShiftsProcessed,
+			WarmShifts: warmRep.SolverTotals.ShiftsProcessed,
+			ColdNS:     coldNS, WarmNS: warmNS,
+			Iterations: warmRep.Iterations,
+			Passive:    warmRep.FinalReport.Passive,
+		}
+		w.ShiftsSavedPC = 100 * (1 - float64(w.WarmShifts)/float64(w.ColdShifts))
+		out.WarmStart = &w
+		fmt.Printf("warm-start A/B (case %d, %d iterations): shifts cold %d → warm %d (%.1f%% saved), time %.3fs → %.3fs\n",
+			w.Case, w.Iterations, w.ColdShifts, w.WarmShifts, w.ShiftsSavedPC,
+			float64(w.ColdNS)/1e9, float64(w.WarmNS)/1e9)
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -87,6 +88,13 @@ func main() {
 	if *enforce && !report.Passive {
 		passive, erep, err := repro.Enforce(model, repro.EnforceOptions{Char: charOpts})
 		if err != nil {
+			if errors.Is(err, repro.ErrEnforcementFailed) && erep != nil {
+				// The budget ran out but the partially-enforced model and its
+				// last characterization survive — report the progress made.
+				fmt.Printf("\nenforcement FAILED after %d iterations: worst σ %.6f → %.6f, relative residue change %.4g\n",
+					erep.Iterations, erep.InitialWorst, erep.FinalWorst, erep.ResidueChange)
+				os.Exit(1)
+			}
 			log.Fatal(err)
 		}
 		fmt.Printf("\nenforcement: %d iterations, relative residue change %.4g\n",

@@ -22,6 +22,28 @@ func TestSingleShiftParamsDefaults(t *testing.T) {
 	}
 }
 
+func TestSingleShiftParamsValidate(t *testing.T) {
+	for _, p := range []SingleShiftParams{
+		{NWanted: -1},
+		{MaxDim: -5},
+		{MaxRestarts: -1},
+		{Tol: -1e-9},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v: negative parameter accepted", p)
+		}
+		rng := rand.New(rand.NewSource(1))
+		inv := newDenseShiftInv(t, randomCMat(rng, 8), 0)
+		if _, err := SingleShift(inv, 0.5, p); err == nil {
+			t.Errorf("%+v: SingleShift ran with invalid params", p)
+		}
+	}
+	var ok SingleShiftParams
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("zero params rejected: %v", err)
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	var c Config
 	c.setDefaults()

@@ -1,6 +1,7 @@
 package arnoldi
 
 import (
+	"fmt"
 	"math"
 	"math/cmplx"
 	"sort"
@@ -21,6 +22,25 @@ type SingleShiftParams struct {
 	Tol float64
 	// Seed drives the random restart vectors of this shift.
 	Seed int64
+}
+
+// Validate rejects negative parameter values, which setDefaults would pass
+// through and which silently break the iteration (a negative NWanted makes
+// every certification count trivially satisfied, a negative MaxDim runs
+// zero Arnoldi steps, a negative Tol never converges anything).
+func (p *SingleShiftParams) Validate() error {
+	switch {
+	case p.NWanted < 0:
+		return fmt.Errorf("arnoldi: NWanted must be ≥ 0, got %d", p.NWanted)
+	case p.MaxDim < 0:
+		return fmt.Errorf("arnoldi: MaxDim must be ≥ 0, got %d", p.MaxDim)
+	case p.MaxRestarts < 0:
+		return fmt.Errorf("arnoldi: MaxRestarts must be ≥ 0, got %d", p.MaxRestarts)
+	case !(p.Tol >= 0) || math.IsInf(p.Tol, 1):
+		// !(x ≥ 0) also catches NaN, which every plain comparison passes.
+		return fmt.Errorf("arnoldi: Tol must be finite and ≥ 0, got %g", p.Tol)
+	}
+	return nil
 }
 
 func (p *SingleShiftParams) setDefaults() {
@@ -88,6 +108,9 @@ type BaseOperator interface {
 //     to the nearest unconverged Ritz estimate, so that the returned set is
 //     complete within C_{ϑ,ρ}.
 func SingleShift(inv ShiftInverter, rho0 float64, params SingleShiftParams) (*SingleShiftResult, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
 	params.setDefaults()
 	theta := inv.Theta()
 	res := &SingleShiftResult{Theta: theta, Radius: rho0}

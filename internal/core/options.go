@@ -12,6 +12,8 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/arnoldi"
@@ -44,6 +46,49 @@ type Options struct {
 	// MaxShifts caps the total number of processed shifts as a safety
 	// valve. Default 10000.
 	MaxShifts int
+	// InitialShifts warm-starts the scheduler: instead of the κT uniform
+	// subdivision, the startup intervals are cut around these shift
+	// locations (see warmIntervals). Used by passivity enforcement to seed
+	// iteration k+1 from iteration k's crossings. Entries outside the band
+	// are ignored; an empty or fully-ignored list falls back to the cold
+	// start. Ignored by the serial-bisection and static-grid baselines.
+	InitialShifts []float64
+	// Pool optionally points at a shared worker pool: the solve then runs
+	// as one job among many on that pool's workers and Threads only sets
+	// the startup interval count N = κT (defaulting to the pool width).
+	// When nil, Solve creates a private pool with Threads workers — the
+	// standalone semantics of the paper. Ignored by the serial-bisection
+	// and static-grid baselines.
+	Pool *Pool
+}
+
+// validate rejects option values that would silently corrupt a solve: a
+// negative Threads used to spawn zero workers and return an empty Result
+// that downstream code read as "no crossings, model passive", and a NaN
+// band edge would slip past every range check into the interval setup.
+func (o *Options) validate() error {
+	switch {
+	case o.Threads < 0:
+		return fmt.Errorf("core: Threads must be ≥ 0, got %d", o.Threads)
+	case o.Kappa < 0:
+		return fmt.Errorf("core: Kappa must be ≥ 0, got %d", o.Kappa)
+	case !(o.Alpha >= 0) || math.IsInf(o.Alpha, 1):
+		return fmt.Errorf("core: Alpha must be finite and ≥ 0, got %g", o.Alpha)
+	case !(o.AxisTol >= 0) || math.IsInf(o.AxisTol, 1):
+		return fmt.Errorf("core: AxisTol must be finite and ≥ 0, got %g", o.AxisTol)
+	case o.MaxShifts < 0:
+		return fmt.Errorf("core: MaxShifts must be ≥ 0, got %d", o.MaxShifts)
+	case !(o.OmegaMin >= 0) || math.IsInf(o.OmegaMin, 1):
+		return fmt.Errorf("core: OmegaMin must be finite and ≥ 0, got %g", o.OmegaMin)
+	case !(o.OmegaMax >= 0) || math.IsInf(o.OmegaMax, 1):
+		return fmt.Errorf("core: OmegaMax must be finite and ≥ 0, got %g", o.OmegaMax)
+	}
+	for _, s := range o.InitialShifts {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("core: non-finite initial shift %g", s)
+		}
+	}
+	return o.Arnoldi.Validate()
 }
 
 func (o *Options) setDefaults() {
@@ -85,6 +130,16 @@ type Stats struct {
 	Restarts         int
 	OpApplies        int
 	Elapsed          time.Duration
+}
+
+// Add accumulates another solve's counters into s (used by enforcement to
+// total the work across re-characterizations).
+func (s *Stats) Add(o Stats) {
+	s.ShiftsProcessed += o.ShiftsProcessed
+	s.TentativeDeleted += o.TentativeDeleted
+	s.Restarts += o.Restarts
+	s.OpApplies += o.OpApplies
+	s.Elapsed += o.Elapsed
 }
 
 // Result is the outcome of a multi-shift solve.

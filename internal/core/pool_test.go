@@ -1,0 +1,236 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/arnoldi"
+)
+
+// TestSharedPoolMatchesStandalone: several jobs on one shared pool must
+// produce bit-identical crossings to the same solves run standalone.
+func TestSharedPoolMatchesStandalone(t *testing.T) {
+	type tc struct {
+		seed  int64
+		order int
+		peak  float64
+	}
+	cases := []tc{
+		{seed: 61, order: 24, peak: 1.06},
+		{seed: 62, order: 30, peak: 1.04},
+		{seed: 63, order: 26, peak: 0.92},
+		{seed: 64, order: 28, peak: 1.05},
+	}
+	opts := func() Options {
+		return Options{Threads: 2, Seed: 7, Arnoldi: arnoldi.SingleShiftParams{MaxDim: 40}}
+	}
+	// Standalone references.
+	refs := make([]*Result, len(cases))
+	for i, c := range cases {
+		op := buildOp(t, c.seed, 2, c.order, c.peak)
+		res, err := Solve(op, opts())
+		if err != nil {
+			t.Fatalf("standalone %d: %v", i, err)
+		}
+		refs[i] = res
+	}
+	// Same solves, concurrently, on one shared pool.
+	pool := NewPool(4)
+	defer pool.Close()
+	jobs := make([]*Job, len(cases))
+	for i, c := range cases {
+		op := buildOp(t, c.seed, 2, c.order, c.peak)
+		o := opts()
+		j, err := pool.Submit(context.Background(), op, o)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs[i] = j
+	}
+	for i, j := range jobs {
+		res, err := j.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if len(res.Crossings) != len(refs[i].Crossings) {
+			t.Fatalf("job %d: %d crossings vs standalone %d",
+				i, len(res.Crossings), len(refs[i].Crossings))
+		}
+		for k := range res.Crossings {
+			if res.Crossings[k] != refs[i].Crossings[k] {
+				t.Fatalf("job %d crossing %d: pooled %v != standalone %v (not bit-identical)",
+					i, k, res.Crossings[k], refs[i].Crossings[k])
+			}
+		}
+	}
+}
+
+// TestSolveContextCancel: canceling mid-solve returns ctx.Err() and leaks
+// no goroutines (pool workers, ctx watcher, refinement workers all exit).
+func TestSolveContextCancel(t *testing.T) {
+	op := buildOp(t, 65, 2, 60, 1.05)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var res *Result
+	var err error
+	go func() {
+		defer wg.Done()
+		res, err = SolveContext(ctx, op, Options{
+			Threads: 2, Seed: 1,
+			Arnoldi: arnoldi.SingleShiftParams{MaxDim: 40},
+		})
+	}()
+	// Cancel quickly — usually mid-solve; the assertion holds either way.
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	if err == nil {
+		t.Log("solve finished before cancellation took effect")
+		if res == nil {
+			t.Fatal("nil result without error")
+		}
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// Goroutine count must settle back to the baseline.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak after cancellation: %d before, %d after",
+		before, runtime.NumGoroutine())
+}
+
+// TestSolveContextPreCanceled: an already-canceled context fails fast.
+func TestSolveContextPreCanceled(t *testing.T) {
+	op := buildOp(t, 66, 2, 16, 1.05)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveContext(ctx, op, Options{Threads: 1, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestPoolCloseFailsPendingJobs: Close discards queued work and pending
+// jobs report ErrPoolClosed instead of hanging or returning empty results.
+func TestPoolCloseFailsPendingJobs(t *testing.T) {
+	op := buildOp(t, 67, 2, 40, 1.05)
+	p := NewPool(1)
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		j, err := p.Submit(context.Background(), op, Options{
+			Threads: 2, Seed: int64(i + 1),
+			Arnoldi: arnoldi.SingleShiftParams{MaxDim: 40},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	p.Close()
+	sawClosed := false
+	for _, j := range jobs {
+		res, err := j.Wait() // must not hang
+		if err != nil {
+			if !errors.Is(err, ErrPoolClosed) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			sawClosed = true
+		} else if res == nil {
+			t.Fatal("nil result without error")
+		}
+	}
+	if !sawClosed {
+		t.Log("all jobs finished before Close — queue drained faster than expected")
+	}
+	if _, err := p.Submit(context.Background(), op, Options{}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit on closed pool: want ErrPoolClosed, got %v", err)
+	}
+}
+
+// TestNegativeOptionsRejected: negative option values must fail loudly in
+// every solver instead of producing an empty (⇒ "passive") result.
+func TestNegativeOptionsRejected(t *testing.T) {
+	op := buildOp(t, 68, 2, 12, 1.05)
+	bad := []Options{
+		{Threads: -1},
+		{Kappa: -2},
+		{Alpha: -0.5},
+		{AxisTol: -1e-9},
+		{MaxShifts: -3},
+		{OmegaMin: -1},
+		{OmegaMax: -5},
+		{Arnoldi: arnoldi.SingleShiftParams{NWanted: -1}},
+		{Arnoldi: arnoldi.SingleShiftParams{MaxDim: -1}},
+		{Arnoldi: arnoldi.SingleShiftParams{MaxRestarts: -1}},
+		{Arnoldi: arnoldi.SingleShiftParams{Tol: -1e-9}},
+		{InitialShifts: []float64{1e9, math.Inf(1)}},
+		{InitialShifts: []float64{math.NaN()}},
+		{OmegaMax: math.NaN()},
+		{OmegaMin: math.NaN()},
+		{Alpha: math.NaN()},
+		{AxisTol: math.NaN()},
+		{OmegaMax: math.Inf(1)},
+		{Arnoldi: arnoldi.SingleShiftParams{Tol: math.NaN()}},
+	}
+	for i, o := range bad {
+		if _, err := Solve(op, o); err == nil {
+			t.Errorf("case %d (%+v): Solve accepted invalid options", i, o)
+		}
+		if _, err := SolveSerialBisection(op, o); err == nil {
+			t.Errorf("case %d (%+v): SolveSerialBisection accepted invalid options", i, o)
+		}
+		if _, err := SolveStaticGrid(op, o); err == nil {
+			t.Errorf("case %d (%+v): SolveStaticGrid accepted invalid options", i, o)
+		}
+	}
+	// A Threads=-1 solve used to spawn zero workers and report an empty
+	// Result; make sure the message names the field.
+	_, err := Solve(op, Options{Threads: -1})
+	if err == nil || !strings.Contains(err.Error(), "Threads") {
+		t.Fatalf("want a Threads validation error, got %v", err)
+	}
+}
+
+// TestWarmStartSolveFindsSameCrossings: a warm-started solve seeded with
+// the cold solve's crossings must find the identical crossing set.
+func TestWarmStartSolveFindsSameCrossings(t *testing.T) {
+	op := buildOp(t, 69, 2, 28, 1.06)
+	cold, err := Solve(op, Options{Threads: 2, Seed: 3, Arnoldi: arnoldi.SingleShiftParams{MaxDim: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Crossings) == 0 {
+		t.Skip("model came out passive")
+	}
+	warm, err := Solve(op, Options{
+		Threads: 2, Seed: 3,
+		InitialShifts: cold.Crossings,
+		Arnoldi:       arnoldi.SingleShiftParams{MaxDim: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Crossings) != len(cold.Crossings) {
+		t.Fatalf("warm start changed the crossing count: %d vs %d",
+			len(warm.Crossings), len(cold.Crossings))
+	}
+	for i := range warm.Crossings {
+		if warm.Crossings[i] != cold.Crossings[i] {
+			t.Fatalf("crossing %d: warm %v != cold %v", i, warm.Crossings[i], cold.Crossings[i])
+		}
+	}
+}

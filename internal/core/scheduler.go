@@ -1,19 +1,20 @@
 package core
 
 import (
-	"fmt"
-	"sync"
-	"time"
+	"context"
+	"sort"
 
 	"repro/internal/hamiltonian"
 )
 
 // interval is one tentative search interval Ĩ_ν with its tentative shift
-// ϑ̃_ν (paper Sec. IV-A). Intervals held by the scheduler are pairwise
-// disjoint and their union is exactly the part of the band not yet covered
-// by completed or in-flight work.
+// ϑ̃_ν (paper Sec. IV-A). Intervals held by the pool queue carry a
+// reference to their owning Job; per job they are pairwise disjoint and
+// their union is exactly the part of the band not yet covered by completed
+// or in-flight work.
 type interval struct {
 	id       int
+	job      *Job
 	lo, hi   float64
 	shift    float64
 	edgeLeft bool // shift pinned to the left band edge (ν = 1)
@@ -21,130 +22,6 @@ type interval struct {
 }
 
 func (iv *interval) width() float64 { return iv.hi - iv.lo }
-
-// schedState is the shared scheduler state of paper Sec. IV-B/C/D:
-// the tentative set Θ̃ (as a FIFO of intervals) plus the count of shifts in
-// the processing state. Access is serialized by mu; cond signals workers
-// whenever new tentative intervals appear or the in-flight count drops.
-type schedState struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []*interval // tentative intervals in pick order
-	inflight int
-	nextID   int
-	stopped  bool
-	err      error
-
-	processed        int
-	tentativeDeleted int
-	maxShifts        int
-}
-
-func newSchedState(maxShifts int) *schedState {
-	s := &schedState{maxShifts: maxShifts}
-	s.cond = sync.NewCond(&s.mu)
-	return s
-}
-
-// push appends a tentative interval.
-func (s *schedState) push(iv *interval) {
-	iv.id = s.nextID
-	s.nextID++
-	s.queue = append(s.queue, iv)
-}
-
-// pop removes and returns the next tentative interval, blocking while the
-// queue is empty but work is still in flight. Returns nil when the solve is
-// complete (queue empty, nothing in flight) or aborted.
-func (s *schedState) pop() *interval {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for {
-		if s.stopped || s.err != nil {
-			return nil
-		}
-		if len(s.queue) > 0 {
-			iv := s.queue[0]
-			s.queue = s.queue[1:]
-			if s.processed >= s.maxShifts {
-				s.err = fmt.Errorf("core: shift budget %d exhausted", s.maxShifts)
-				s.cond.Broadcast()
-				return nil
-			}
-			s.processed++
-			s.inflight++
-			return iv
-		}
-		if s.inflight == 0 {
-			return nil
-		}
-		s.cond.Wait()
-	}
-}
-
-// complete applies the paper's completion update (Sec. IV-D) for a finished
-// disk [c−ρ, c+ρ] that was responsible for the interval [lo, hi]:
-//
-//   - the disk is subtracted from the owning interval; uncovered remainders
-//     become new tentative intervals with midpoint shifts (Eqs. 25–27);
-//   - the disk is also subtracted from every *tentative* interval: fully
-//     swallowed intervals are deleted (the paper's Eq. 24 shift deletion —
-//     the source of superlinear speedups), partially covered ones are
-//     trimmed and re-centered. Trimming rather than deleting guarantees
-//     that no part of the band silently loses coverage.
-func (s *schedState) complete(own *interval, center, radius float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.inflight--
-	dLo, dHi := center-radius, center+radius
-
-	// Remainders of the owning interval.
-	for _, rem := range subtract(own.lo, own.hi, dLo, dHi) {
-		s.push(&interval{lo: rem[0], hi: rem[1], shift: 0.5 * (rem[0] + rem[1])})
-	}
-	// Subtract from all tentative intervals.
-	kept := s.queue[:0]
-	var spawned []*interval
-	for _, iv := range s.queue {
-		rems := subtract(iv.lo, iv.hi, dLo, dHi)
-		switch {
-		case len(rems) == 1 && rems[0][0] == iv.lo && rems[0][1] == iv.hi:
-			kept = append(kept, iv) // untouched
-		case len(rems) == 0:
-			s.tentativeDeleted++ // fully swallowed: delete (Eq. 24)
-		default:
-			s.tentativeDeleted++
-			for _, rem := range rems {
-				nv := &interval{lo: rem[0], hi: rem[1], shift: 0.5 * (rem[0] + rem[1])}
-				// Preserve band-edge pinning when the edge survives.
-				if iv.edgeLeft && rem[0] == iv.lo {
-					nv.edgeLeft = true
-					nv.shift = rem[0]
-				}
-				if iv.edgeRite && rem[1] == iv.hi {
-					nv.edgeRite = true
-					nv.shift = rem[1]
-				}
-				spawned = append(spawned, nv)
-			}
-		}
-	}
-	s.queue = kept
-	for _, nv := range spawned {
-		s.push(nv)
-	}
-	s.cond.Broadcast()
-}
-
-// fail aborts the solve with the first error.
-func (s *schedState) fail(err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err == nil {
-		s.err = err
-	}
-	s.cond.Broadcast()
-}
 
 // subtract returns the parts of [lo, hi] not covered by [dLo, dHi]
 // (0, 1 or 2 sub-intervals; degenerate slivers below 1e-12 of the width
@@ -198,98 +75,92 @@ func initialIntervals(omegaMin, omegaMax float64, n int) []*interval {
 	return order
 }
 
-// Solve runs the parallel multi-shift Hamiltonian eigensolver of Sec. IV
-// with Options.Threads concurrent workers and returns all imaginary
-// eigenvalues in [OmegaMin, OmegaMax].
-func Solve(op *hamiltonian.Op, opts Options) (*Result, error) {
-	opts.setDefaults()
-	start := time.Now()
-	res := &Result{}
-
-	omegaMax := opts.OmegaMax
-	if omegaMax == 0 {
-		est, err := EstimateOmegaMax(op, opts.Seed)
-		if err != nil {
-			return nil, err
+// warmIntervals builds the startup interval set from caller-provided shift
+// locations (Options.InitialShifts): the band is cut at the midpoints
+// between consecutive warm shifts, and each interval's tentative shift sits
+// at the warm location instead of the midpoint. A warm-started enforcement
+// re-characterization passes the previous iteration's crossings here —
+// violations only shrink under residue perturbation, so prior crossings
+// are near-optimal shift locations and far fewer shifts are needed than
+// the cold-start κT subdivision.
+//
+// Shifts outside the band are dropped; near-duplicates (closer than the
+// band width over maxN) are merged into their mean so a dense crossing
+// cluster does not inflate the startup set beyond the cold-start count.
+// Returns nil when no usable shift survives (callers fall back to
+// initialIntervals). Coverage of the whole band is guaranteed regardless
+// of shift placement by the completion update, which re-queues every
+// uncovered remainder.
+func warmIntervals(omegaMin, omegaMax float64, shifts []float64, maxN int) []*interval {
+	if len(shifts) == 0 {
+		return nil
+	}
+	if maxN < 2 {
+		maxN = 2
+	}
+	span := omegaMax - omegaMin
+	ws := make([]float64, 0, len(shifts))
+	for _, s := range shifts {
+		if s >= omegaMin && s <= omegaMax {
+			ws = append(ws, s)
 		}
-		omegaMax = est
 	}
-	if omegaMax <= opts.OmegaMin {
-		return nil, fmt.Errorf("core: empty band [%g, %g]", opts.OmegaMin, omegaMax)
+	if len(ws) == 0 {
+		return nil
 	}
-	res.OmegaMax = omegaMax
+	sort.Float64s(ws)
+	// Greedy clustering: merge runs of shifts closer than span/maxN.
+	minSep := span / float64(maxN)
+	var merged []float64
+	sum, count := ws[0], 1
+	for _, s := range ws[1:] {
+		if s-sum/float64(count) < minSep {
+			sum += s
+			count++
+			continue
+		}
+		merged = append(merged, sum/float64(count))
+		sum, count = s, 1
+	}
+	merged = append(merged, sum/float64(count))
 
-	st := newSchedState(opts.MaxShifts)
-	for _, iv := range initialIntervals(opts.OmegaMin, omegaMax, opts.Kappa*opts.Threads) {
-		st.push(iv)
+	ivs := make([]*interval, len(merged))
+	lo := omegaMin
+	for i, s := range merged {
+		hi := omegaMax
+		if i+1 < len(merged) {
+			hi = 0.5 * (s + merged[i+1])
+		}
+		ivs[i] = &interval{lo: lo, hi: hi, shift: s}
+		lo = hi
 	}
+	return ivs
+}
 
-	type shiftOut struct {
-		rec    ShiftRecord
-		eigs   []complex128
-		residM []float64
-		rst    int
-		apply  int
-	}
-	var outMu sync.Mutex
-	var outs []shiftOut
+// Solve runs the parallel multi-shift Hamiltonian eigensolver of Sec. IV
+// and returns all imaginary eigenvalues in [OmegaMin, OmegaMax]. It is a
+// thin wrapper over the pool engine: with Options.Pool set the job shares
+// that pool's workers, otherwise a private pool with Options.Threads
+// workers is created for the duration of the solve.
+func Solve(op *hamiltonian.Op, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), op, opts)
+}
 
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Threads; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				iv := st.pop()
-				if iv == nil {
-					return
-				}
-				rho0 := 0.5 * opts.Alpha * iv.width()
-				if iv.edgeLeft || iv.edgeRite {
-					// Edge shifts sit at the interval boundary; the disk
-					// must be able to reach across the whole interval.
-					rho0 = opts.Alpha * iv.width()
-				}
-				params := opts.Arnoldi
-				params.Seed = opts.Seed*1_000_003 + int64(iv.id)*7919 + 1
-				sres, err := runShift(op, iv.shift, rho0, params)
-				if err != nil {
-					st.fail(fmt.Errorf("core: shift ω=%g: %w", iv.shift, err))
-					return
-				}
-				st.complete(iv, iv.shift, sres.Radius)
-				outMu.Lock()
-				outs = append(outs, shiftOut{
-					rec: ShiftRecord{
-						Omega:  iv.shift,
-						Radius: sres.Radius,
-						NEigs:  len(sres.Eigenvalues),
-						Worker: worker,
-					},
-					eigs:   sres.Eigenvalues,
-					residM: sres.ResidualsM,
-					rst:    sres.Restarts,
-					apply:  sres.OpApplies,
-				})
-				outMu.Unlock()
-			}
-		}(w)
+// SolveContext is Solve with cancellation/deadline support: when ctx is
+// canceled the remaining tentative shifts are dropped and the error is
+// ctx.Err(). Cancellation granularity is one shift — shifts already in
+// flight run to completion.
+func SolveContext(ctx context.Context, op *hamiltonian.Op, opts Options) (*Result, error) {
+	p := opts.Pool
+	if p == nil {
+		// NewPool clamps Threads < 1 to one worker; Submit validates the
+		// options (rejecting negatives) before any solver work runs.
+		p = NewPool(opts.Threads)
+		defer p.Close()
 	}
-	wg.Wait()
-	if st.err != nil {
-		return nil, st.err
+	j, err := p.Submit(ctx, op, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	for _, o := range outs {
-		res.Shifts = append(res.Shifts, o.rec)
-		res.Eigenvalues = append(res.Eigenvalues, o.eigs...)
-		res.eigResiduals = append(res.eigResiduals, o.residM...)
-		res.Stats.Restarts += o.rst
-		res.Stats.OpApplies += o.apply
-	}
-	res.Stats.ShiftsProcessed = st.processed
-	res.Stats.TentativeDeleted = st.tentativeDeleted
-	res.Stats.Elapsed = time.Since(start)
-	collect(res, op, opts.AxisTol, opts.Threads)
-	return res, nil
+	return j.Wait()
 }

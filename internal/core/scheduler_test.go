@@ -98,19 +98,26 @@ func TestInitialIntervals(t *testing.T) {
 	}
 }
 
-// fakeScheduleRun drives schedState directly with synthetic radii to check
-// the bookkeeping invariants without any numerics.
-func TestSchedStateCoverageInvariant(t *testing.T) {
+// newTestJob wires an idle pool (no workers) and one job so the tests can
+// drive the scheduler bookkeeping synchronously with synthetic radii,
+// without any numerics.
+func newTestJob(p *Pool, maxShifts int, intervals []*interval) *Job {
+	j := &Job{opts: Options{MaxShifts: maxShifts}, done: make(chan struct{})}
+	for _, iv := range intervals {
+		j.pushLocked(p, iv)
+	}
+	return j
+}
+
+func TestSchedulerCoverageInvariant(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		st := newSchedState(1000)
-		for _, iv := range initialIntervals(0, 1, 4) {
-			st.push(iv)
-		}
+		p := newIdlePool(1)
+		j := newTestJob(p, 1000, initialIntervals(0, 1, 4))
 		// Track the still-uncovered part of the band independently.
 		remaining := [][2]float64{{0, 1}}
 		for {
-			iv := st.pop() // single-threaded: never blocks with inflight>0
+			iv := p.popLocked() // single-threaded: drives to completion
 			if iv == nil {
 				break
 			}
@@ -121,9 +128,9 @@ func TestSchedStateCoverageInvariant(t *testing.T) {
 				next = append(next, subtract(r[0], r[1], iv.shift-rho, iv.shift+rho)...)
 			}
 			remaining = next
-			st.complete(iv, iv.shift, rho)
+			j.completeLocked(p, iv, iv.shift, rho)
 		}
-		if len(st.queue) != 0 || st.inflight != 0 {
+		if len(p.queue) != 0 || j.inflight != 0 || !j.finished || j.err != nil {
 			return false
 		}
 		// The scheduler must have driven the uncovered measure to ~zero.
@@ -138,49 +145,46 @@ func TestSchedStateCoverageInvariant(t *testing.T) {
 	}
 }
 
-func TestSchedStateShiftBudget(t *testing.T) {
-	st := newSchedState(1)
-	for _, iv := range initialIntervals(0, 1, 2) {
-		st.push(iv)
-	}
-	if iv := st.pop(); iv == nil {
+func TestSchedulerShiftBudget(t *testing.T) {
+	p := newIdlePool(1)
+	j := newTestJob(p, 1, initialIntervals(0, 1, 2))
+	if iv := p.popLocked(); iv == nil {
 		t.Fatal("first pop should succeed")
 	}
-	if iv := st.pop(); iv != nil {
+	if iv := p.popLocked(); iv != nil {
 		t.Fatal("budget-exceeded pop should fail")
 	}
-	if st.err == nil {
+	if j.err == nil {
 		t.Fatal("expected budget error")
 	}
 }
 
-func TestSchedStateTentativeDeletion(t *testing.T) {
-	st := newSchedState(100)
-	for _, iv := range initialIntervals(0, 1, 4) {
-		st.push(iv)
-	}
-	iv := st.pop() // left edge interval [0, 0.25], shift 0
+func TestSchedulerTentativeDeletion(t *testing.T) {
+	p := newIdlePool(1)
+	j := newTestJob(p, 100, initialIntervals(0, 1, 4))
+	iv := p.popLocked() // left edge interval [0, 0.25], shift 0
 	// Huge disk covering the whole band: every tentative interval must die.
-	st.complete(iv, iv.shift, 5)
-	if len(st.queue) != 0 {
-		t.Fatalf("queue not emptied: %d left", len(st.queue))
+	j.completeLocked(p, iv, iv.shift, 5)
+	if len(p.queue) != 0 {
+		t.Fatalf("queue not emptied: %d left", len(p.queue))
 	}
-	if st.tentativeDeleted != 3 {
-		t.Fatalf("tentativeDeleted = %d, want 3", st.tentativeDeleted)
+	if j.tentativeDeleted != 3 {
+		t.Fatalf("tentativeDeleted = %d, want 3", j.tentativeDeleted)
+	}
+	if !j.finished {
+		t.Fatal("fully covered job not finished")
 	}
 }
 
-func TestSchedStateSplitSpawnsChildren(t *testing.T) {
-	st := newSchedState(100)
-	for _, iv := range initialIntervals(0, 1, 2) {
-		st.push(iv)
-	}
+func TestSchedulerSplitSpawnsChildren(t *testing.T) {
+	p := newIdlePool(1)
+	j := newTestJob(p, 100, initialIntervals(0, 1, 2))
 	// Take the left-edge interval [0, 0.5] and complete with a tiny radius
 	// around its shift (0): remainder (0+r, 0.5) must be requeued.
-	iv := st.pop()
-	st.complete(iv, 0, 0.1)
+	iv := p.popLocked()
+	j.completeLocked(p, iv, 0, 0.1)
 	found := false
-	for _, q := range st.queue {
+	for _, q := range p.queue {
 		if math.Abs(q.lo-0.1) < 1e-12 && math.Abs(q.hi-0.5) < 1e-12 {
 			found = true
 			if math.Abs(q.shift-0.3) > 1e-12 {
@@ -189,6 +193,96 @@ func TestSchedStateSplitSpawnsChildren(t *testing.T) {
 		}
 	}
 	if !found {
-		t.Fatalf("remainder interval not requeued: %+v", st.queue)
+		t.Fatalf("remainder interval not requeued: %+v", p.queue)
+	}
+}
+
+// TestSchedulerJobIsolation: completing a disk for one job must never touch
+// another job's tentative intervals on the same pool.
+func TestSchedulerJobIsolation(t *testing.T) {
+	p := newIdlePool(1)
+	j1 := newTestJob(p, 100, initialIntervals(0, 1, 2))
+	j2 := newTestJob(p, 100, initialIntervals(0, 1, 2))
+	// Pop j1's first interval and cover the whole band: j1's remaining
+	// tentative interval dies, j2's stay intact.
+	iv := p.popLocked()
+	if iv.job != j1 {
+		t.Fatal("FIFO order broken: expected j1's interval first")
+	}
+	j1.completeLocked(p, iv, iv.shift, 5)
+	if j1.tentativeDeleted != 1 || !j1.finished {
+		t.Fatalf("j1 not completed: deleted=%d finished=%v", j1.tentativeDeleted, j1.finished)
+	}
+	if j2.pending != 2 || j2.tentativeDeleted != 0 || j2.finished {
+		t.Fatalf("j2 was touched: pending=%d deleted=%d", j2.pending, j2.tentativeDeleted)
+	}
+	for _, q := range p.queue {
+		if q.job != j2 {
+			t.Fatal("queue still holds intervals of the finished job")
+		}
+	}
+}
+
+// TestSchedulerFailAfterFinishIsNoop: the ctx watcher can race job
+// completion (its select may see ctx.Done() and j.done ready together);
+// failing an already-finished job must not overwrite its success.
+func TestSchedulerFailAfterFinishIsNoop(t *testing.T) {
+	p := newIdlePool(1)
+	j := newTestJob(p, 100, initialIntervals(0, 1, 2))
+	// Drain the job to successful completion.
+	for {
+		iv := p.popLocked()
+		if iv == nil {
+			break
+		}
+		j.completeLocked(p, iv, iv.shift, 5)
+	}
+	if !j.finished || j.err != nil {
+		t.Fatalf("job not cleanly finished: finished=%v err=%v", j.finished, j.err)
+	}
+	j.failLocked(p, ErrPoolClosed)
+	if j.err != nil {
+		t.Fatalf("failLocked overwrote a finished job's success with %v", j.err)
+	}
+}
+
+func TestWarmIntervalsCoverBandWithShiftsAtCrossings(t *testing.T) {
+	shifts := []float64{10, 30, 90}
+	ivs := warmIntervals(0, 100, shifts, 16)
+	if len(ivs) != 3 {
+		t.Fatalf("got %d intervals, want 3", len(ivs))
+	}
+	// Contiguous cover of the whole band, shifts at the warm locations.
+	if ivs[0].lo != 0 || ivs[len(ivs)-1].hi != 100 {
+		t.Fatalf("band edges not covered: %+v", ivs)
+	}
+	for i, iv := range ivs {
+		if iv.shift != shifts[i] {
+			t.Fatalf("interval %d shift %g, want %g", i, iv.shift, shifts[i])
+		}
+		if iv.shift < iv.lo || iv.shift > iv.hi {
+			t.Fatalf("shift %g outside its interval [%g, %g]", iv.shift, iv.lo, iv.hi)
+		}
+		if i > 0 && math.Abs(iv.lo-ivs[i-1].hi) > 1e-12 {
+			t.Fatalf("gap between intervals %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestWarmIntervalsClusterAndClamp(t *testing.T) {
+	// Out-of-band shifts dropped; a dense cluster merges to one interval.
+	ivs := warmIntervals(0, 100, []float64{-5, 50, 50.001, 50.002, 300}, 8)
+	if len(ivs) != 1 {
+		t.Fatalf("got %d intervals, want 1 merged cluster: %+v", len(ivs), ivs)
+	}
+	if math.Abs(ivs[0].shift-50.001) > 1e-9 {
+		t.Fatalf("merged shift %g, want cluster mean 50.001", ivs[0].shift)
+	}
+	// Nothing usable: callers fall back to the cold start.
+	if warmIntervals(0, 100, []float64{-1, 101}, 8) != nil {
+		t.Fatal("expected nil for fully out-of-band shifts")
+	}
+	if warmIntervals(0, 100, nil, 8) != nil {
+		t.Fatal("expected nil for empty shift list")
 	}
 }

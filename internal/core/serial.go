@@ -15,6 +15,9 @@ import (
 // step depends on the radii of the previous ones, which is exactly the
 // data dependency that prevents naive parallelization.
 func SolveSerialBisection(op *hamiltonian.Op, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	opts.setDefaults()
 	start := time.Now()
 	res := &Result{}

@@ -16,6 +16,9 @@ import (
 // intervals a neighbouring disk has already swallowed — the ablation bench
 // quantifies exactly that wasted work against the dynamic scheduler.
 func SolveStaticGrid(op *hamiltonian.Op, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	opts.setDefaults()
 	start := time.Now()
 	res := &Result{}

@@ -1,0 +1,153 @@
+// Package fleet is the multi-model job engine: it accepts many passivity
+// characterization and enforcement jobs and runs all of them on ONE shared
+// worker pool (internal/core.Pool) sized to the machine, instead of letting
+// each solve spin up its own thread pool and oversubscribe the host.
+//
+// The workloads are embarrassingly parallel across models (the
+// Grivet-Talocia adaptive-sampling baseline, paper ref. [17], exploits the
+// same structure), but per-solve pools compose badly: N concurrent solves
+// × T threads each is N·T runnable goroutines fighting for T cores,
+// trashing caches exactly in the memory-bound Arnoldi hot path. Here every
+// solve feeds its tentative shift intervals into the one pool queue;
+// whichever worker frees up next takes the oldest interval of any job, so
+// the machine stays exactly full and a small job finishing early
+// immediately donates its workers to the big ones.
+//
+// Cancellation is per-job via contexts; the completion guarantee (the
+// certified disks of a finished job cover its whole search band) is
+// per-job and unaffected by sharing.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/passivity"
+	"repro/internal/statespace"
+)
+
+// ErrEngineClosed is returned by Submit after Close.
+var ErrEngineClosed = errors.New("fleet: engine closed")
+
+// Engine owns the shared worker pool and tracks in-flight jobs.
+type Engine struct {
+	pool *core.Pool
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts an engine whose shared pool has the given worker count
+// (≤ 0 means GOMAXPROCS). Close it to release the workers.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{pool: core.NewPool(workers)}
+}
+
+// Workers returns the shared pool's worker count.
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// Request is one unit of work for the engine.
+type Request struct {
+	// Model to analyze. Required.
+	Model *statespace.Model
+	// Char configures the characterization when Enforce is nil. Its
+	// Core.Pool field is managed by the engine; Core.Threads may stay zero
+	// to default to the pool width.
+	Char passivity.Options
+	// Enforce, when non-nil, turns the job into an enforcement run with
+	// these options (the characterization options then come from
+	// Enforce.Char, not from the Char field above).
+	Enforce *passivity.EnforceOptions
+}
+
+// Result is the outcome of a fleet job.
+type Result struct {
+	// Report is the passivity characterization — for enforcement jobs, the
+	// final (or, on enforcement failure, last) characterization.
+	Report *passivity.Report
+	// Model is the enforced model, set for enforcement jobs only. On an
+	// ErrEnforcementFailed error this is the partially-enforced model.
+	Model *statespace.Model
+	// EnforceReport summarizes the enforcement run (enforcement jobs only).
+	EnforceReport *passivity.EnforceReport
+}
+
+// Job is a handle to one submitted request.
+type Job struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// Done returns a channel closed when the job has finished.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes. On error the Result may still be
+// partially populated (notably passivity.ErrEnforcementFailed, which
+// carries the partially-enforced model and its report).
+func (j *Job) Wait() (*Result, error) {
+	<-j.done
+	return &j.res, j.err
+}
+
+// Submit registers a request and returns immediately; the heavy solver work
+// runs on the shared pool, coordinated by one lightweight goroutine per
+// job. The context cancels the job (shift-granular, like
+// core.SolveContext).
+func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
+	if req.Model == nil {
+		return nil, errors.New("fleet: nil model")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	e.wg.Add(1)
+	e.mu.Unlock()
+
+	j := &Job{done: make(chan struct{})}
+	go func() {
+		defer e.wg.Done()
+		defer close(j.done)
+		if req.Enforce != nil {
+			opts := *req.Enforce
+			opts.Char.Core.Pool = e.pool
+			model, rep, err := passivity.EnforceContext(ctx, req.Model, opts)
+			j.res.Model = model
+			j.res.EnforceReport = rep
+			if rep != nil {
+				j.res.Report = rep.FinalReport
+			}
+			j.err = err
+			return
+		}
+		opts := req.Char
+		opts.Core.Pool = e.pool
+		rep, err := passivity.CharacterizeContext(ctx, req.Model, opts)
+		j.res.Report = rep
+		j.err = err
+	}()
+	return j, nil
+}
+
+// Close waits for every submitted job to finish, then shuts the shared pool
+// down. Jobs the caller wants aborted should be canceled via their contexts
+// before Close.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.wg.Wait()
+	e.pool.Close()
+}

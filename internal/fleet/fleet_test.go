@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/arnoldi"
+	"repro/internal/core"
+	"repro/internal/passivity"
+	"repro/internal/statespace"
+)
+
+func genModel(t *testing.T, seed int64, order int, peak float64) *statespace.Model {
+	t.Helper()
+	m, err := statespace.Generate(seed, statespace.GenOptions{
+		Ports: 2, Order: order, TargetPeak: peak, GridPoints: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func charOpts(threads int) passivity.Options {
+	return passivity.Options{Core: core.Options{
+		Threads: threads, Seed: 11,
+		Arnoldi: arnoldi.SingleShiftParams{NWanted: 4, MaxDim: 40},
+	}}
+}
+
+// TestFleetMatchesSerialPerModel: N concurrent jobs on the shared pool must
+// produce crossings bit-identical to serial per-model characterizations.
+func TestFleetMatchesSerialPerModel(t *testing.T) {
+	type spec struct {
+		seed  int64
+		order int
+		peak  float64
+	}
+	specs := []spec{
+		{81, 24, 1.06},
+		{82, 30, 1.04},
+		{83, 26, 0.92},
+		{84, 28, 1.05},
+		{85, 22, 1.03},
+		{86, 20, 1.07},
+	}
+	// Serial per-model references, one standalone Characterize each.
+	refs := make([]*passivity.Report, len(specs))
+	for i, s := range specs {
+		rep, err := passivity.Characterize(genModel(t, s.seed, s.order, s.peak), charOpts(2))
+		if err != nil {
+			t.Fatalf("serial %d: %v", i, err)
+		}
+		refs[i] = rep
+	}
+	// All jobs concurrently on one shared pool.
+	e := New(4)
+	defer e.Close()
+	jobs := make([]*Job, len(specs))
+	for i, s := range specs {
+		j, err := e.Submit(context.Background(), Request{
+			Model: genModel(t, s.seed, s.order, s.peak),
+			Char:  charOpts(2),
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs[i] = j
+	}
+	for i, j := range jobs {
+		res, err := j.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		got, want := res.Report.Crossings, refs[i].Crossings
+		if len(got) != len(want) {
+			t.Fatalf("job %d: %d crossings, serial found %d", i, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("job %d crossing %d: fleet %v != serial %v (not bit-identical)",
+					i, k, got[k], want[k])
+			}
+		}
+		if res.Report.Passive != refs[i].Passive {
+			t.Fatalf("job %d: passivity verdict diverged", i)
+		}
+	}
+}
+
+// TestFleetCancellationNoGoroutineLeak: canceling a job mid-solve must
+// propagate ctx.Err() and, after Close, leave the goroutine count at the
+// baseline.
+func TestFleetCancellationNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	e := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	// A model big enough that the solve is still running when we cancel.
+	j, err := e.Submit(ctx, Request{
+		Model: genModel(t, 87, 80, 1.05),
+		Char:  charOpts(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second, uncanceled job sharing the pool must be unaffected.
+	j2, err := e.Submit(context.Background(), Request{
+		Model: genModel(t, 88, 20, 1.04),
+		Char:  charOpts(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	if _, err := j.Wait(); err == nil {
+		t.Log("job finished before cancellation took effect")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := j2.Wait(); err != nil {
+		t.Fatalf("sibling job failed after cancellation of another: %v", err)
+	}
+	e.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before, %d after close", before, runtime.NumGoroutine())
+}
+
+// TestFleetWarmEnforceMatchesCold: warm-started enforcement (the default)
+// must converge to the same enforced model as a cold-start run.
+func TestFleetWarmEnforceMatchesCold(t *testing.T) {
+	mkOpts := func(cold bool) *passivity.EnforceOptions {
+		return &passivity.EnforceOptions{Char: charOpts(2), ColdStart: cold}
+	}
+	e := New(4)
+	defer e.Close()
+	jWarm, err := e.Submit(context.Background(), Request{
+		Model: genModel(t, 89, 22, 1.05), Enforce: mkOpts(false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jCold, err := e.Submit(context.Background(), Request{
+		Model: genModel(t, 89, 22, 1.05), Enforce: mkOpts(true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := jWarm.Wait()
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	cold, err := jCold.Wait()
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if !warm.Report.Passive || !cold.Report.Passive {
+		t.Fatal("enforcement did not reach passivity")
+	}
+	if warm.EnforceReport.Iterations != cold.EnforceReport.Iterations {
+		t.Fatalf("iteration counts diverged: warm %d, cold %d",
+			warm.EnforceReport.Iterations, cold.EnforceReport.Iterations)
+	}
+	// Same perturbed model: the warm start changes only shift placement,
+	// never the characterization outcome the perturbation is built from.
+	for k := range warm.Model.Cols {
+		if !warm.Model.Cols[k].C.Equalish(cold.Model.Cols[k].C, 1e-12) {
+			t.Fatalf("column %d residues diverged between warm and cold enforcement", k)
+		}
+	}
+	// The point of the warm start: it must not cost more solver work.
+	w, c := warm.EnforceReport.SolverTotals.ShiftsProcessed, cold.EnforceReport.SolverTotals.ShiftsProcessed
+	t.Logf("ShiftsProcessed: warm %d, cold %d", w, c)
+	if w > c {
+		t.Fatalf("warm start processed MORE shifts than cold start: %d > %d", w, c)
+	}
+}
+
+// TestFleetSubmitAfterClose: Submit on a closed engine fails cleanly.
+func TestFleetSubmitAfterClose(t *testing.T) {
+	e := New(1)
+	e.Close()
+	if _, err := e.Submit(context.Background(), Request{Model: genModel(t, 90, 10, 1.0)}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("want ErrEngineClosed, got %v", err)
+	}
+}
+
+// TestFleetNilModelRejected: a nil model errors at Submit, not at Wait.
+func TestFleetNilModelRejected(t *testing.T) {
+	e := New(1)
+	defer e.Close()
+	if _, err := e.Submit(context.Background(), Request{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}

@@ -6,6 +6,7 @@
 package passivity
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -59,16 +60,35 @@ func (o *Options) setDefaults() {
 	}
 }
 
+// validate rejects negative option values (the core solver validates its
+// own on Submit; doing it here surfaces the error before any solver work).
+func (o *Options) validate() error {
+	if o.ProbePoints < 0 {
+		return fmt.Errorf("passivity: ProbePoints must be ≥ 0, got %d", o.ProbePoints)
+	}
+	return nil
+}
+
 // Characterize computes the full passivity characterization of the model:
 // the imaginary Hamiltonian eigenvalues give the exact crossing
 // frequencies, and a σ_max probe in every enclosed band classifies it.
 func Characterize(m *statespace.Model, opts Options) (*Report, error) {
+	return CharacterizeContext(context.Background(), m, opts)
+}
+
+// CharacterizeContext is Characterize with cancellation/deadline support:
+// the context is threaded into the eigensolver (which drops its remaining
+// shifts on cancellation) and checked between per-band σ probes.
+func CharacterizeContext(ctx context.Context, m *statespace.Model, opts Options) (*Report, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	opts.setDefaults()
 	op, err := hamiltonian.New(m, hamiltonian.Scattering)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Solve(op, opts.Core)
+	res, err := core.SolveContext(ctx, op, opts.Core)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +97,7 @@ func Characterize(m *statespace.Model, opts Options) (*Report, error) {
 		OmegaMax:  res.OmegaMax,
 		Solver:    res.Stats,
 	}
-	rep.Bands, err = classifyBands(m, res.Crossings, res.OmegaMax, opts.ProbePoints)
+	rep.Bands, err = classifyBands(ctx, m, res.Crossings, res.OmegaMax, opts.ProbePoints)
 	if err != nil {
 		return nil, err
 	}
@@ -86,14 +106,24 @@ func Characterize(m *statespace.Model, opts Options) (*Report, error) {
 }
 
 // classifyBands cuts [0, ∞) at the crossing frequencies and probes σ_max
-// inside each band.
-func classifyBands(m *statespace.Model, crossings []float64, omegaMax float64, probes int) ([]Band, error) {
+// inside each band. Probe windows are clamped to the certified search
+// bound omegaMax: beyond it the Hamiltonian test has certified no further
+// crossings, but σ values out there are outside the certificate and once
+// probed could misclassify the terminal band (e.g. a crossing just below
+// omegaMax whose doubled window 2·lo used to overshoot the bound). The one
+// exception is the degenerate terminal band opening at omegaMax itself,
+// which has no certified interior and is classified from a thin sliver
+// just past the edge.
+func classifyBands(ctx context.Context, m *statespace.Model, crossings []float64, omegaMax float64, probes int) ([]Band, error) {
 	edges := append([]float64{0}, crossings...)
 	bands := make([]Band, 0, len(edges))
 	for i := range edges {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lo := edges[i]
 		hi := math.Inf(1)
-		probeHi := 2 * lo
+		probeHi := math.Min(2*lo, omegaMax)
 		if i+1 < len(edges) {
 			hi = edges[i+1]
 			probeHi = hi
@@ -101,7 +131,11 @@ func classifyBands(m *statespace.Model, crossings []float64, omegaMax float64, p
 			probeHi = omegaMax // passive model: probe the whole searched band
 		}
 		if probeHi <= lo {
-			probeHi = lo + math.Max(lo, omegaMax)*0.5
+			// Terminal band opening at (or within rounding of) the certified
+			// bound: probe a thin sliver just past the edge — the closest
+			// window that still classifies which side of the threshold the
+			// band sits on.
+			probeHi = lo * (1 + 1e-6)
 		}
 		b := Band{Lo: lo, Hi: hi}
 		peakW, peakS, err := probePeak(m, lo, probeHi, probes)

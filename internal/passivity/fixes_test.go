@@ -1,0 +1,143 @@
+package passivity
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestClassifyBandsClampsTerminalProbe: with a crossing near the certified
+// search bound, the terminal band's probe window (previously 2·lo) must be
+// clamped to omegaMax instead of sampling frequencies the Hamiltonian test
+// never certified.
+func TestClassifyBandsClampsTerminalProbe(t *testing.T) {
+	m := genModel(t, 57, 20, 1.05)
+	omegaMax := 3 * m.MaxPoleMagnitude()
+	// Synthetic crossing at 90% of the bound: 2·lo would overshoot by 80%.
+	crossing := 0.9 * omegaMax
+	bands, err := classifyBands(context.Background(), m, []float64{crossing}, omegaMax, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bands) != 2 {
+		t.Fatalf("%d bands, want 2", len(bands))
+	}
+	term := bands[1]
+	if !math.IsInf(term.Hi, 1) {
+		t.Fatal("terminal band must extend to +Inf")
+	}
+	if term.PeakOmega > omegaMax {
+		t.Fatalf("terminal probe escaped the certified bound: peak ω %g > ω_max %g",
+			term.PeakOmega, omegaMax)
+	}
+	if term.PeakOmega <= crossing {
+		t.Fatalf("terminal probe did not search past the crossing: peak ω %g", term.PeakOmega)
+	}
+}
+
+// TestClassifyBandsCrossingAtBound: the degenerate case — a crossing at the
+// bound itself — must classify via a thin sliver instead of erroring out.
+func TestClassifyBandsCrossingAtBound(t *testing.T) {
+	m := genModel(t, 58, 16, 1.03)
+	omegaMax := 2 * m.MaxPoleMagnitude()
+	bands, err := classifyBands(context.Background(), m, []float64{omegaMax}, omegaMax, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term := bands[len(bands)-1]
+	if term.PeakOmega < omegaMax || term.PeakOmega > omegaMax*(1+2e-6) {
+		t.Fatalf("sliver probe at %g outside [ω_max, ω_max·(1+2e-6)]", term.PeakOmega)
+	}
+}
+
+// TestEnforceFailureReturnsPartialModel: when the iteration budget runs out
+// the partially-enforced model and the last characterization must come back
+// with the error — previously both were discarded and a full extra
+// characterization ran just to format the message.
+func TestEnforceFailureReturnsPartialModel(t *testing.T) {
+	m := genModel(t, 46, 22, 1.30)
+	work, rep, err := Enforce(m, EnforceOptions{Char: charOpts(), MaxIters: 1})
+	if err == nil {
+		t.Skip("enforcement converged in one pass")
+	}
+	if !errors.Is(err, ErrEnforcementFailed) {
+		t.Fatalf("want ErrEnforcementFailed, got %v", err)
+	}
+	if work == nil {
+		t.Fatal("partial model discarded on failure")
+	}
+	if rep == nil || rep.FinalReport == nil {
+		t.Fatal("report discarded on failure")
+	}
+	if rep.Iterations != 1 {
+		t.Fatalf("Iterations = %d, want the exhausted budget 1", rep.Iterations)
+	}
+	if rep.FinalWorst <= 1 {
+		t.Fatalf("failed run reports FinalWorst %g ≤ 1", rep.FinalWorst)
+	}
+	// The partial model must actually be perturbed (progress was made).
+	same := true
+	for k := range m.Cols {
+		if !work.Cols[k].C.Equalish(m.Cols[k].C, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("partial model identical to input: no perturbation applied")
+	}
+	if rep.SolverTotals.ShiftsProcessed == 0 {
+		t.Fatal("SolverTotals not accumulated")
+	}
+}
+
+// TestEnforceAccumulatesSolverTotals: SolverTotals must cover every
+// characterization of a successful run (≥ the final report's own stats,
+// and > them when more than one iteration ran).
+func TestEnforceAccumulatesSolverTotals(t *testing.T) {
+	m := genModel(t, 44, 22, 1.05)
+	_, rep, err := Enforce(m, EnforceOptions{Char: charOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SolverTotals.ShiftsProcessed < rep.FinalReport.Solver.ShiftsProcessed {
+		t.Fatalf("SolverTotals %d < final iteration's %d",
+			rep.SolverTotals.ShiftsProcessed, rep.FinalReport.Solver.ShiftsProcessed)
+	}
+	if rep.Iterations > 0 && rep.SolverTotals.ShiftsProcessed <= rep.FinalReport.Solver.ShiftsProcessed {
+		t.Fatal("SolverTotals does not include earlier iterations")
+	}
+}
+
+// TestEnforceNegativeOptionsRejected: negative enforcement options must
+// error instead of (for MaxIters < 0) skipping the loop and panicking on
+// the nil last characterization.
+func TestEnforceNegativeOptionsRejected(t *testing.T) {
+	m := genModel(t, 59, 10, 1.02)
+	for _, o := range []EnforceOptions{
+		{MaxIters: -1},
+		{Margin: -1e-3},
+		{MaxSigmaPerBand: -2},
+		{Char: Options{ProbePoints: -5}},
+	} {
+		o.Char.Core.Threads = 1
+		if _, _, err := Enforce(m, o); err == nil {
+			t.Errorf("%+v: negative option accepted", o)
+		}
+	}
+	if _, err := Characterize(m, Options{ProbePoints: -5}); err == nil {
+		t.Error("Characterize accepted negative ProbePoints")
+	}
+}
+
+// TestEnforceContextCancel: a canceled context aborts enforcement with
+// ctx.Err().
+func TestEnforceContextCancel(t *testing.T) {
+	m := genModel(t, 44, 22, 1.05)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := EnforceContext(ctx, m, EnforceOptions{Char: charOpts()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

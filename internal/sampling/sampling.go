@@ -76,31 +76,38 @@ type Result struct {
 	Passive bool
 }
 
-// sample caches σ_max evaluations on demand.
+// sampleEntry is one single-flight σ_max evaluation: the first goroutine to
+// request ω owns the computation; later requesters block on done.
+type sampleEntry struct {
+	done chan struct{}
+	val  float64
+	err  error
+}
+
+// sampler caches σ_max evaluations on demand with per-ω single-flight:
+// concurrent misses on the same frequency used to race past the lock and
+// evaluate (and count) the same σ twice.
 type sampler struct {
 	m     *statespace.Model
 	mu    sync.Mutex
-	cache map[float64]float64
+	cache map[float64]*sampleEntry
 	evals int
-	wkr   chan struct{}
 }
 
 func (s *sampler) sigma(w float64) (float64, error) {
 	s.mu.Lock()
-	if v, ok := s.cache[w]; ok {
+	if e, ok := s.cache[w]; ok {
 		s.mu.Unlock()
-		return v, nil
+		<-e.done
+		return e.val, e.err
 	}
-	s.mu.Unlock()
-	v, err := s.m.MaxSigma(w)
-	if err != nil {
-		return 0, err
-	}
-	s.mu.Lock()
-	s.cache[w] = v
+	e := &sampleEntry{done: make(chan struct{})}
+	s.cache[w] = e
 	s.evals++
 	s.mu.Unlock()
-	return v, nil
+	e.val, e.err = s.m.MaxSigma(w)
+	close(e.done)
+	return e.val, e.err
 }
 
 // Characterize runs the adaptive sweep and returns the detected crossings.
@@ -109,7 +116,7 @@ func Characterize(m *statespace.Model, opts Options) (*Result, error) {
 	if opts.OmegaMax <= opts.OmegaMin {
 		return nil, errors.New("sampling: empty band")
 	}
-	s := &sampler{m: m, cache: make(map[float64]float64)}
+	s := &sampler{m: m, cache: make(map[float64]*sampleEntry)}
 
 	// Bootstrap grid: log-spaced plus the resonance frequencies (an
 	// adaptive sampler in the spirit of [17] seeds on the model poles).

@@ -1,0 +1,51 @@
+package sampling
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/statespace"
+)
+
+// TestSamplerSingleFlight: concurrent requests for the same ω must share
+// one evaluation — the old implementation dropped the lock around MaxSigma
+// and double-evaluated (and double-counted) concurrent misses.
+func TestSamplerSingleFlight(t *testing.T) {
+	m, err := statespace.Generate(71, statespace.GenOptions{
+		Ports: 2, Order: 16, TargetPeak: 1.02, GridPoints: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &sampler{m: m, cache: make(map[float64]*sampleEntry)}
+	freqs := []float64{1e8, 2e8, 3e8}
+	const goroutinesPerFreq = 16
+	var wg sync.WaitGroup
+	vals := make([][]float64, len(freqs))
+	for fi := range freqs {
+		vals[fi] = make([]float64, goroutinesPerFreq)
+		for g := 0; g < goroutinesPerFreq; g++ {
+			wg.Add(1)
+			go func(fi, g int) {
+				defer wg.Done()
+				v, err := s.sigma(freqs[fi])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				vals[fi][g] = v
+			}(fi, g)
+		}
+	}
+	wg.Wait()
+	if s.evals != len(freqs) {
+		t.Fatalf("evals = %d, want exactly %d (one per distinct ω)", s.evals, len(freqs))
+	}
+	for fi := range freqs {
+		for g := 1; g < goroutinesPerFreq; g++ {
+			if vals[fi][g] != vals[fi][0] {
+				t.Fatalf("ω %g: inconsistent cached values", freqs[fi])
+			}
+		}
+	}
+}

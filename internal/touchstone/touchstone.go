@@ -57,6 +57,10 @@ type Data struct {
 	Samples   []vectfit.Sample
 }
 
+// dbFloor is the magnitude floor used by Write in DB format: exact zeros
+// (|S| = 0 ⇒ −Inf dB) are clamped here so the emitted file stays parseable.
+const dbFloor = -300
+
 var unitScale = map[string]float64{
 	"HZ": 2 * math.Pi, "KHZ": 2 * math.Pi * 1e3,
 	"MHZ": 2 * math.Pi * 1e6, "GHZ": 2 * math.Pi * 1e9,
@@ -120,6 +124,12 @@ func Parse(r io.Reader, ports int) (*Data, error) {
 				}
 			}
 			continue
+		}
+		if !sawOption {
+			// The spec puts the option line before any data. Guessing the
+			// GHz/MA defaults for headerless data silently misscales every
+			// frequency when the file was actually Hz/RI.
+			return nil, errors.New("touchstone: data before the # option line")
 		}
 		for _, f := range strings.Fields(line) {
 			v, err := strconv.ParseFloat(f, 64)
@@ -203,6 +213,12 @@ func Write(w io.Writer, samples []vectfit.Sample, format Format, reference float
 				a, b = cmplx.Abs(v), cmplx.Phase(v)*180/math.Pi
 			case DB:
 				a, b = 20*math.Log10(cmplx.Abs(v)), cmplx.Phase(v)*180/math.Pi
+				// 20·log10(0) = −Inf, which Parse (and every other reader)
+				// rejects; clamp exact zeros and denormal magnitudes to a
+				// floor far below any physical S-parameter dynamic range.
+				if a < dbFloor {
+					a = dbFloor
+				}
 			}
 			fmt.Fprintf(bw, " %.12g %.12g", a, b)
 			// Wrap rows for n≥3 ports per the spec's readability rule.

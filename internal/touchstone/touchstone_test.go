@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/mat"
 	"repro/internal/statespace"
 	"repro/internal/vectfit"
 )
@@ -118,15 +119,55 @@ func TestParseRejectsBadInput(t *testing.T) {
 	}
 }
 
-func TestDefaultFormatIsMA(t *testing.T) {
-	// Without an option line, Touchstone defaults to GHz S MA R 50.
-	src := "1 1.0 90\n" // magnitude 1 at +90° = j
+func TestParseRejectsDataBeforeOptionLine(t *testing.T) {
+	// Data ahead of (or without) the # line used to be parsed with assumed
+	// GHz/MA defaults — wrong by orders of magnitude for an Hz/RI file.
+	for name, src := range map[string]string{
+		"no option line":   "1 1.0 90\n",
+		"data then option": "1 1.0 90\n# GHz S MA R 50\n2 1.0 90\n",
+	} {
+		if _, err := Parse(strings.NewReader(src), 1); err == nil ||
+			!strings.Contains(err.Error(), "option line") {
+			t.Fatalf("%s: want an option-line error, got %v", name, err)
+		}
+	}
+	// Comments and blank lines before the option line stay legal.
+	src := "! header comment\n\n# GHz S MA R 50\n1 1.0 90\n"
 	d, err := Parse(strings.NewReader(src), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cmplx.Abs(d.Samples[0].H.At(0, 0)-complex(0, 1)) > 1e-12 {
-		t.Fatalf("MA default broken: %v", d.Samples[0].H.At(0, 0))
+		t.Fatalf("MA parse broken: %v", d.Samples[0].H.At(0, 0))
+	}
+}
+
+func TestWriteDBClampsZeroMagnitude(t *testing.T) {
+	// An exactly-zero entry is 20·log10(0) = −Inf dB, which Parse rejects;
+	// Write must clamp it to the −300 dB floor and round-trip cleanly.
+	h := mat.NewCDense(2, 2)
+	h.Set(0, 0, 0.5)
+	h.Set(1, 1, 0.25+0.25i)
+	// (0,1) and (1,0) stay exactly zero.
+	in := []vectfit.Sample{{Omega: 2 * math.Pi * 1e9, H: h}}
+	var buf bytes.Buffer
+	if err := Write(&buf, in, DB, 50); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Inf") {
+		t.Fatalf("DB output contains Inf:\n%s", buf.String())
+	}
+	d, err := Parse(bytes.NewReader(buf.Bytes()), 2)
+	if err != nil {
+		t.Fatalf("clamped DB file does not parse: %v", err)
+	}
+	got := d.Samples[0].H
+	if cmplx.Abs(got.At(0, 0)-0.5) > 1e-9 {
+		t.Fatalf("S11 = %v", got.At(0, 0))
+	}
+	// −300 dB = 1e-15: numerically zero for S-parameters.
+	if cmplx.Abs(got.At(0, 1)) > 1.1e-15 || cmplx.Abs(got.At(1, 0)) > 1.1e-15 {
+		t.Fatalf("clamped zeros came back too large: %v %v", got.At(0, 1), got.At(1, 0))
 	}
 }
 

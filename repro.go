@@ -15,7 +15,11 @@
 //     Arnoldi eigensolver with dynamic shift scheduling (Sec. IV) that
 //     extracts all purely imaginary Hamiltonian eigenvalues;
 //   - passivity characterization (violation bands) and iterative residue-
-//     perturbation enforcement built on that eigensolver.
+//     perturbation enforcement built on that eigensolver;
+//   - a fleet engine (NewFleet) that runs many concurrent characterization
+//     and enforcement jobs on one shared worker pool, with per-job
+//     context cancellation and warm-started enforcement
+//     re-characterizations.
 //
 // Quick start:
 //
@@ -30,10 +34,12 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/arnoldi"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/hamiltonian"
 	"repro/internal/mat"
 	"repro/internal/passivity"
@@ -193,11 +199,30 @@ func Characterize(m *Model, opts CharOptions) (*Report, error) {
 	return passivity.Characterize(m, opts)
 }
 
+// CharacterizeContext is Characterize with cancellation/deadline support:
+// on cancellation the eigensolver drops its remaining shifts and the error
+// is ctx.Err().
+func CharacterizeContext(ctx context.Context, m *Model, opts CharOptions) (*Report, error) {
+	return passivity.CharacterizeContext(ctx, m, opts)
+}
+
 // Enforce perturbs the residues of a non-passive model until the
 // Hamiltonian test reports passivity. The input model is not modified.
+// When the iteration budget is exhausted with violations remaining, the
+// partially-enforced model and its report are returned alongside an error
+// wrapping ErrEnforcementFailed.
 func Enforce(m *Model, opts EnforceOptions) (*Model, *EnforceReport, error) {
 	return passivity.Enforce(m, opts)
 }
+
+// EnforceContext is Enforce with cancellation/deadline support.
+func EnforceContext(ctx context.Context, m *Model, opts EnforceOptions) (*Model, *EnforceReport, error) {
+	return passivity.EnforceContext(ctx, m, opts)
+}
+
+// ErrEnforcementFailed marks an enforcement run that exhausted its
+// iteration budget; the partial model and report accompany it.
+var ErrEnforcementFailed = passivity.ErrEnforcementFailed
 
 // VerifyBySampling cross-checks a characterization against a σ_max sweep.
 func VerifyBySampling(m *Model, rep *Report, points int) error {
@@ -254,6 +279,29 @@ func ParseTouchstone(r io.Reader, ports int) (*TouchstoneData, error) {
 func WriteTouchstone(w io.Writer, samples []VFSample, format TouchstoneFormat, reference float64) error {
 	return touchstone.Write(w, samples, format, reference)
 }
+
+// ---- the fleet engine (shared-pool multi-model jobs) ----
+
+// Fleet runs many concurrent Characterize/Enforce jobs on one shared
+// worker pool sized to the machine, instead of oversubscribing it with
+// per-solve thread pools. Submit returns a FleetJob handle; cancellation
+// is per-job via contexts.
+type Fleet = fleet.Engine
+
+// FleetRequest describes one fleet job: a model plus either
+// characterization options or (when Enforce is non-nil) enforcement
+// options.
+type FleetRequest = fleet.Request
+
+// FleetJob is the handle of a submitted fleet job.
+type FleetJob = fleet.Job
+
+// FleetResult is the outcome of a fleet job.
+type FleetResult = fleet.Result
+
+// NewFleet starts a fleet engine with the given shared-pool worker count
+// (≤ 0 means GOMAXPROCS). Close it to release the workers.
+func NewFleet(workers int) *Fleet { return fleet.New(workers) }
 
 // ---- adaptive-sampling baseline (paper ref. [17]) ----
 
