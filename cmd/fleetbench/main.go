@@ -11,6 +11,14 @@
 //  3. Warm-start A/B — enforcement on a violating case with and without
 //     warm-started re-characterizations, reporting the drop in total
 //     Stats.ShiftsProcessed.
+//  4. Priority + admission — batch enforcement jobs fill a bounded-
+//     admission engine, then an interactive characterization submitted
+//     mid-batch must overtake the queued batch work and finish first; a
+//     fail-fast engine at its cap must reject the over-cap submit.
+//
+// The fleet phase also reports per-phase pool utilization (eig / probe /
+// constraint task counts and worker-busy share), so the probe-phase
+// speedup from pool-routed classifyBands stays trackable.
 //
 // Results go to stdout and to -json (BENCH_fleet.json) so the throughput
 // trajectory stays trackable across PRs.
@@ -21,11 +29,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -62,16 +72,36 @@ type warmRow struct {
 	Passive       bool    `json:"passive"`
 }
 
+type phaseRow struct {
+	Phase       string  `json:"phase"`
+	Tasks       int     `json:"tasks"`
+	BusyNS      int64   `json:"busy_ns"`
+	Utilization float64 `json:"utilization"` // busy / (workers × fleet wall)
+}
+
+type priorityRow struct {
+	BatchJobs         int     `json:"batch_jobs"`
+	MaxQueued         int     `json:"max_queued"`
+	InteractiveNS     int64   `json:"interactive_ns"`
+	LastBatchNS       int64   `json:"last_batch_ns"`
+	Overtook          bool    `json:"interactive_overtook_batch"`
+	OvertakeFactor    float64 `json:"overtake_factor"` // last batch / interactive latency
+	FailFastRejected  bool    `json:"failfast_rejected"`
+	FailFastMaxQueued int     `json:"failfast_max_queued"`
+}
+
 type benchOut struct {
-	Workers         int       `json:"workers"`
-	HostCores       int       `json:"host_cores"`
-	Cases           []caseRow `json:"cases"`
-	SoloWallNS      int64     `json:"solo_wall_ns"`
-	FleetWallNS     int64     `json:"fleet_wall_ns"`
-	Speedup         float64   `json:"speedup"`
-	ThroughputJobsS float64   `json:"fleet_throughput_jobs_per_s"`
-	AllBitIdentical bool      `json:"all_crossings_bit_identical"`
-	WarmStart       *warmRow  `json:"warmstart,omitempty"`
+	Workers         int          `json:"workers"`
+	HostCores       int          `json:"host_cores"`
+	Cases           []caseRow    `json:"cases"`
+	SoloWallNS      int64        `json:"solo_wall_ns"`
+	FleetWallNS     int64        `json:"fleet_wall_ns"`
+	Speedup         float64      `json:"speedup"`
+	ThroughputJobsS float64      `json:"fleet_throughput_jobs_per_s"`
+	AllBitIdentical bool         `json:"all_crossings_bit_identical"`
+	Phases          []phaseRow   `json:"fleet_phase_utilization"`
+	WarmStart       *warmRow     `json:"warmstart,omitempty"`
+	Priority        *priorityRow `json:"priority,omitempty"`
 }
 
 func main() {
@@ -80,6 +110,7 @@ func main() {
 	cacheDir := flag.String("cache", "testdata/cases", "model cache directory")
 	jsonOut := flag.String("json", "BENCH_fleet.json", "machine-readable output file (empty to disable)")
 	warmCase := flag.Int("warmcase", 2, "violating Table-I case for the warm-start A/B (0 to skip)")
+	prioCase := flag.Int("priocase", 2, "violating Table-I case for the batch jobs of the priority/admission demo (0 to skip)")
 	flag.Parse()
 
 	specs := repro.TableICases()
@@ -163,6 +194,26 @@ func main() {
 	}
 	out.FleetWallNS = time.Since(fleetStart).Nanoseconds()
 	latencyWG.Wait()
+	// Per-phase worker utilization of the fleet run: which fraction of the
+	// pool's capacity each compute phase kept busy.
+	stats := engine.PhaseStats()
+	phases := make([]string, 0, len(stats))
+	for ph := range stats {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	// engine.Workers() is the clamped worker count (-workers 0 means
+	// GOMAXPROCS); the raw flag would make the capacity zero.
+	capacity := float64(engine.Workers()) * float64(out.FleetWallNS)
+	for _, ph := range phases {
+		st := stats[ph]
+		out.Phases = append(out.Phases, phaseRow{
+			Phase: ph, Tasks: st.Tasks, BusyNS: st.Busy.Nanoseconds(),
+			Utilization: float64(st.Busy.Nanoseconds()) / capacity,
+		})
+		fmt.Printf("phase %-10s %6d tasks, %8.3fs busy, %5.1f%% of pool capacity\n",
+			ph, st.Tasks, st.Busy.Seconds(), 100*float64(st.Busy.Nanoseconds())/capacity)
+	}
 	engine.Close()
 
 	fmt.Printf("%-7s %5s %4s %8s %4s %6s | %9s %9s | %4s\n",
@@ -235,6 +286,85 @@ func main() {
 		fmt.Printf("warm-start A/B (case %d, %d iterations): shifts cold %d → warm %d (%.1f%% saved), time %.3fs → %.3fs\n",
 			w.Case, w.Iterations, w.ColdShifts, w.WarmShifts, w.ShiftsSavedPC,
 			float64(w.ColdNS)/1e9, float64(w.WarmNS)/1e9)
+	}
+
+	// Phase 4: priority + admission demo. Batch enforcement jobs fill a
+	// bounded-admission engine; an interactive characterization submitted
+	// mid-batch must overtake the queued batch work.
+	if *prioCase > 0 {
+		spec, err := repro.FindCase(*prioCase)
+		if err != nil {
+			log.Fatal(err)
+		}
+		batchModel, err := statespace.CachedCase(spec, *cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		interSpec := specs[0]
+		interModel, err := statespace.CachedCase(interSpec, *cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		const nBatch = 3
+		pr := priorityRow{BatchJobs: nBatch, MaxQueued: nBatch + 1}
+		eng := repro.NewFleetEngine(repro.FleetOptions{Workers: *workers, MaxQueued: pr.MaxQueued})
+		prioStart := time.Now()
+		batchJobs := make([]*repro.FleetJob, nBatch)
+		for i := range batchJobs {
+			j, err := eng.Submit(context.Background(), repro.FleetRequest{
+				Model:    batchModel,
+				Enforce:  &repro.EnforceOptions{Char: charOpts()},
+				Priority: repro.PriorityBatch,
+			})
+			if err != nil {
+				log.Fatalf("batch submit %d: %v", i, err)
+			}
+			batchJobs[i] = j
+		}
+		inter, err := eng.Submit(context.Background(), repro.FleetRequest{
+			Model:    interModel,
+			Char:     charOpts(),
+			Priority: repro.PriorityInteractive,
+		})
+		if err != nil {
+			log.Fatalf("interactive submit: %v", err)
+		}
+		if _, err := inter.Wait(); err != nil {
+			log.Fatalf("interactive job: %v", err)
+		}
+		pr.InteractiveNS = time.Since(prioStart).Nanoseconds()
+		for i, j := range batchJobs {
+			if _, err := j.Wait(); err != nil && !errors.Is(err, repro.ErrEnforcementFailed) {
+				log.Fatalf("batch job %d: %v", i, err)
+			}
+		}
+		pr.LastBatchNS = time.Since(prioStart).Nanoseconds()
+		pr.Overtook = pr.InteractiveNS < pr.LastBatchNS
+		pr.OvertakeFactor = float64(pr.LastBatchNS) / float64(pr.InteractiveNS)
+		eng.Close()
+
+		// Admission fail-fast: a second engine at its cap must reject.
+		pr.FailFastMaxQueued = 1
+		ff := repro.NewFleetEngine(repro.FleetOptions{Workers: 1, MaxQueued: 1, FailFast: true})
+		hold, err := ff.Submit(context.Background(), repro.FleetRequest{
+			Model: interModel, Char: charOpts(),
+		})
+		if err != nil {
+			log.Fatalf("fail-fast holder: %v", err)
+		}
+		_, err = ff.Submit(context.Background(), repro.FleetRequest{
+			Model: interModel, Char: charOpts(),
+		})
+		pr.FailFastRejected = errors.Is(err, repro.ErrFleetQueueFull)
+		if _, err := hold.Wait(); err != nil {
+			log.Fatalf("fail-fast holder job: %v", err)
+		}
+		ff.Close()
+
+		out.Priority = &pr
+		fmt.Printf("priority demo: interactive case %d done in %.3fs vs %.3fs for %d batch enforcements of case %d (overtook: %v, %.1fx headroom); fail-fast over-cap rejected: %v\n",
+			interSpec.ID, float64(pr.InteractiveNS)/1e9, float64(pr.LastBatchNS)/1e9,
+			nBatch, spec.ID, pr.Overtook, pr.OvertakeFactor, pr.FailFastRejected)
 	}
 
 	if *jsonOut != "" {

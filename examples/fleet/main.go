@@ -1,8 +1,9 @@
 // Command fleet demonstrates the shared-pool job engine: a batch of
 // macromodels characterized (and the non-passive ones enforced)
-// concurrently on ONE worker pool sized to the machine, with a deadline on
-// the whole batch. Compare examples/quickstart, which runs a single model
-// with a private pool.
+// concurrently on ONE worker pool sized to the machine, with bounded
+// admission, a deadline on the whole batch, and an interactive job that
+// overtakes the queued batch work. Compare examples/quickstart, which
+// runs a single model with a private pool.
 package main
 
 import (
@@ -20,16 +21,21 @@ import (
 func main() {
 	jobs := flag.Int("jobs", 6, "number of synthetic models in the batch")
 	workers := flag.Int("workers", runtime.NumCPU(), "shared pool worker count")
+	maxQueued := flag.Int("maxqueued", 0, "admission cap on in-flight jobs (0 = unbounded)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "deadline for the whole batch")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	engine := repro.NewFleet(*workers)
+	engine := repro.NewFleetEngine(repro.FleetOptions{
+		Workers:   *workers,
+		MaxQueued: *maxQueued, // Submit blocks when the queue is full
+	})
 	defer engine.Close()
 
-	fmt.Printf("fleet: %d jobs on a shared pool of %d workers\n", *jobs, engine.Workers())
+	fmt.Printf("fleet: %d batch jobs on a shared pool of %d workers (admission cap %d)\n",
+		*jobs, engine.Workers(), *maxQueued)
 	start := time.Now()
 	handles := make([]*repro.FleetJob, *jobs)
 	for i := range handles {
@@ -43,14 +49,35 @@ func main() {
 		// Non-passive models get enforced; Enforce characterizes first, so
 		// submitting everything as an enforcement job is not wasteful.
 		h, err := engine.Submit(ctx, repro.FleetRequest{
-			Model:   model,
-			Enforce: &repro.EnforceOptions{},
+			Model:    model,
+			Enforce:  &repro.EnforceOptions{},
+			Priority: repro.PriorityBatch,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		handles[i] = h
 	}
+
+	// An interactive characterization submitted mid-batch: its tasks pop
+	// before any queued batch task, so it returns while the batch grinds.
+	small, err := repro.GenerateModel(99, repro.GenOptions{Ports: 2, Order: 40, TargetPeak: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	interactive, err := engine.Submit(ctx, repro.FleetRequest{
+		Model:    small,
+		Priority: repro.PriorityInteractive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ires, err := interactive.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interactive job done in %.2fs (passive=%v) while the batch keeps running\n",
+		time.Since(start).Seconds(), ires.Report.Passive)
 
 	for i, h := range handles {
 		res, err := h.Wait()
@@ -69,5 +96,8 @@ func main() {
 				res.EnforceReport.ResidueChange)
 		}
 	}
-	fmt.Printf("batch done in %.2fs\n", time.Since(start).Seconds())
+	fmt.Printf("batch done in %.2fs; per-phase pool work:\n", time.Since(start).Seconds())
+	for ph, st := range engine.PhaseStats() {
+		fmt.Printf("  %-10s %6d tasks %10.3fs busy\n", ph, st.Tasks, st.Busy.Seconds())
+	}
 }

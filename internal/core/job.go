@@ -1,0 +1,331 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/hamiltonian"
+)
+
+func errShiftBudget(max int) error {
+	return fmt.Errorf("core: shift budget %d exhausted", max)
+}
+
+// Submit registers one multi-shift solve with the pool and returns a Job
+// handle. The job's tentative intervals are queued as PhaseEig tasks under
+// opts.Client (an ephemeral default-priority client when nil). The ω_max
+// estimate (when Options.OmegaMax is zero) runs in the calling goroutine;
+// the shifts themselves run on the pool workers. The context cancels or
+// deadlines the job: remaining tentative intervals are dropped and Wait
+// returns ctx.Err() once in-flight shifts drain (cancellation granularity
+// is one shift).
+func (p *Pool) Submit(ctx context.Context, op *hamiltonian.Op, opts Options) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	client := opts.Client
+	if client != nil && client.pool != p {
+		return nil, errors.New("core: Options.Client is registered with a different pool")
+	}
+	if client == nil {
+		client = p.NewClient(ClientOptions{})
+	}
+	if opts.Threads == 0 {
+		// Jobs on a shared pool default their parallelism hint (initial
+		// interval count N = κT, refinement concurrency) to the pool width.
+		opts.Threads = p.workers
+	}
+	opts.setDefaults()
+	start := time.Now()
+
+	omegaMax := opts.OmegaMax
+	if omegaMax == 0 {
+		// The estimate runs on the submitting goroutine; bound the burst of
+		// N concurrent submits with the global refinement semaphore so it
+		// cannot oversubscribe the machine the pool is sized to.
+		refineSem <- struct{}{}
+		est, err := EstimateOmegaMax(op, opts.Seed)
+		<-refineSem
+		if err != nil {
+			return nil, err
+		}
+		omegaMax = est
+	}
+	if omegaMax <= opts.OmegaMin {
+		return nil, fmt.Errorf("core: empty band [%g, %g]", opts.OmegaMin, omegaMax)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	j := &Job{
+		op:       op,
+		opts:     opts,
+		client:   client,
+		omegaMax: omegaMax,
+		start:    start,
+		done:     make(chan struct{}),
+	}
+	ivs := warmIntervals(opts.OmegaMin, omegaMax, opts.InitialShifts, opts.Kappa*opts.Threads)
+	if len(ivs) == 0 {
+		ivs = initialIntervals(opts.OmegaMin, omegaMax, opts.Kappa*opts.Threads)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	for _, iv := range ivs {
+		j.pushLocked(p, iv)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				p.mu.Lock()
+				j.failLocked(p, ctx.Err())
+				p.mu.Unlock()
+			case <-j.done:
+			}
+		}()
+	}
+	return j, nil
+}
+
+// shiftOut is the raw per-shift output buffered until Wait assembles the
+// Result.
+type shiftOut struct {
+	rec    ShiftRecord
+	eigs   []complex128
+	residM []float64
+	rst    int
+	apply  int
+}
+
+// Job is a handle to one multi-shift solve submitted to a Pool. It is one
+// task producer among several: its tentative intervals enter the pool as
+// PhaseEig tasks of its client, interleaved with whatever batch tasks the
+// client's other phases queue.
+type Job struct {
+	op       *hamiltonian.Op
+	opts     Options
+	client   *Client
+	omegaMax float64
+	start    time.Time
+	elapsed  time.Duration // solve duration, fixed when the job finishes
+	done     chan struct{} // closed exactly once, when the job finishes
+
+	// Scheduler bookkeeping, guarded by the owning Pool's mu.
+	nextID           int
+	pending          int // tentative intervals of this job in the client queue
+	inflight         int // shifts of this job being processed right now
+	processed        int
+	tentativeDeleted int
+	err              error
+	finished         bool
+
+	outMu sync.Mutex
+	outs  []shiftOut
+}
+
+// Done returns a channel closed when the job has finished (successfully or
+// not).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes and assembles the Result exactly as a
+// standalone Solve would.
+func (j *Job) Wait() (*Result, error) {
+	<-j.done
+	if j.err != nil {
+		return nil, j.err
+	}
+	res := &Result{OmegaMax: j.omegaMax}
+	j.outMu.Lock()
+	for _, o := range j.outs {
+		res.Shifts = append(res.Shifts, o.rec)
+		res.Eigenvalues = append(res.Eigenvalues, o.eigs...)
+		res.eigResiduals = append(res.eigResiduals, o.residM...)
+		res.Stats.Restarts += o.rst
+		res.Stats.OpApplies += o.apply
+	}
+	j.outMu.Unlock()
+	res.Stats.ShiftsProcessed = j.processed
+	res.Stats.TentativeDeleted = j.tentativeDeleted
+	res.Stats.Elapsed = j.elapsed
+	collect(res, j.op, j.opts.AxisTol, j.opts.Threads)
+	return res, nil
+}
+
+// pushLocked queues a tentative interval of this job as a PhaseEig task of
+// the job's client.
+func (j *Job) pushLocked(p *Pool, iv *interval) {
+	iv.id = j.nextID
+	j.nextID++
+	iv.job = j
+	j.pending++
+	p.enqueueLocked(&task{client: j.client, phase: PhaseEig, iv: iv, job: j})
+}
+
+// failLocked records the job's first error, purges its remaining tentative
+// intervals from the client queue, and finishes the job if nothing is in
+// flight. A job that already finished successfully is left untouched: the
+// ctx watcher races job completion (its select can see ctx.Done() and
+// j.done ready together), and failing a finished job would both discard a
+// complete Result and mutate j.err after Wait may have read it.
+func (j *Job) failLocked(p *Pool, err error) {
+	if j.finished {
+		return
+	}
+	if j.err == nil {
+		j.err = err
+	}
+	c := j.client
+	kept := c.queue[:0]
+	for _, t := range c.queue {
+		if t.job == j {
+			j.pending--
+			continue
+		}
+		kept = append(kept, t)
+	}
+	c.queue = kept
+	j.maybeFinishLocked()
+}
+
+// maybeFinishLocked closes done once the job can make no further progress:
+// nothing in flight and either failed or out of tentative intervals.
+func (j *Job) maybeFinishLocked() {
+	if j.finished || j.inflight > 0 {
+		return
+	}
+	if j.err == nil && j.pending > 0 {
+		return
+	}
+	j.finished = true
+	j.elapsed = time.Since(j.start)
+	close(j.done)
+}
+
+// runInterval processes one admitted interval on a worker goroutine.
+func (j *Job) runInterval(p *Pool, worker int, iv *interval) {
+	rho0 := 0.5 * j.opts.Alpha * iv.width()
+	if iv.edgeLeft || iv.edgeRite {
+		// Edge shifts sit at the interval boundary; the disk must be able
+		// to reach across the whole interval.
+		rho0 = j.opts.Alpha * iv.width()
+	}
+	params := j.opts.Arnoldi
+	params.Seed = j.opts.Seed*1_000_003 + int64(iv.id)*7919 + 1
+	sres, err := runShift(j.op, iv.shift, rho0, params)
+	if err != nil {
+		p.mu.Lock()
+		j.inflight--
+		j.failLocked(p, fmt.Errorf("core: shift ω=%g: %w", iv.shift, err))
+		p.mu.Unlock()
+		return
+	}
+	j.outMu.Lock()
+	j.outs = append(j.outs, shiftOut{
+		rec: ShiftRecord{
+			Omega:  iv.shift,
+			Radius: sres.Radius,
+			NEigs:  len(sres.Eigenvalues),
+			Worker: worker,
+		},
+		eigs:   sres.Eigenvalues,
+		residM: sres.ResidualsM,
+		rst:    sres.Restarts,
+		apply:  sres.OpApplies,
+	})
+	j.outMu.Unlock()
+
+	p.mu.Lock()
+	j.completeLocked(p, iv, iv.shift, sres.Radius)
+	p.mu.Unlock()
+}
+
+// completeLocked applies the paper's completion update (Sec. IV-D) for a
+// finished disk [c−ρ, c+ρ] that was responsible for the interval [lo, hi]:
+//
+//   - the disk is subtracted from the owning interval; uncovered remainders
+//     become new tentative intervals with midpoint shifts (Eqs. 25–27);
+//   - the disk is also subtracted from every *tentative* interval of the
+//     same job: fully swallowed intervals are deleted (the paper's Eq. 24
+//     shift deletion — the source of superlinear speedups), partially
+//     covered ones are trimmed and re-centered. Trimming rather than
+//     deleting guarantees that no part of the band silently loses coverage.
+//
+// Tasks of other jobs — including batch tasks sharing the same client —
+// are untouched.
+func (j *Job) completeLocked(p *Pool, own *interval, center, radius float64) {
+	j.inflight--
+	if j.err != nil {
+		j.maybeFinishLocked()
+		return
+	}
+	dLo, dHi := center-radius, center+radius
+	rems := subtract(own.lo, own.hi, dLo, dHi)
+	if p.closed {
+		// The pool is shutting down: remainders would never run.
+		if len(rems) > 0 {
+			j.failLocked(p, ErrPoolClosed)
+		} else {
+			j.maybeFinishLocked()
+		}
+		return
+	}
+	// Subtract from this job's tentative intervals.
+	c := j.client
+	kept := c.queue[:0]
+	var spawned []*interval
+	for _, t := range c.queue {
+		if t.job != j {
+			kept = append(kept, t)
+			continue
+		}
+		iv := t.iv
+		ivRems := subtract(iv.lo, iv.hi, dLo, dHi)
+		switch {
+		case len(ivRems) == 1 && ivRems[0][0] == iv.lo && ivRems[0][1] == iv.hi:
+			kept = append(kept, t) // untouched
+		case len(ivRems) == 0:
+			j.tentativeDeleted++ // fully swallowed: delete (Eq. 24)
+			j.pending--
+		default:
+			j.tentativeDeleted++
+			j.pending--
+			for _, rem := range ivRems {
+				nv := &interval{lo: rem[0], hi: rem[1], shift: 0.5 * (rem[0] + rem[1])}
+				// Preserve band-edge pinning when the edge survives.
+				if iv.edgeLeft && rem[0] == iv.lo {
+					nv.edgeLeft = true
+					nv.shift = rem[0]
+				}
+				if iv.edgeRite && rem[1] == iv.hi {
+					nv.edgeRite = true
+					nv.shift = rem[1]
+				}
+				spawned = append(spawned, nv)
+			}
+		}
+	}
+	c.queue = kept
+	// Remainders of the owning interval, then trimmed children.
+	for _, rem := range rems {
+		j.pushLocked(p, &interval{lo: rem[0], hi: rem[1], shift: 0.5 * (rem[0] + rem[1])})
+	}
+	for _, nv := range spawned {
+		j.pushLocked(p, nv)
+	}
+	j.maybeFinishLocked()
+	p.cond.Broadcast()
+}

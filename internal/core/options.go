@@ -60,6 +60,15 @@ type Options struct {
 	// standalone semantics of the paper. Ignored by the serial-bisection
 	// and static-grid baselines.
 	Pool *Pool
+	// Client optionally names the pool scheduling identity (priority
+	// class + weighted-round-robin share) the solve's shift tasks are
+	// charged to. A fleet job passes one client through all of its compute
+	// phases so priority and fairness apply to the whole job; when nil, an
+	// ephemeral default-priority client is created per solve. Requires the
+	// client to be registered with the pool the job runs on; with Pool nil
+	// the client's own pool is used. Ignored by the serial-bisection and
+	// static-grid baselines.
+	Client *Client
 }
 
 // validate rejects option values that would silently corrupt a solve: a

@@ -1,35 +1,142 @@
 package core
 
 import (
-	"context"
 	"errors"
-	"fmt"
 	"sync"
 	"time"
-
-	"repro/internal/hamiltonian"
 )
 
-// ErrPoolClosed is returned by Submit on a closed pool, and reported by
-// Wait for jobs whose remaining work was discarded by Close.
+// ErrPoolClosed is returned by Submit/RunBatch on a closed pool, and
+// reported by Wait for jobs whose remaining work was discarded by Close.
 var ErrPoolClosed = errors.New("core: worker pool closed")
 
-// Pool is a fixed set of worker goroutines shared by any number of
-// concurrent multi-shift solves. All in-flight jobs feed one tentative-
-// interval queue; whichever worker frees up next takes the oldest tentative
-// interval of any job, so a fleet of solves shares the machine instead of
-// oversubscribing it with per-solve thread pools. A standalone Solve is the
-// degenerate case: a private pool with Options.Threads workers and a single
-// job.
+// PriorityClass selects the scheduling tier of a Client's tasks. Workers
+// always pop from the highest non-empty class, so every queued task of a
+// higher class runs before any queued task of a lower one — preemption at
+// task granularity (in-flight tasks are never interrupted).
+type PriorityClass int
+
+const (
+	// PriorityBatch is the default class: throughput work (bulk
+	// enforcement sweeps, benchmark batches).
+	PriorityBatch PriorityClass = iota
+	// PriorityInteractive is the latency class: a characterization a user
+	// is waiting on overtakes all queued batch work.
+	PriorityInteractive
+
+	numPriorityClasses
+)
+
+// Phase labels for the pool's per-phase execution counters. Every task
+// names the compute phase it belongs to; PhaseStats aggregates executed
+// tasks and busy time per label, which is how cmd/fleetbench tracks
+// worker utilization outside the eigensolver phase.
+const (
+	// PhaseEig is a tentative-interval shift task of a multi-shift solve.
+	PhaseEig = "eig"
+	// PhaseProbe is a per-band σ_max probe of passivity.classifyBands.
+	PhaseProbe = "probe"
+	// PhaseConstraint is a per-band constraint-assembly task of
+	// passivity enforcement.
+	PhaseConstraint = "constraint"
+	// PhaseSample is a per-ω σ evaluation of the sampling baseline.
+	PhaseSample = "sample"
+)
+
+// PhaseStat aggregates the pool-worker work spent in one compute phase.
+type PhaseStat struct {
+	// Tasks is the number of tasks of this phase executed by workers.
+	Tasks int
+	// Busy is the cumulative worker time spent executing them.
+	Busy time.Duration
+}
+
+// task is one unit of pool work: a closure (batch tasks) or a tentative
+// eigensolver interval, owned by a Client (its scheduling identity) and
+// labeled with its compute phase. Exactly one of run and iv is set.
+type task struct {
+	client *Client
+	phase  string
+
+	// Batch task: run executes on a worker; abort is called instead when
+	// the pool closes with the task still queued (it must unblock the
+	// batch join); batch identifies siblings so a failed/canceled batch
+	// can purge its queued remainder.
+	run   func(worker int)
+	abort func()
+	batch *batch
+
+	// Eigensolver task: the tentative interval and its owning Job.
+	iv  *interval
+	job *Job
+}
+
+// Client is a scheduling identity registered with a Pool: every task it
+// submits (eigensolver intervals via Submit, generic batches via RunBatch)
+// is queued FIFO under the client and competes with other clients under
+// the client's priority class and weighted-round-robin share. A fleet job
+// uses one client across all of its compute phases; a standalone Solve
+// gets an ephemeral one.
 //
-// The scheduler state of paper Sec. IV-B/C/D lives partly here (the shared
-// tentative set Θ̃, as a FIFO of intervals that carry their owning job) and
-// partly on each Job (per-job in-flight/processed accounting). Everything
-// is serialized by mu; cond wakes workers when tentative intervals appear.
+// Clients hold no resources and need no teardown; all fields below mu are
+// guarded by the owning pool's mutex.
+type Client struct {
+	pool   *Pool
+	pri    PriorityClass
+	weight int
+
+	queue  []*task // this client's pending tasks, FIFO
+	credit int     // WRR pops left before the client rotates to the back
+	queued bool    // client is in its class ring
+}
+
+// ClientOptions configures a pool client.
+type ClientOptions struct {
+	// Priority selects the scheduling class (default PriorityBatch).
+	Priority PriorityClass
+	// Weight is the weighted-round-robin share relative to other clients
+	// of the same class: a weight-2 client gets two task pops per round
+	// for every one of a weight-1 client. Minimum (and default) 1.
+	Weight int
+}
+
+// NewClient registers a scheduling identity with the pool.
+func (p *Pool) NewClient(o ClientOptions) *Client {
+	if o.Weight < 1 {
+		o.Weight = 1
+	}
+	if o.Priority < 0 || o.Priority >= numPriorityClasses {
+		o.Priority = PriorityBatch
+	}
+	return &Client{pool: p, pri: o.Priority, weight: o.Weight}
+}
+
+// Pool returns the pool the client is registered with.
+func (c *Client) Pool() *Pool { return c.pool }
+
+// Pool is a fixed set of worker goroutines shared by any number of
+// concurrent jobs. It is a phase-agnostic task executor: multi-shift
+// eigensolver solves feed it tentative-interval tasks (Submit), and the
+// non-eigensolver phases — σ_max band probes, enforcement constraint
+// assembly, sampling sweeps — feed it closure batches (Client.RunBatch),
+// so a fleet machine stays exactly full between eigensolver phases too.
+// A standalone Solve is the degenerate case: a private pool with
+// Options.Threads workers and a single job.
+//
+// Scheduling is two-level. Tasks are queued FIFO per Client; clients with
+// pending work sit in one round-robin ring per priority class. A worker
+// pops from the highest non-empty class (interactive work overtakes batch
+// work at task granularity) and rotates through that class's clients by
+// weighted round robin, so equal-priority jobs share the workers fairly
+// instead of the oldest job monopolizing them. Per-client FIFO preserves
+// the paper's interval pick order (Sec. IV-B/C/D) within each solve; the
+// per-job scheduler state itself lives on Job. Everything is serialized
+// by mu; cond wakes workers when tasks appear.
 type Pool struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []*interval // tentative intervals across all jobs, pick order
+	rings   [numPriorityClasses][]*Client // clients with pending tasks, WRR order
+	phase   map[string]PhaseStat
 	closed  bool
 	workers int
 	wg      sync.WaitGroup
@@ -52,7 +159,7 @@ func NewPool(workers int) *Pool {
 // newIdlePool builds the pool state without spawning workers (used directly
 // by scheduler unit tests that drive the queue synchronously).
 func newIdlePool(workers int) *Pool {
-	p := &Pool{workers: workers}
+	p := &Pool{workers: workers, phase: make(map[string]PhaseStat)}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
@@ -60,19 +167,43 @@ func newIdlePool(workers int) *Pool {
 // Workers returns the worker count the pool was created with.
 func (p *Pool) Workers() int { return p.workers }
 
-// Close discards all queued tentative intervals (failing their jobs with
-// ErrPoolClosed), lets in-flight shifts finish, and blocks until every
+// PhaseStats returns a snapshot of the per-phase execution counters:
+// tasks executed and cumulative worker-busy time, keyed by phase label
+// (PhaseEig, PhaseProbe, ...).
+func (p *Pool) PhaseStats() map[string]PhaseStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]PhaseStat, len(p.phase))
+	for k, v := range p.phase {
+		out[k] = v
+	}
+	return out
+}
+
+// Close discards all queued tasks (failing their jobs and batches with
+// ErrPoolClosed), lets in-flight tasks finish, and blocks until every
 // worker has exited. Closing an already-closed pool is a no-op.
 func (p *Pool) Close() {
 	p.mu.Lock()
+	var aborts []func()
 	if !p.closed {
 		p.closed = true
 		orphaned := make(map[*Job]bool)
-		for _, iv := range p.queue {
-			iv.job.pending--
-			orphaned[iv.job] = true
+		for class := range p.rings {
+			for _, c := range p.rings[class] {
+				for _, t := range c.queue {
+					if t.iv != nil {
+						t.job.pending--
+						orphaned[t.job] = true
+					} else if t.abort != nil {
+						aborts = append(aborts, t.abort)
+					}
+				}
+				c.queue = nil
+				c.queued = false
+			}
+			p.rings[class] = nil
 		}
-		p.queue = nil
 		for j := range orphaned {
 			if j.err == nil {
 				j.err = ErrPoolClosed
@@ -82,348 +213,117 @@ func (p *Pool) Close() {
 		p.cond.Broadcast()
 	}
 	p.mu.Unlock()
+	// Aborts close batch done channels; run them outside mu so joiners can
+	// wake without lock-ordering concerns.
+	for _, a := range aborts {
+		a()
+	}
 	p.wg.Wait()
 }
 
-// Submit registers one multi-shift solve with the pool and returns a Job
-// handle. The ω_max estimate (when Options.OmegaMax is zero) runs in the
-// calling goroutine; the shifts themselves run on the pool workers. The
-// context cancels or deadlines the job: remaining tentative intervals are
-// dropped and Wait returns ctx.Err() once in-flight shifts drain
-// (cancellation granularity is one shift).
-func (p *Pool) Submit(ctx context.Context, op *hamiltonian.Op, opts Options) (*Job, error) {
-	if ctx == nil {
-		ctx = context.Background()
+// enqueueLocked appends a task to its client's FIFO and makes sure the
+// client is in its class ring. Callers broadcast cond after enqueueing.
+func (p *Pool) enqueueLocked(t *task) {
+	c := t.client
+	c.queue = append(c.queue, t)
+	if !c.queued {
+		c.queued = true
+		c.credit = c.weight
+		p.rings[c.pri] = append(p.rings[c.pri], c)
 	}
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	if opts.Threads == 0 {
-		// Jobs on a shared pool default their parallelism hint (initial
-		// interval count N = κT, refinement concurrency) to the pool width.
-		opts.Threads = p.workers
-	}
-	opts.setDefaults()
-	start := time.Now()
-
-	omegaMax := opts.OmegaMax
-	if omegaMax == 0 {
-		// The estimate runs on the submitting goroutine; bound the burst of
-		// N concurrent submits with the global refinement semaphore so it
-		// cannot oversubscribe the machine the pool is sized to.
-		refineSem <- struct{}{}
-		est, err := EstimateOmegaMax(op, opts.Seed)
-		<-refineSem
-		if err != nil {
-			return nil, err
-		}
-		omegaMax = est
-	}
-	if omegaMax <= opts.OmegaMin {
-		return nil, fmt.Errorf("core: empty band [%g, %g]", opts.OmegaMin, omegaMax)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	j := &Job{
-		op:       op,
-		opts:     opts,
-		omegaMax: omegaMax,
-		start:    start,
-		done:     make(chan struct{}),
-	}
-	ivs := warmIntervals(opts.OmegaMin, omegaMax, opts.InitialShifts, opts.Kappa*opts.Threads)
-	if len(ivs) == 0 {
-		ivs = initialIntervals(opts.OmegaMin, omegaMax, opts.Kappa*opts.Threads)
-	}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, ErrPoolClosed
-	}
-	for _, iv := range ivs {
-		j.pushLocked(p, iv)
-	}
-	p.cond.Broadcast()
-	p.mu.Unlock()
-
-	if ctx.Done() != nil {
-		go func() {
-			select {
-			case <-ctx.Done():
-				p.mu.Lock()
-				j.failLocked(p, ctx.Err())
-				p.mu.Unlock()
-			case <-j.done:
-			}
-		}()
-	}
-	return j, nil
 }
 
-// worker is the pool's work loop: take the oldest runnable tentative
-// interval of any job, process the shift, apply the completion update.
+// worker is the pool's work loop: take the next runnable task under the
+// priority/fairness policy, execute it, account its phase.
 func (p *Pool) worker(id int) {
 	defer p.wg.Done()
 	for {
 		p.mu.Lock()
-		var iv *interval
+		var t *task
 		for {
-			iv = p.popLocked()
-			if iv != nil || p.closed {
+			t = p.popLocked()
+			if t != nil || p.closed {
 				break
 			}
 			p.cond.Wait()
 		}
 		p.mu.Unlock()
-		if iv == nil {
+		if t == nil {
 			return
 		}
-		iv.job.runInterval(p, id, iv)
+		start := time.Now()
+		if t.iv != nil {
+			t.job.runInterval(p, id, t.iv)
+		} else {
+			t.run(id)
+		}
+		busy := time.Since(start)
+		p.mu.Lock()
+		s := p.phase[t.phase]
+		s.Tasks++
+		s.Busy += busy
+		p.phase[t.phase] = s
+		p.mu.Unlock()
 	}
 }
 
-// popLocked removes and admits the next runnable interval, skipping (and
-// accounting for) intervals of failed jobs and enforcing each job's shift
-// budget. Returns nil when the queue holds no runnable work.
-func (p *Pool) popLocked() *interval {
-	for len(p.queue) > 0 {
-		iv := p.queue[0]
-		p.queue = p.queue[1:]
-		j := iv.job
+// popLocked removes and admits the next runnable task: highest priority
+// class first, weighted round robin across that class's clients, FIFO
+// within a client. Skipped tasks (failed jobs, exhausted shift budgets)
+// are accounted on the fly. Returns nil when no runnable work is queued.
+func (p *Pool) popLocked() *task {
+	for class := int(numPriorityClasses) - 1; class >= 0; class-- {
+		ring := p.rings[class]
+		for len(ring) > 0 {
+			c := ring[0]
+			t := c.nextRunnableLocked(p)
+			switch {
+			case t == nil || len(c.queue) == 0:
+				// Drained (possibly by skips): leave the ring; credit is
+				// re-armed on re-entry.
+				ring = ring[1:]
+				c.queued = false
+			default:
+				c.credit--
+				if c.credit <= 0 {
+					ring = append(ring[1:], c)
+					c.credit = c.weight
+				}
+			}
+			if t != nil {
+				p.rings[class] = ring
+				return t
+			}
+		}
+		p.rings[class] = ring
+	}
+	return nil
+}
+
+// nextRunnableLocked pops the client's oldest runnable task, skipping (and
+// accounting for) eigensolver tasks of failed jobs and enforcing each
+// job's shift budget. Returns nil when the client queue holds no runnable
+// work.
+func (c *Client) nextRunnableLocked(p *Pool) *task {
+	for len(c.queue) > 0 {
+		t := c.queue[0]
+		c.queue = c.queue[1:]
+		if t.iv == nil {
+			return t
+		}
+		j := t.job
 		j.pending--
 		if j.err != nil {
 			j.maybeFinishLocked()
 			continue
 		}
 		if j.processed >= j.opts.MaxShifts {
-			j.failLocked(p, fmt.Errorf("core: shift budget %d exhausted", j.opts.MaxShifts))
+			j.failLocked(p, errShiftBudget(j.opts.MaxShifts))
 			continue
 		}
 		j.processed++
 		j.inflight++
-		return iv
+		return t
 	}
 	return nil
-}
-
-// shiftOut is the raw per-shift output buffered until Wait assembles the
-// Result.
-type shiftOut struct {
-	rec    ShiftRecord
-	eigs   []complex128
-	residM []float64
-	rst    int
-	apply  int
-}
-
-// Job is a handle to one multi-shift solve submitted to a Pool.
-type Job struct {
-	op       *hamiltonian.Op
-	opts     Options
-	omegaMax float64
-	start    time.Time
-	elapsed  time.Duration // solve duration, fixed when the job finishes
-	done     chan struct{} // closed exactly once, when the job finishes
-
-	// Scheduler bookkeeping, guarded by the owning Pool's mu.
-	nextID           int
-	pending          int // tentative intervals of this job in the pool queue
-	inflight         int // shifts of this job being processed right now
-	processed        int
-	tentativeDeleted int
-	err              error
-	finished         bool
-
-	outMu sync.Mutex
-	outs  []shiftOut
-}
-
-// Done returns a channel closed when the job has finished (successfully or
-// not).
-func (j *Job) Done() <-chan struct{} { return j.done }
-
-// Wait blocks until the job finishes and assembles the Result exactly as a
-// standalone Solve would.
-func (j *Job) Wait() (*Result, error) {
-	<-j.done
-	if j.err != nil {
-		return nil, j.err
-	}
-	res := &Result{OmegaMax: j.omegaMax}
-	j.outMu.Lock()
-	for _, o := range j.outs {
-		res.Shifts = append(res.Shifts, o.rec)
-		res.Eigenvalues = append(res.Eigenvalues, o.eigs...)
-		res.eigResiduals = append(res.eigResiduals, o.residM...)
-		res.Stats.Restarts += o.rst
-		res.Stats.OpApplies += o.apply
-	}
-	j.outMu.Unlock()
-	res.Stats.ShiftsProcessed = j.processed
-	res.Stats.TentativeDeleted = j.tentativeDeleted
-	res.Stats.Elapsed = j.elapsed
-	collect(res, j.op, j.opts.AxisTol, j.opts.Threads)
-	return res, nil
-}
-
-// pushLocked appends a tentative interval of this job to the pool queue.
-func (j *Job) pushLocked(p *Pool, iv *interval) {
-	iv.id = j.nextID
-	j.nextID++
-	iv.job = j
-	j.pending++
-	p.queue = append(p.queue, iv)
-}
-
-// failLocked records the job's first error, purges its remaining tentative
-// intervals from the pool queue, and finishes the job if nothing is in
-// flight. A job that already finished successfully is left untouched: the
-// ctx watcher races job completion (its select can see ctx.Done() and
-// j.done ready together), and failing a finished job would both discard a
-// complete Result and mutate j.err after Wait may have read it.
-func (j *Job) failLocked(p *Pool, err error) {
-	if j.finished {
-		return
-	}
-	if j.err == nil {
-		j.err = err
-	}
-	kept := p.queue[:0]
-	for _, iv := range p.queue {
-		if iv.job == j {
-			j.pending--
-			continue
-		}
-		kept = append(kept, iv)
-	}
-	p.queue = kept
-	j.maybeFinishLocked()
-}
-
-// maybeFinishLocked closes done once the job can make no further progress:
-// nothing in flight and either failed or out of tentative intervals.
-func (j *Job) maybeFinishLocked() {
-	if j.finished || j.inflight > 0 {
-		return
-	}
-	if j.err == nil && j.pending > 0 {
-		return
-	}
-	j.finished = true
-	j.elapsed = time.Since(j.start)
-	close(j.done)
-}
-
-// runInterval processes one admitted interval on a worker goroutine.
-func (j *Job) runInterval(p *Pool, worker int, iv *interval) {
-	rho0 := 0.5 * j.opts.Alpha * iv.width()
-	if iv.edgeLeft || iv.edgeRite {
-		// Edge shifts sit at the interval boundary; the disk must be able
-		// to reach across the whole interval.
-		rho0 = j.opts.Alpha * iv.width()
-	}
-	params := j.opts.Arnoldi
-	params.Seed = j.opts.Seed*1_000_003 + int64(iv.id)*7919 + 1
-	sres, err := runShift(j.op, iv.shift, rho0, params)
-	if err != nil {
-		p.mu.Lock()
-		j.inflight--
-		j.failLocked(p, fmt.Errorf("core: shift ω=%g: %w", iv.shift, err))
-		p.mu.Unlock()
-		return
-	}
-	j.outMu.Lock()
-	j.outs = append(j.outs, shiftOut{
-		rec: ShiftRecord{
-			Omega:  iv.shift,
-			Radius: sres.Radius,
-			NEigs:  len(sres.Eigenvalues),
-			Worker: worker,
-		},
-		eigs:   sres.Eigenvalues,
-		residM: sres.ResidualsM,
-		rst:    sres.Restarts,
-		apply:  sres.OpApplies,
-	})
-	j.outMu.Unlock()
-
-	p.mu.Lock()
-	j.completeLocked(p, iv, iv.shift, sres.Radius)
-	p.mu.Unlock()
-}
-
-// completeLocked applies the paper's completion update (Sec. IV-D) for a
-// finished disk [c−ρ, c+ρ] that was responsible for the interval [lo, hi]:
-//
-//   - the disk is subtracted from the owning interval; uncovered remainders
-//     become new tentative intervals with midpoint shifts (Eqs. 25–27);
-//   - the disk is also subtracted from every *tentative* interval of the
-//     same job: fully swallowed intervals are deleted (the paper's Eq. 24
-//     shift deletion — the source of superlinear speedups), partially
-//     covered ones are trimmed and re-centered. Trimming rather than
-//     deleting guarantees that no part of the band silently loses coverage.
-//
-// Intervals of other jobs sharing the pool are untouched.
-func (j *Job) completeLocked(p *Pool, own *interval, center, radius float64) {
-	j.inflight--
-	if j.err != nil {
-		j.maybeFinishLocked()
-		return
-	}
-	dLo, dHi := center-radius, center+radius
-	rems := subtract(own.lo, own.hi, dLo, dHi)
-	if p.closed {
-		// The pool is shutting down: remainders would never run.
-		if len(rems) > 0 {
-			j.failLocked(p, ErrPoolClosed)
-		} else {
-			j.maybeFinishLocked()
-		}
-		return
-	}
-	// Subtract from this job's tentative intervals.
-	kept := p.queue[:0]
-	var spawned []*interval
-	for _, iv := range p.queue {
-		if iv.job != j {
-			kept = append(kept, iv)
-			continue
-		}
-		ivRems := subtract(iv.lo, iv.hi, dLo, dHi)
-		switch {
-		case len(ivRems) == 1 && ivRems[0][0] == iv.lo && ivRems[0][1] == iv.hi:
-			kept = append(kept, iv) // untouched
-		case len(ivRems) == 0:
-			j.tentativeDeleted++ // fully swallowed: delete (Eq. 24)
-			j.pending--
-		default:
-			j.tentativeDeleted++
-			j.pending--
-			for _, rem := range ivRems {
-				nv := &interval{lo: rem[0], hi: rem[1], shift: 0.5 * (rem[0] + rem[1])}
-				// Preserve band-edge pinning when the edge survives.
-				if iv.edgeLeft && rem[0] == iv.lo {
-					nv.edgeLeft = true
-					nv.shift = rem[0]
-				}
-				if iv.edgeRite && rem[1] == iv.hi {
-					nv.edgeRite = true
-					nv.shift = rem[1]
-				}
-				spawned = append(spawned, nv)
-			}
-		}
-	}
-	p.queue = kept
-	// Remainders of the owning interval, then trimmed children.
-	for _, rem := range rems {
-		j.pushLocked(p, &interval{lo: rem[0], hi: rem[1], shift: 0.5 * (rem[0] + rem[1])})
-	}
-	for _, nv := range spawned {
-		j.pushLocked(p, nv)
-	}
-	j.maybeFinishLocked()
-	p.cond.Broadcast()
 }

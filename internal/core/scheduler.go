@@ -152,6 +152,9 @@ func Solve(op *hamiltonian.Op, opts Options) (*Result, error) {
 // flight run to completion.
 func SolveContext(ctx context.Context, op *hamiltonian.Op, opts Options) (*Result, error) {
 	p := opts.Pool
+	if p == nil && opts.Client != nil {
+		p = opts.Client.Pool()
+	}
 	if p == nil {
 		// NewPool clamps Threads < 1 to one worker; Submit validates the
 		// options (rejecting negatives) before any solver work runs.

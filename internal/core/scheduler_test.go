@@ -100,13 +100,39 @@ func TestInitialIntervals(t *testing.T) {
 
 // newTestJob wires an idle pool (no workers) and one job so the tests can
 // drive the scheduler bookkeeping synchronously with synthetic radii,
-// without any numerics.
+// without any numerics. Each test job gets its own default client, like a
+// fleet submission would.
 func newTestJob(p *Pool, maxShifts int, intervals []*interval) *Job {
-	j := &Job{opts: Options{MaxShifts: maxShifts}, done: make(chan struct{})}
+	j := &Job{
+		opts:   Options{MaxShifts: maxShifts},
+		client: p.NewClient(ClientOptions{}),
+		done:   make(chan struct{}),
+	}
 	for _, iv := range intervals {
 		j.pushLocked(p, iv)
 	}
 	return j
+}
+
+// popInterval drives the scheduler synchronously: next admitted tentative
+// interval, or nil when no runnable eigensolver work is queued.
+func popInterval(p *Pool) *interval {
+	t := p.popLocked()
+	if t == nil {
+		return nil
+	}
+	return t.iv
+}
+
+// queuedIntervals returns the job's still-queued tentative intervals.
+func queuedIntervals(j *Job) []*interval {
+	var out []*interval
+	for _, t := range j.client.queue {
+		if t.iv != nil && t.job == j {
+			out = append(out, t.iv)
+		}
+	}
+	return out
 }
 
 func TestSchedulerCoverageInvariant(t *testing.T) {
@@ -117,7 +143,7 @@ func TestSchedulerCoverageInvariant(t *testing.T) {
 		// Track the still-uncovered part of the band independently.
 		remaining := [][2]float64{{0, 1}}
 		for {
-			iv := p.popLocked() // single-threaded: drives to completion
+			iv := popInterval(p) // single-threaded: drives to completion
 			if iv == nil {
 				break
 			}
@@ -130,7 +156,7 @@ func TestSchedulerCoverageInvariant(t *testing.T) {
 			remaining = next
 			j.completeLocked(p, iv, iv.shift, rho)
 		}
-		if len(p.queue) != 0 || j.inflight != 0 || !j.finished || j.err != nil {
+		if len(queuedIntervals(j)) != 0 || j.inflight != 0 || !j.finished || j.err != nil {
 			return false
 		}
 		// The scheduler must have driven the uncovered measure to ~zero.
@@ -148,10 +174,10 @@ func TestSchedulerCoverageInvariant(t *testing.T) {
 func TestSchedulerShiftBudget(t *testing.T) {
 	p := newIdlePool(1)
 	j := newTestJob(p, 1, initialIntervals(0, 1, 2))
-	if iv := p.popLocked(); iv == nil {
+	if iv := popInterval(p); iv == nil {
 		t.Fatal("first pop should succeed")
 	}
-	if iv := p.popLocked(); iv != nil {
+	if iv := popInterval(p); iv != nil {
 		t.Fatal("budget-exceeded pop should fail")
 	}
 	if j.err == nil {
@@ -162,11 +188,11 @@ func TestSchedulerShiftBudget(t *testing.T) {
 func TestSchedulerTentativeDeletion(t *testing.T) {
 	p := newIdlePool(1)
 	j := newTestJob(p, 100, initialIntervals(0, 1, 4))
-	iv := p.popLocked() // left edge interval [0, 0.25], shift 0
+	iv := popInterval(p) // left edge interval [0, 0.25], shift 0
 	// Huge disk covering the whole band: every tentative interval must die.
 	j.completeLocked(p, iv, iv.shift, 5)
-	if len(p.queue) != 0 {
-		t.Fatalf("queue not emptied: %d left", len(p.queue))
+	if left := len(queuedIntervals(j)); left != 0 {
+		t.Fatalf("queue not emptied: %d left", left)
 	}
 	if j.tentativeDeleted != 3 {
 		t.Fatalf("tentativeDeleted = %d, want 3", j.tentativeDeleted)
@@ -181,10 +207,10 @@ func TestSchedulerSplitSpawnsChildren(t *testing.T) {
 	j := newTestJob(p, 100, initialIntervals(0, 1, 2))
 	// Take the left-edge interval [0, 0.5] and complete with a tiny radius
 	// around its shift (0): remainder (0+r, 0.5) must be requeued.
-	iv := p.popLocked()
+	iv := popInterval(p)
 	j.completeLocked(p, iv, 0, 0.1)
 	found := false
-	for _, q := range p.queue {
+	for _, q := range queuedIntervals(j) {
 		if math.Abs(q.lo-0.1) < 1e-12 && math.Abs(q.hi-0.5) < 1e-12 {
 			found = true
 			if math.Abs(q.shift-0.3) > 1e-12 {
@@ -193,7 +219,7 @@ func TestSchedulerSplitSpawnsChildren(t *testing.T) {
 		}
 	}
 	if !found {
-		t.Fatalf("remainder interval not requeued: %+v", p.queue)
+		t.Fatalf("remainder interval not requeued: %+v", queuedIntervals(j))
 	}
 }
 
@@ -204,11 +230,13 @@ func TestSchedulerJobIsolation(t *testing.T) {
 	j1 := newTestJob(p, 100, initialIntervals(0, 1, 2))
 	j2 := newTestJob(p, 100, initialIntervals(0, 1, 2))
 	// Pop j1's first interval and cover the whole band: j1's remaining
-	// tentative interval dies, j2's stay intact.
-	iv := p.popLocked()
-	if iv.job != j1 {
-		t.Fatal("FIFO order broken: expected j1's interval first")
+	// tentative interval dies, j2's stay intact. Round-robin order across
+	// the two equal-priority clients starts with the first-registered one.
+	tk := p.popLocked()
+	if tk == nil || tk.job != j1 {
+		t.Fatal("round-robin order broken: expected j1's interval first")
 	}
+	iv := tk.iv
 	j1.completeLocked(p, iv, iv.shift, 5)
 	if j1.tentativeDeleted != 1 || !j1.finished {
 		t.Fatalf("j1 not completed: deleted=%d finished=%v", j1.tentativeDeleted, j1.finished)
@@ -216,10 +244,8 @@ func TestSchedulerJobIsolation(t *testing.T) {
 	if j2.pending != 2 || j2.tentativeDeleted != 0 || j2.finished {
 		t.Fatalf("j2 was touched: pending=%d deleted=%d", j2.pending, j2.tentativeDeleted)
 	}
-	for _, q := range p.queue {
-		if q.job != j2 {
-			t.Fatal("queue still holds intervals of the finished job")
-		}
+	if len(queuedIntervals(j1)) != 0 || len(queuedIntervals(j2)) != 2 {
+		t.Fatal("queues inconsistent after j1 finished")
 	}
 }
 
@@ -231,7 +257,7 @@ func TestSchedulerFailAfterFinishIsNoop(t *testing.T) {
 	j := newTestJob(p, 100, initialIntervals(0, 1, 2))
 	// Drain the job to successful completion.
 	for {
-		iv := p.popLocked()
+		iv := popInterval(p)
 		if iv == nil {
 			break
 		}

@@ -8,10 +8,21 @@
 // same structure), but per-solve pools compose badly: N concurrent solves
 // × T threads each is N·T runnable goroutines fighting for T cores,
 // trashing caches exactly in the memory-bound Arnoldi hot path. Here every
-// solve feeds its tentative shift intervals into the one pool queue;
-// whichever worker frees up next takes the oldest interval of any job, so
-// the machine stays exactly full and a small job finishing early
-// immediately donates its workers to the big ones.
+// compute phase of every job — eigensolver shifts, σ_max band probes,
+// enforcement constraint assembly — feeds the one pool as tasks of the
+// job's scheduling client, so the machine stays exactly full and a small
+// job finishing early immediately donates its workers to the big ones.
+//
+// The engine adds production semantics on top of the pool:
+//
+//   - bounded admission: EngineOptions.MaxQueued caps admitted-but-
+//     unfinished jobs; Submit blocks (or fails fast with ErrQueueFull)
+//     until a slot frees, and errors cleanly with ErrEngineClosed if the
+//     engine closes while it waits;
+//   - per-job priority classes: a Request with core.PriorityInteractive
+//     overtakes queued batch work at task-pop granularity;
+//   - weighted round-robin fairness across equal-priority jobs, instead
+//     of the oldest job monopolizing the workers.
 //
 // Cancellation is per-job via contexts; the completion guarantee (the
 // certified disks of a finished job cover its whole search band) is
@@ -29,42 +40,100 @@ import (
 	"repro/internal/statespace"
 )
 
-// ErrEngineClosed is returned by Submit after Close.
+// ErrEngineClosed is returned by Submit after (or during) Close.
 var ErrEngineClosed = errors.New("fleet: engine closed")
+
+// ErrQueueFull is returned by Submit on a FailFast engine whose admission
+// queue is at MaxQueued.
+var ErrQueueFull = errors.New("fleet: admission queue full")
+
+// EngineOptions configures an engine.
+type EngineOptions struct {
+	// Workers sizes the shared pool (≤ 0 means GOMAXPROCS).
+	Workers int
+	// MaxQueued caps the number of admitted-but-unfinished jobs; further
+	// Submits block until a slot frees (or fail fast, see FailFast).
+	// 0 means unbounded — the pre-admission-control behavior.
+	//
+	// Admission is priority-blind: it bounds resources, not latency, so a
+	// PriorityInteractive Submit waits for a slot behind batch jobs like
+	// any other. Priority takes effect after admission, at task-pop
+	// granularity. Deployments that must never stall interactive submits
+	// should size MaxQueued with headroom for them (or keep it 0).
+	MaxQueued int
+	// FailFast makes Submit return ErrQueueFull immediately instead of
+	// blocking when MaxQueued jobs are in flight.
+	FailFast bool
+}
 
 // Engine owns the shared worker pool and tracks in-flight jobs.
 type Engine struct {
-	pool *core.Pool
+	pool     *core.Pool
+	sem      chan struct{} // admission slots, nil when unbounded
+	failFast bool
 
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	closedCh chan struct{} // closed by Close; wakes Submits blocked on admission
+	wg       sync.WaitGroup
 }
 
 // New starts an engine whose shared pool has the given worker count
-// (≤ 0 means GOMAXPROCS). Close it to release the workers.
+// (≤ 0 means GOMAXPROCS) and unbounded admission. Close it to release the
+// workers.
 func New(workers int) *Engine {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return NewEngine(EngineOptions{Workers: workers})
+}
+
+// NewEngine starts an engine with full production options.
+func NewEngine(o EngineOptions) *Engine {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{pool: core.NewPool(workers)}
+	e := &Engine{
+		pool:     core.NewPool(w),
+		failFast: o.FailFast,
+		closedCh: make(chan struct{}),
+	}
+	if o.MaxQueued > 0 {
+		e.sem = make(chan struct{}, o.MaxQueued)
+	}
+	return e
 }
 
 // Workers returns the shared pool's worker count.
 func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// PhaseStats snapshots the shared pool's per-phase execution counters
+// (tasks + busy time per compute phase: core.PhaseEig, core.PhaseProbe,
+// core.PhaseConstraint, ...). cmd/fleetbench derives per-phase worker
+// utilization from it.
+func (e *Engine) PhaseStats() map[string]core.PhaseStat { return e.pool.PhaseStats() }
 
 // Request is one unit of work for the engine.
 type Request struct {
 	// Model to analyze. Required.
 	Model *statespace.Model
 	// Char configures the characterization when Enforce is nil. Its
-	// Core.Pool field is managed by the engine; Core.Threads may stay zero
-	// to default to the pool width.
+	// Core.Pool/Core.Client fields are managed by the engine; Core.Threads
+	// may stay zero to default to the pool width.
 	Char passivity.Options
 	// Enforce, when non-nil, turns the job into an enforcement run with
 	// these options (the characterization options then come from
 	// Enforce.Char, not from the Char field above).
 	Enforce *passivity.EnforceOptions
+	// Priority selects the job's scheduling class on the shared pool:
+	// core.PriorityInteractive tasks pop before any queued batch-class
+	// task, so a characterization a user is waiting on overtakes bulk
+	// enforcement at task granularity. Default core.PriorityBatch. Note
+	// that priority applies after admission — see EngineOptions.MaxQueued
+	// for the interaction with a bounded queue.
+	Priority core.PriorityClass
+	// Weight is the job's weighted-round-robin share against other jobs
+	// of the same class (a weight-2 job gets twice the task pops of a
+	// weight-1 job while both have work queued). Minimum (and default) 1.
+	Weight int
 }
 
 // Result is the outcome of a fleet job.
@@ -97,10 +166,16 @@ func (j *Job) Wait() (*Result, error) {
 	return &j.res, j.err
 }
 
-// Submit registers a request and returns immediately; the heavy solver work
-// runs on the shared pool, coordinated by one lightweight goroutine per
-// job. The context cancels the job (shift-granular, like
-// core.SolveContext).
+// Submit registers a request and returns a handle; the heavy solver work
+// runs on the shared pool under the request's priority class and fairness
+// weight, coordinated by one lightweight goroutine per job. The context
+// cancels the job (shift-granular, like core.SolveContext).
+//
+// With MaxQueued set, Submit first takes an admission slot: it blocks
+// until one frees, the context is canceled, or the engine closes
+// (ErrEngineClosed — never a deadlock, see TestFleetCloseWhileSubmitBlocked);
+// with FailFast it returns ErrQueueFull instead of blocking. The slot is
+// released when the job finishes.
 func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 	if req.Model == nil {
 		return nil, errors.New("fleet: nil model")
@@ -108,21 +183,50 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	release := func() {}
+	if e.sem != nil {
+		if e.failFast {
+			select {
+			case <-e.closedCh:
+				return nil, ErrEngineClosed
+			default:
+			}
+			select {
+			case e.sem <- struct{}{}:
+			default:
+				return nil, ErrQueueFull
+			}
+		} else {
+			select {
+			case e.sem <- struct{}{}:
+			case <-e.closedCh:
+				return nil, ErrEngineClosed
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		release = func() { <-e.sem }
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		release()
 		return nil, ErrEngineClosed
 	}
 	e.wg.Add(1)
 	e.mu.Unlock()
 
+	// One scheduling identity spans every compute phase of the job.
+	client := e.pool.NewClient(core.ClientOptions{Priority: req.Priority, Weight: req.Weight})
 	j := &Job{done: make(chan struct{})}
 	go func() {
 		defer e.wg.Done()
+		defer release()
 		defer close(j.done)
 		if req.Enforce != nil {
 			opts := *req.Enforce
 			opts.Char.Core.Pool = e.pool
+			opts.Char.Core.Client = client
 			model, rep, err := passivity.EnforceContext(ctx, req.Model, opts)
 			j.res.Model = model
 			j.res.EnforceReport = rep
@@ -134,6 +238,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 		}
 		opts := req.Char
 		opts.Core.Pool = e.pool
+		opts.Core.Client = client
 		rep, err := passivity.CharacterizeContext(ctx, req.Model, opts)
 		j.res.Report = rep
 		j.err = err
@@ -141,12 +246,16 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 	return j, nil
 }
 
-// Close waits for every submitted job to finish, then shuts the shared pool
-// down. Jobs the caller wants aborted should be canceled via their contexts
-// before Close.
+// Close waits for every submitted job to finish, then shuts the shared
+// pool down. Submits blocked on admission are woken and fail with
+// ErrEngineClosed. Jobs the caller wants aborted should be canceled via
+// their contexts before Close. Closing twice is safe.
 func (e *Engine) Close() {
 	e.mu.Lock()
-	e.closed = true
+	if !e.closed {
+		e.closed = true
+		close(e.closedCh)
+	}
 	e.mu.Unlock()
 	e.wg.Wait()
 	e.pool.Close()

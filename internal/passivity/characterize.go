@@ -78,7 +78,13 @@ func Characterize(m *statespace.Model, opts Options) (*Report, error) {
 
 // CharacterizeContext is Characterize with cancellation/deadline support:
 // the context is threaded into the eigensolver (which drops its remaining
-// shifts on cancellation) and checked between per-band σ probes.
+// shifts on cancellation) and into the per-band σ probe batch.
+//
+// Every compute phase runs on one worker pool: the eigensolver shifts AND
+// the per-band σ_max probes are pool tasks, so a shared (fleet) pool stays
+// full through the probe phase instead of idling while the submitting
+// goroutine probes alone. Without Core.Pool/Core.Client a private pool of
+// Core.Threads workers spans the whole characterization.
 func CharacterizeContext(ctx context.Context, m *statespace.Model, opts Options) (*Report, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -88,6 +94,7 @@ func CharacterizeContext(ctx context.Context, m *statespace.Model, opts Options)
 	if err != nil {
 		return nil, err
 	}
+	defer ensurePoolClient(&opts.Core)()
 	res, err := core.SolveContext(ctx, op, opts.Core)
 	if err != nil {
 		return nil, err
@@ -97,12 +104,35 @@ func CharacterizeContext(ctx context.Context, m *statespace.Model, opts Options)
 		OmegaMax:  res.OmegaMax,
 		Solver:    res.Stats,
 	}
-	rep.Bands, err = classifyBands(ctx, m, res.Crossings, res.OmegaMax, opts.ProbePoints)
+	rep.Bands, err = classifyBands(ctx, opts.Core.Client, m, res.Crossings, res.OmegaMax, opts.ProbePoints)
 	if err != nil {
 		return nil, err
 	}
 	rep.Passive = len(rep.Violations()) == 0
 	return rep, nil
+}
+
+// ensurePoolClient defaults the Pool/Client pair of solver options in
+// place — derive the pool from a given client, else create a private pool
+// of Threads workers (NewPool clamps < 1 to one; invalid options are
+// still rejected by the solver's Submit before any work runs), and mint
+// an ephemeral default-priority client when none was passed. Returns the
+// cleanup that closes a private pool (a no-op for shared pools); callers
+// defer it around everything that uses the options.
+func ensurePoolClient(o *core.Options) func() {
+	if o.Pool == nil && o.Client != nil {
+		o.Pool = o.Client.Pool()
+	}
+	cleanup := func() {}
+	if o.Pool == nil {
+		private := core.NewPool(o.Threads)
+		o.Pool = private
+		cleanup = private.Close
+	}
+	if o.Client == nil {
+		o.Client = o.Pool.NewClient(core.ClientOptions{})
+	}
+	return cleanup
 }
 
 // classifyBands cuts [0, ∞) at the crossing frequencies and probes σ_max
@@ -114,13 +144,17 @@ func CharacterizeContext(ctx context.Context, m *statespace.Model, opts Options)
 // exception is the degenerate terminal band opening at omegaMax itself,
 // which has no certified interior and is classified from a thin sliver
 // just past the edge.
-func classifyBands(ctx context.Context, m *statespace.Model, crossings []float64, omegaMax float64, probes int) ([]Band, error) {
+//
+// The probes fan out per band as one pool task batch under the caller's
+// client and join: every probePeak runs on a pool worker, and because each
+// task writes only its own index-assigned Band slot, the report is
+// bit-identical under any worker count (the window layout is computed
+// sequentially up front; probePeak itself is deterministic).
+func classifyBands(ctx context.Context, c *core.Client, m *statespace.Model, crossings []float64, omegaMax float64, probes int) ([]Band, error) {
 	edges := append([]float64{0}, crossings...)
-	bands := make([]Band, 0, len(edges))
+	bands := make([]Band, len(edges))
+	fns := make([]func(int) error, len(edges))
 	for i := range edges {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		lo := edges[i]
 		hi := math.Inf(1)
 		probeHi := math.Min(2*lo, omegaMax)
@@ -137,15 +171,20 @@ func classifyBands(ctx context.Context, m *statespace.Model, crossings []float64
 			// band sits on.
 			probeHi = lo * (1 + 1e-6)
 		}
-		b := Band{Lo: lo, Hi: hi}
-		peakW, peakS, err := probePeak(m, lo, probeHi, probes)
-		if err != nil {
-			return nil, err
+		bands[i] = Band{Lo: lo, Hi: hi}
+		fns[i] = func(int) error {
+			peakW, peakS, err := probePeak(m, lo, probeHi, probes)
+			if err != nil {
+				return err
+			}
+			bands[i].PeakOmega = peakW
+			bands[i].PeakSigma = peakS
+			bands[i].Violating = peakS > 1
+			return nil
 		}
-		b.PeakOmega = peakW
-		b.PeakSigma = peakS
-		b.Violating = peakS > 1
-		bands = append(bands, b)
+	}
+	if err := c.RunBatch(ctx, core.PhaseProbe, fns); err != nil {
+		return nil, err
 	}
 	return bands, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/arnoldi"
 	"repro/internal/core"
+	"repro/internal/hamiltonian"
 	"repro/internal/mat"
 	"repro/internal/statespace"
 )
@@ -33,6 +34,18 @@ type EnforceOptions struct {
 	// drops measurably. ColdStart exists for A/B benchmarking
 	// (cmd/fleetbench) and as an escape hatch.
 	ColdStart bool
+	// ReestimateOmegaMax disables carrying the certified spectral-radius
+	// bound across iterations. By default (false, and with Char.Core.
+	// OmegaMax zero) every re-characterization reuses the previous
+	// iteration's certified ω_max inflated by the relative perturbation
+	// norm (see carryOmegaMax) instead of re-running the estimation
+	// Arnoldi — one fewer Arnoldi sweep per enforcement iteration; one
+	// confirming estimate still runs before passivity is certified on a
+	// carried bound (see EnforceContext). The carry applies to cold-start
+	// runs too (it is independent of shift placement), so warm and cold
+	// runs keep seeing identical bounds and hence bit-identical
+	// characterizations.
+	ReestimateOmegaMax bool
 }
 
 func (o *EnforceOptions) setDefaults() {
@@ -117,6 +130,11 @@ func EnforceContext(ctx context.Context, m *statespace.Model, opts EnforceOption
 	var cumulative float64
 
 	charOpts := opts.Char
+	// One pool and one client span the whole run: eigensolver shifts,
+	// σ probes, and constraint assembly of every iteration are tasks of
+	// the same scheduling identity (a fleet engine passes its own).
+	defer ensurePoolClient(&charOpts.Core)()
+	carried := false
 	var lastChr *Report
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		if !opts.ColdStart && lastChr != nil {
@@ -138,6 +156,27 @@ func EnforceContext(ctx context.Context, m *statespace.Model, opts EnforceOption
 		if iter == 0 {
 			rep.InitialWorst = chr.WorstViolation()
 		}
+		if chr.Passive && carried {
+			// The carried bound is a heuristic: before certifying the
+			// perturbed model as passive on its strength, confirm it with
+			// ONE fresh spectral-radius estimate (the cost the carry saved
+			// on every non-final iteration). If the true radius escaped
+			// the carried bound, re-characterize over the full band — a
+			// crossing could be hiding just above it.
+			est, err := freshOmegaMax(work, charOpts.Core.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			if est > charOpts.Core.OmegaMax {
+				charOpts.Core.OmegaMax = est
+				chr, err = CharacterizeContext(ctx, work, charOpts)
+				if err != nil {
+					return nil, nil, err
+				}
+				lastChr = chr
+				rep.SolverTotals.Add(chr.Solver)
+			}
+		}
 		if chr.Passive {
 			rep.Iterations = iter
 			rep.FinalWorst = chr.WorstViolation()
@@ -145,11 +184,17 @@ func EnforceContext(ctx context.Context, m *statespace.Model, opts EnforceOption
 			rep.FinalReport = chr
 			return work, rep, nil
 		}
-		step, err := perturbationStep(work, chr, opts)
+		step, err := perturbationStep(ctx, charOpts.Core.Client, work, chr, opts)
 		if err != nil {
 			return nil, nil, err
 		}
 		cumulative += step
+		if opts.Char.Core.OmegaMax == 0 && !opts.ReestimateOmegaMax {
+			// Warm-start the next iteration's ω_max: carry the certified
+			// bound instead of re-running the estimation Arnoldi.
+			charOpts.Core.OmegaMax = carryOmegaMax(chr.OmegaMax, step, baseNorm)
+			carried = true
+		}
 	}
 	rep.Iterations = opts.MaxIters
 	rep.FinalWorst = lastChr.WorstViolation()
@@ -188,9 +233,47 @@ func warmArnoldi(p arnoldi.SingleShiftParams) arnoldi.SingleShiftParams {
 	return p
 }
 
+// freshOmegaMax re-runs the spectral-radius estimation Arnoldi on the
+// (perturbed) model — used once per enforcement run to confirm a carried
+// bound before it certifies passivity.
+func freshOmegaMax(m *statespace.Model, seed int64) (float64, error) {
+	op, err := hamiltonian.New(m, hamiltonian.Scattering)
+	if err != nil {
+		return 0, err
+	}
+	if seed == 0 {
+		seed = 1 // mirror core.Options.setDefaults so the estimate matches Submit's
+	}
+	return core.EstimateOmegaMax(op, seed)
+}
+
+// carryOmegaMax inflates a certified spectral-radius bound so it stays a
+// bound after a residue perturbation of Frobenius norm step: eigenvalue
+// motion under the rank-limited δC update is proportional to the relative
+// residue change, so the bound grows by twice that ratio (safety factor)
+// plus a small absolute floor covering the non-normal tail. The previous
+// bound already carries the estimator's own 1.02 margin, and enforcement
+// only shrinks violations inward. Because the eigenvalues of the
+// non-normal Hamiltonian can in principle outrun any residue-norm bound,
+// the carry is a heuristic — which is why EnforceContext confirms it with
+// one fresh estimate before certifying passivity on its strength.
+func carryOmegaMax(prev, step, baseNorm float64) float64 {
+	rel := 0.0
+	if baseNorm > 0 {
+		rel = step / baseNorm
+	}
+	return prev * (1 + 2*rel + 1e-3)
+}
+
 // perturbationStep builds and applies one least-norm residue update.
 // Returns ‖δC‖_F.
-func perturbationStep(work *statespace.Model, chr *Report, opts EnforceOptions) (float64, error) {
+//
+// The per-band constraint assembly (SVD at the band peak + one shifted
+// solve per violated σ) fans out across the pool as PhaseConstraint tasks
+// and joins; bands write index-assigned slots that are concatenated in
+// band order, so the constraint set — and hence the update — is
+// bit-identical to the sequential assembly under any worker count.
+func perturbationStep(ctx context.Context, client *core.Client, work *statespace.Model, chr *Report, opts EnforceOptions) (float64, error) {
 	n := work.Order()
 	p := work.P
 	nvars := n * p // δC is p×n, row-major flattening index i*n + s
@@ -199,49 +282,61 @@ func perturbationStep(work *statespace.Model, chr *Report, opts EnforceOptions) 
 		row []float64
 		rhs float64
 	}
-	var cons []constraint
-	for _, b := range chr.Violations() {
-		w := b.PeakOmega
-		h := work.EvalJW(w)
-		sv, err := mat.CSVDecompose(h)
-		if err != nil {
-			return 0, err
-		}
-		// Precompute g_v = (jωI − A)⁻¹ B v for each violated σ.
-		count := 0
-		for sidx, sigma := range sv.S {
-			if sigma <= 1 || count >= opts.MaxSigmaPerBand {
-				break
+	viol := chr.Violations()
+	perBand := make([][]constraint, len(viol))
+	fns := make([]func(int) error, len(viol))
+	for bi := range viol {
+		w := viol[bi].PeakOmega
+		fns[bi] = func(int) error {
+			h := work.EvalJW(w)
+			sv, err := mat.CSVDecompose(h)
+			if err != nil {
+				return err
 			}
-			count++
-			u := make([]complex128, p)
-			v := make([]complex128, p)
-			for r := 0; r < p; r++ {
-				u[r] = sv.U.At(r, sidx)
-				v[r] = sv.V.At(r, sidx)
-			}
-			bv := make([]complex128, n)
-			work.CApplyB(bv, v)
-			g := make([]complex128, n)
-			// (jωI − A) g = B v  ⇔  (A − jωI) g = −B v.
-			for i := range bv {
-				bv[i] = -bv[i]
-			}
-			if err := work.CSolveShiftedA(g, bv, complex(0, w)); err != nil {
-				return 0, err
-			}
-			// δσ = Σ_{i,s} δC[i,s]·Re(conj(u_i)·g_s); target σ+δσ = 1−margin.
-			row := make([]float64, nvars)
-			for i := 0; i < p; i++ {
-				cu := real(u[i])
-				cuIm := imag(u[i])
-				for s := 0; s < n; s++ {
-					// Re(conj(u_i)·g_s)
-					row[i*n+s] = cu*real(g[s]) + cuIm*imag(g[s])
+			// Precompute g_v = (jωI − A)⁻¹ B v for each violated σ.
+			count := 0
+			for sidx, sigma := range sv.S {
+				if sigma <= 1 || count >= opts.MaxSigmaPerBand {
+					break
 				}
+				count++
+				u := make([]complex128, p)
+				v := make([]complex128, p)
+				for r := 0; r < p; r++ {
+					u[r] = sv.U.At(r, sidx)
+					v[r] = sv.V.At(r, sidx)
+				}
+				bv := make([]complex128, n)
+				work.CApplyB(bv, v)
+				g := make([]complex128, n)
+				// (jωI − A) g = B v  ⇔  (A − jωI) g = −B v.
+				for i := range bv {
+					bv[i] = -bv[i]
+				}
+				if err := work.CSolveShiftedA(g, bv, complex(0, w)); err != nil {
+					return err
+				}
+				// δσ = Σ_{i,s} δC[i,s]·Re(conj(u_i)·g_s); target σ+δσ = 1−margin.
+				row := make([]float64, nvars)
+				for i := 0; i < p; i++ {
+					cu := real(u[i])
+					cuIm := imag(u[i])
+					for s := 0; s < n; s++ {
+						// Re(conj(u_i)·g_s)
+						row[i*n+s] = cu*real(g[s]) + cuIm*imag(g[s])
+					}
+				}
+				perBand[bi] = append(perBand[bi], constraint{row: row, rhs: (1 - opts.Margin) - sigma})
 			}
-			cons = append(cons, constraint{row: row, rhs: (1 - opts.Margin) - sigma})
+			return nil
 		}
+	}
+	if err := client.RunBatch(ctx, core.PhaseConstraint, fns); err != nil {
+		return 0, err
+	}
+	var cons []constraint
+	for _, bc := range perBand {
+		cons = append(cons, bc...)
 	}
 	if len(cons) == 0 {
 		return 0, errors.New("passivity: violation bands reported but no σ > 1 found at peaks")

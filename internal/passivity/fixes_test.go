@@ -5,7 +5,18 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"repro/internal/core"
 )
+
+// probeClient provides a small worker pool for driving classifyBands
+// directly (production callers pass the characterization's pool client).
+func probeClient(t *testing.T) *core.Client {
+	t.Helper()
+	p := core.NewPool(2)
+	t.Cleanup(p.Close)
+	return p.NewClient(core.ClientOptions{})
+}
 
 // TestClassifyBandsClampsTerminalProbe: with a crossing near the certified
 // search bound, the terminal band's probe window (previously 2·lo) must be
@@ -16,7 +27,7 @@ func TestClassifyBandsClampsTerminalProbe(t *testing.T) {
 	omegaMax := 3 * m.MaxPoleMagnitude()
 	// Synthetic crossing at 90% of the bound: 2·lo would overshoot by 80%.
 	crossing := 0.9 * omegaMax
-	bands, err := classifyBands(context.Background(), m, []float64{crossing}, omegaMax, 20)
+	bands, err := classifyBands(context.Background(), probeClient(t), m, []float64{crossing}, omegaMax, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +52,7 @@ func TestClassifyBandsClampsTerminalProbe(t *testing.T) {
 func TestClassifyBandsCrossingAtBound(t *testing.T) {
 	m := genModel(t, 58, 16, 1.03)
 	omegaMax := 2 * m.MaxPoleMagnitude()
-	bands, err := classifyBands(context.Background(), m, []float64{omegaMax}, omegaMax, 10)
+	bands, err := classifyBands(context.Background(), probeClient(t), m, []float64{omegaMax}, omegaMax, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

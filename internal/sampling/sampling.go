@@ -9,11 +9,13 @@
 package sampling
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/statespace"
 )
 
@@ -32,8 +34,20 @@ type Options struct {
 	RelResolution float64
 	// Threshold is the passivity threshold on σ_max. Default 1.
 	Threshold float64
-	// Workers parallelizes the σ evaluations. Default 1.
+	// Workers parallelizes the σ evaluations with private goroutines when
+	// no Pool is given. Default 1.
 	Workers int
+	// Pool routes the bootstrap-grid σ evaluations through a shared
+	// worker pool as one PhaseSample task batch instead of private
+	// goroutines, so a fleet machine stays full during sampling sweeps.
+	// The adaptive refinement stays on the calling goroutine (each
+	// subdivision depends on the previous σ values); the per-ω cache and
+	// results are identical either way.
+	Pool *core.Pool
+	// Client optionally pins the pool scheduling identity (priority +
+	// fairness weight) the sweep's tasks are charged to; an ephemeral
+	// default-priority client of Pool is used when nil.
+	Client *core.Client
 }
 
 func (o *Options) setDefaults(m *statespace.Model) {
@@ -133,8 +147,32 @@ func Characterize(m *statespace.Model, opts Options) (*Result, error) {
 		}
 	}
 
-	// Parallel pre-evaluation of the bootstrap grid.
-	if opts.Workers > 1 {
+	// Parallel pre-evaluation of the bootstrap grid: one pool task per ω
+	// when a shared pool is wired up, private goroutines otherwise. Either
+	// way the per-ω single-flight cache makes the evaluation set — and the
+	// Evaluations counter — identical to a serial sweep.
+	switch {
+	case opts.Pool != nil || opts.Client != nil:
+		client := opts.Client
+		if client != nil && opts.Pool != nil && client.Pool() != opts.Pool {
+			// Mirror core.Pool.Submit: a client of another pool must not
+			// silently reroute the sweep.
+			return nil, errors.New("sampling: Options.Client is registered with a different pool")
+		}
+		if client == nil {
+			client = opts.Pool.NewClient(core.ClientOptions{})
+		}
+		fns := make([]func(int) error, len(pts))
+		for i, w := range pts {
+			fns[i] = func(int) error {
+				_, err := s.sigma(w)
+				return err
+			}
+		}
+		if err := client.RunBatch(context.Background(), core.PhaseSample, fns); err != nil {
+			return nil, err
+		}
+	case opts.Workers > 1:
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, opts.Workers)
 		var firstErr error

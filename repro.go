@@ -16,10 +16,12 @@
 //     extracts all purely imaginary Hamiltonian eigenvalues;
 //   - passivity characterization (violation bands) and iterative residue-
 //     perturbation enforcement built on that eigensolver;
-//   - a fleet engine (NewFleet) that runs many concurrent characterization
-//     and enforcement jobs on one shared worker pool, with per-job
-//     context cancellation and warm-started enforcement
-//     re-characterizations.
+//   - a fleet engine (NewFleet / NewFleetEngine) that runs many concurrent
+//     characterization and enforcement jobs on one shared worker pool —
+//     every compute phase (shifts, band probes, constraint assembly) is a
+//     pool task — with per-job priorities and fairness weights, bounded
+//     admission, per-job context cancellation, and warm-started
+//     enforcement re-characterizations.
 //
 // Quick start:
 //
@@ -284,13 +286,20 @@ func WriteTouchstone(w io.Writer, samples []VFSample, format TouchstoneFormat, r
 
 // Fleet runs many concurrent Characterize/Enforce jobs on one shared
 // worker pool sized to the machine, instead of oversubscribing it with
-// per-solve thread pools. Submit returns a FleetJob handle; cancellation
-// is per-job via contexts.
+// per-solve thread pools. Every compute phase — eigensolver shifts, band
+// probes, constraint assembly — runs as pool tasks under the job's
+// priority class and fairness weight. Submit returns a FleetJob handle;
+// cancellation is per-job via contexts.
 type Fleet = fleet.Engine
+
+// FleetOptions configures a fleet engine: worker count, admission cap
+// (MaxQueued bounds admitted-but-unfinished jobs; Submit blocks or, with
+// FailFast, returns ErrFleetQueueFull).
+type FleetOptions = fleet.EngineOptions
 
 // FleetRequest describes one fleet job: a model plus either
 // characterization options or (when Enforce is non-nil) enforcement
-// options.
+// options, a Priority class, and a fairness Weight.
 type FleetRequest = fleet.Request
 
 // FleetJob is the handle of a submitted fleet job.
@@ -299,9 +308,32 @@ type FleetJob = fleet.Job
 // FleetResult is the outcome of a fleet job.
 type FleetResult = fleet.Result
 
+// PriorityClass selects a fleet job's scheduling tier on the shared pool.
+type PriorityClass = core.PriorityClass
+
+// Priority classes: interactive tasks pop before any queued batch task
+// (preemption at task granularity; in-flight tasks finish first).
+const (
+	PriorityBatch       = core.PriorityBatch
+	PriorityInteractive = core.PriorityInteractive
+)
+
+// PhaseStat aggregates pool-worker tasks and busy time for one compute
+// phase (see Fleet.PhaseStats and cmd/fleetbench's utilization report).
+type PhaseStat = core.PhaseStat
+
+// ErrFleetQueueFull is returned by Submit on a FailFast fleet engine whose
+// admission queue is at MaxQueued.
+var ErrFleetQueueFull = fleet.ErrQueueFull
+
 // NewFleet starts a fleet engine with the given shared-pool worker count
-// (≤ 0 means GOMAXPROCS). Close it to release the workers.
+// (≤ 0 means GOMAXPROCS) and unbounded admission. Close it to release the
+// workers.
 func NewFleet(workers int) *Fleet { return fleet.New(workers) }
+
+// NewFleetEngine starts a fleet engine with full production options
+// (bounded admission, fail-fast submits).
+func NewFleetEngine(opts FleetOptions) *Fleet { return fleet.NewEngine(opts) }
 
 // ---- adaptive-sampling baseline (paper ref. [17]) ----
 
