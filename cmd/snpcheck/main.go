@@ -1,0 +1,150 @@
+// Command snpcheck is the measured-data front door of the passivity tools:
+// it streams a Touchstone .snp file (or stdin) through the bounded-memory
+// parser, identifies a rational macromodel with Vector Fitting as samples
+// arrive, runs the parallel Hamiltonian characterization, and prints a
+// passivity report. Parse errors include line and byte offsets.
+//
+// Usage examples:
+//
+//	snpcheck coupled.s2p
+//	snpcheck -order 24 -threads 8 measured.s4p
+//	cat sweep.s2p | snpcheck -ports 2 -order 16 -
+//
+// The port count is inferred from the .sNp extension when -ports is 0.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "snpcheck:", err)
+		os.Exit(1)
+	}
+}
+
+var snpExt = regexp.MustCompile(`(?i)\.s(\d+)p$`)
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("snpcheck", flag.ContinueOnError)
+	fs.SetOutput(out)
+	ports := fs.Int("ports", 0, "port count (0 = infer from the .sNp extension; required for stdin)")
+	order := fs.Int("order", 20, "per-column Vector Fitting order")
+	relaxed := fs.Bool("relaxed", false, "use the relaxed VF non-triviality constraint")
+	threads := fs.Int("threads", runtime.NumCPU(), "eigensolver worker threads")
+	seed := fs.Int64("seed", 1, "eigensolver start-vector seed")
+	jsonOut := fs.String("json", "", "write the characterization report as JSON to this file ('-' = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one input file (or '-' for stdin), got %d args", fs.NArg())
+	}
+	path := fs.Arg(0)
+
+	var in io.Reader
+	if path == "-" {
+		in = stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		if *ports == 0 {
+			if m := snpExt.FindStringSubmatch(path); m != nil {
+				*ports, _ = strconv.Atoi(m[1])
+			}
+		}
+	}
+	if *ports == 0 {
+		return fmt.Errorf("cannot infer port count from %q: pass -ports", path)
+	}
+
+	// Stream: parse → accumulate the fit system sample by sample.
+	rd, err := repro.NewTouchstoneReader(in, *ports)
+	if err != nil {
+		return err
+	}
+	ft := repro.NewVFFitter(*order, repro.VFOptions{Relaxed: *relaxed})
+	var lo, hi float64
+	if err := rd.Each(func(s repro.VFSample) error {
+		if ft.Len() == 0 {
+			lo = s.Omega
+		}
+		hi = s.Omega
+		return ft.Add(s)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ingested %d samples, %d ports, %s format, ref %g Ω, band [%.6g, %.6g] rad/s\n",
+		rd.Samples(), rd.Ports(), rd.Format(), rd.Reference(), lo, hi)
+
+	fit, err := ft.Finish()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "vector fit: order %d per column → %d states, RMS error %.3e\n",
+		*order, fit.Model.Order(), fit.RMSError)
+
+	report, err := repro.Characterize(fit.Model, repro.CharOptions{
+		Core: repro.SolverOptions{Threads: *threads, Seed: *seed},
+	})
+	if err != nil {
+		return err
+	}
+	printReport(out, report)
+
+	if *jsonOut != "" {
+		if *jsonOut == "-" {
+			return report.WriteJSON(out)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		// A failed Close (e.g. ENOSPC flush) must not leave a truncated
+		// report behind a zero exit status.
+		return f.Close()
+	}
+	return nil
+}
+
+func printReport(out io.Writer, r *repro.Report) {
+	fmt.Fprintf(out, "searched band: [0, %.6g] rad/s\n", r.OmegaMax)
+	fmt.Fprintf(out, "N_lambda (imaginary Hamiltonian eigenvalues): %d\n", len(r.Crossings))
+	fmt.Fprintf(out, "solver: %d shifts, %d restarts, %d applies, %v\n",
+		r.Solver.ShiftsProcessed, r.Solver.Restarts, r.Solver.OpApplies, r.Solver.Elapsed)
+	if r.Passive {
+		fmt.Fprintln(out, "verdict: PASSIVE")
+		return
+	}
+	fmt.Fprintln(out, "verdict: NOT PASSIVE")
+	for _, b := range r.Violations() {
+		hi := fmt.Sprintf("%.6g", b.Hi)
+		if math.IsInf(b.Hi, 1) {
+			hi = "inf"
+		}
+		fmt.Fprintf(out, "  violation band [%.6g, %s] rad/s  peak σ=%.6f @ ω=%.6g\n",
+			b.Lo, hi, b.PeakSigma, b.PeakOmega)
+	}
+}

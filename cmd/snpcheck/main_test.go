@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+var update = flag.Bool("update", false, "regenerate the .snp fixture under testdata/touchstone")
+
+// fixture is a real (checked-in) two-port Touchstone sweep of a
+// deliberately non-passive device: the end-to-end acceptance path
+// stream-parse → vector fit → Hamiltonian characterization must find its
+// violation band.
+const fixture = "../../testdata/touchstone/coupled.s2p"
+
+func regenFixture(t *testing.T) {
+	t.Helper()
+	model, err := repro.GenerateModel(42, repro.GenOptions{
+		Ports: 2, Order: 12, TargetPeak: 1.05, GridPoints: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := repro.SampleModel(model, repro.LogGrid(2*math.Pi*1e8, 2*math.Pi*2e10, 240))
+	if err := os.MkdirAll(filepath.Dir(fixture), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := repro.WriteTouchstone(f, samples, repro.TouchstoneRI, 50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnpcheckEndToEnd(t *testing.T) {
+	if *update {
+		regenFixture(t)
+	}
+	var buf bytes.Buffer
+	// Port count comes from the .s2p extension; order matches the device.
+	if err := run([]string{"-order", "12", "-threads", "2", fixture}, nil, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"ingested 240 samples",
+		"2 ports",
+		"vector fit",
+		"verdict: NOT PASSIVE",
+		"violation band",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnpcheckStdin(t *testing.T) {
+	src, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-ports", "2", "-order", "12", "-threads", "2", "-"},
+		bytes.NewReader(src), &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "verdict:") {
+		t.Fatalf("no verdict in output:\n%s", buf.String())
+	}
+}
+
+func TestSnpcheckErrors(t *testing.T) {
+	var buf bytes.Buffer
+	// Stdin without -ports: the extension cannot be inferred.
+	if err := run([]string{"-"}, strings.NewReader(""), &buf); err == nil ||
+		!strings.Contains(err.Error(), "-ports") {
+		t.Fatalf("want a -ports error, got %v", err)
+	}
+	// Parse errors must surface the line/byte offsets of the streaming reader.
+	bad := "# GHz S RI R 50\n1 0.1 0.2 0.3 0.4 0.5 0.6 0.7 0.8\n2 0.1 oops\n"
+	err := run([]string{"-ports", "2", "-"}, strings.NewReader(bad), &buf)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want a positioned parse error, got %v", err)
+	}
+	// No input file at all.
+	if err := run(nil, nil, &buf); err == nil {
+		t.Fatal("want an argument-count error")
+	}
+}

@@ -31,14 +31,21 @@ func main() {
 	}
 	fmt.Printf("touchstone file: %d bytes (# GHz S DB R 50)\n", file.Len())
 
-	// Parse it back and identify a macromodel.
-	data, err := repro.ParseTouchstone(&file, 2)
+	// Stream it back and identify a macromodel: the reader hands out one
+	// sample at a time with O(ports²) working memory (multi-GB sweeps never
+	// materialize), and the fitter accumulates its system as samples
+	// arrive — parse errors would carry line+byte offsets.
+	rd, err := repro.NewTouchstoneReader(&file, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("parsed %d samples, %d ports, ref %g Ω\n",
-		len(data.Samples), data.Ports, data.Reference)
-	fit, err := repro.FitVector(data.Samples, 20, repro.VFOptions{})
+	fitter := repro.NewVFFitter(20, repro.VFOptions{})
+	if err := rd.Each(fitter.Add); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d samples, %d ports, %s format, ref %g Ω\n",
+		rd.Samples(), rd.Ports(), rd.Format(), rd.Reference())
+	fit, err := fitter.Finish()
 	if err != nil {
 		log.Fatal(err)
 	}

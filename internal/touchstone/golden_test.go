@@ -1,0 +1,148 @@
+package touchstone
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/statespace"
+	"repro/internal/vectfit"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden .snp files")
+
+func goldenPath(ports int, format Format) string {
+	return filepath.Join("testdata", "golden",
+		fmt.Sprintf("case_p%d_%s.s%dp", ports, strings.ToLower(format.String()), ports))
+}
+
+func goldenSamples(t testing.TB, ports int) []vectfit.Sample {
+	t.Helper()
+	m, err := statespace.Generate(7, statespace.GenOptions{
+		Ports: ports, Order: 4 * ports, TargetPeak: 0.9, GridPoints: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vectfit.SampleModel(m, statespace.LogGrid(2*math.Pi*1e8, 2*math.Pi*2e10, 16))
+}
+
+// regenGolden writes the Write∘Parse fixpoint of the golden sample set:
+// iterating Write→Parse until two consecutive Writes agree byte-for-byte
+// guarantees the checked-in file satisfies the round-trip identity exactly
+// (a single Write of fresh samples can land within a digit-rounding
+// boundary of the 12-significant-digit output format).
+func regenGolden(t *testing.T, ports int, format Format) {
+	t.Helper()
+	samples := goldenSamples(t, ports)
+	var prev []byte
+	for iter := 0; iter < 8; iter++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, samples, format, 50); err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && bytes.Equal(prev, buf.Bytes()) {
+			path := goldenPath(ports, format)
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, prev, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		prev = buf.Bytes()
+		d, err := Parse(bytes.NewReader(prev), ports)
+		if err != nil {
+			t.Fatalf("p=%d %v: golden candidate does not re-parse: %v", ports, format, err)
+		}
+		samples = d.Samples
+	}
+	t.Fatalf("p=%d %v: Write∘Parse did not reach a fixpoint", ports, format)
+}
+
+// TestGoldenRoundTrip checks, against checked-in .snp files, that
+// Write → Parse → Write is byte-identical for every format and port count
+// 1–4. Any change to the emitter or parser that moves a single byte fails
+// here; regenerate deliberately with -update.
+func TestGoldenRoundTrip(t *testing.T) {
+	for _, ports := range []int{1, 2, 3, 4} {
+		for _, format := range []Format{RI, MA, DB} {
+			if *update {
+				regenGolden(t, ports, format)
+			}
+			path := goldenPath(ports, format)
+			golden, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			d, err := Parse(bytes.NewReader(golden), ports)
+			if err != nil {
+				t.Fatalf("p=%d %v: parse golden: %v", ports, format, err)
+			}
+			var out bytes.Buffer
+			if err := Write(&out, d.Samples, format, d.Reference); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), golden) {
+				t.Fatalf("p=%d %v: Write∘Parse is not byte-identical to %s", ports, format, path)
+			}
+		}
+	}
+}
+
+// TestParseWritePreservesSamples is the round-trip property test on
+// randomized matrices (not model samples): Parse(Write(x)) must preserve
+// every entry to 1e-9 relative accuracy in all three formats, including
+// negative real parts, phases in all four quadrants and exact zeros (DB
+// clamps them to the −300 dB floor, i.e. 1e-15 ≪ the tolerance).
+func TestParseWritePreservesSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, ports := range []int{1, 2, 3, 5} {
+		var in []vectfit.Sample
+		omega := 1e8
+		for s := 0; s < 12; s++ {
+			omega *= 1 + rng.Float64()
+			h := mat.NewCDense(ports, ports)
+			for e := range h.Data {
+				h.Data[e] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+			}
+			if s == 3 {
+				h.Data[0] = 0 // exercise the DB zero clamp
+			}
+			in = append(in, vectfit.Sample{Omega: omega, H: h})
+		}
+		for _, format := range []Format{RI, MA, DB} {
+			var buf bytes.Buffer
+			if err := Write(&buf, in, format, 50); err != nil {
+				t.Fatal(err)
+			}
+			d, err := Parse(bytes.NewReader(buf.Bytes()), ports)
+			if err != nil {
+				t.Fatalf("p=%d %v: %v", ports, format, err)
+			}
+			if len(d.Samples) != len(in) {
+				t.Fatalf("p=%d %v: %d samples", ports, format, len(d.Samples))
+			}
+			for s := range in {
+				if math.Abs(d.Samples[s].Omega-in[s].Omega) > 1e-9*in[s].Omega {
+					t.Fatalf("p=%d %v sample %d: omega %g vs %g", ports, format, s, d.Samples[s].Omega, in[s].Omega)
+				}
+				for e := range in[s].H.Data {
+					got, want := d.Samples[s].H.Data[e], in[s].H.Data[e]
+					if cmplx.Abs(got-want) > 1e-9*(1+cmplx.Abs(want)) {
+						t.Fatalf("p=%d %v sample %d entry %d: %v vs %v", ports, format, s, e, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package touchstone
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+	"strconv"
+	"strings"
+
+	"repro/internal/mat"
+	"repro/internal/vectfit"
+)
+
+// ParseError is the error type of the streaming reader: every syntax or
+// validation failure carries the 1-based line and 0-based byte offset of
+// the offending input so multi-GB sweeps can be debugged without bisecting
+// the file.
+type ParseError struct {
+	Line int   // 1-based line of the offending token (or current position)
+	Byte int64 // 0-based byte offset into the stream
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("touchstone: line %d (byte %d): %s", e.Line, e.Byte, e.Msg)
+}
+
+// Reader parses a Touchstone stream one sample at a time with O(ports²)
+// working memory: the tokenizer runs byte-by-byte (logical rows may be
+// arbitrarily long — no line-length cap), the option line / monotone
+// frequency / value-count invariants are checked incrementally, and every
+// error is a *ParseError with line+byte offsets.
+//
+// The option line is consumed eagerly by NewReader, so Format, Scale and
+// Reference are available before the first sample. Next returns io.EOF at
+// a clean end of stream; any other error is sticky.
+type Reader struct {
+	br        *bufio.Reader
+	ports     int
+	perSample int // values per sample: 1 freq + 2·ports² pair entries
+
+	format    Format
+	scale     float64 // raw frequency → rad/s
+	reference float64
+
+	line        int   // 1-based line of the next unread byte
+	off         int64 // 0-based byte offset of the next unread byte
+	atLineStart bool  // only whitespace seen on the current line
+
+	vals       []float64 // accumulated values of the current sample
+	tok        []byte    // token scratch, reused across calls
+	tokLine    int       // position of the current token's first byte
+	tokByte    int64
+	sampleLine int // position of the current sample's frequency token
+	sampleByte int64
+
+	n        int // samples emitted so far
+	lastFreq float64
+	err      error // sticky
+}
+
+// NewReader wraps r for streaming Touchstone parsing with the given port
+// count (conventionally encoded in the .sNp file extension). It reads and
+// validates the header — comments and the # option line — before
+// returning, so data before the option line is rejected here.
+func NewReader(r io.Reader, ports int) (*Reader, error) {
+	if ports < 1 {
+		return nil, errors.New("touchstone: ports must be ≥ 1")
+	}
+	rd := &Reader{
+		br:          bufio.NewReaderSize(r, 1<<16),
+		ports:       ports,
+		perSample:   1 + 2*ports*ports,
+		format:      MA, // Touchstone defaults
+		scale:       unitScale["GHZ"],
+		reference:   50,
+		line:        1,
+		atLineStart: true,
+	}
+	rd.vals = make([]float64, 0, rd.perSample)
+	if err := rd.readHeader(); err != nil {
+		rd.err = err
+		return nil, err
+	}
+	return rd, nil
+}
+
+// Ports returns the port count the reader was built with.
+func (r *Reader) Ports() int { return r.ports }
+
+// Format returns the column encoding declared by the option line.
+func (r *Reader) Format() Format { return r.format }
+
+// Reference returns the reference impedance in ohms (option-line R token,
+// default 50).
+func (r *Reader) Reference() float64 { return r.reference }
+
+// Samples returns the number of samples emitted so far.
+func (r *Reader) Samples() int { return r.n }
+
+// pe builds a ParseError at the current stream position.
+func (r *Reader) pe(format string, args ...any) error {
+	return r.peAt(r.line, r.off, format, args...)
+}
+
+// peAt builds a ParseError at an explicit position.
+func (r *Reader) peAt(line int, off int64, format string, args ...any) error {
+	return &ParseError{Line: line, Byte: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// readByte consumes one byte, tracking the byte offset. Line accounting is
+// done by the callers that interpret '\n'.
+func (r *Reader) readByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err == nil {
+		r.off++
+	}
+	return b, err
+}
+
+// skipComment consumes a '!' comment through its terminating newline (or
+// EOF), updating line accounting.
+func (r *Reader) skipComment() error {
+	for {
+		b, err := r.readByte()
+		if err != nil {
+			return err // io.EOF included
+		}
+		if b == '\n' {
+			r.line++
+			r.atLineStart = true
+			return nil
+		}
+	}
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\r' || b == '\v' || b == '\f'
+}
+
+// readHeader skips leading whitespace and comments, then parses the #
+// option line. Data encountered first is an error: guessing the GHz/MA
+// defaults for headerless data would silently misscale every frequency of
+// an Hz/RI file.
+func (r *Reader) readHeader() error {
+	for {
+		b, err := r.readByte()
+		if err == io.EOF {
+			return r.pe("missing # option line")
+		}
+		if err != nil {
+			return err
+		}
+		switch {
+		case b == '\n':
+			r.line++
+			r.atLineStart = true
+		case isSpace(b):
+			// keep scanning
+		case b == '!':
+			if err := r.skipComment(); err != nil && err != io.EOF {
+				return err
+			}
+		case b == '#':
+			return r.parseOptionLine()
+		default:
+			return r.peAt(r.line, r.off-1, "data before the # option line")
+		}
+	}
+}
+
+// parseOptionLine tokenizes the remainder of the option line in place
+// (token-at-a-time — a pathological multi-GB option line costs O(1)
+// memory) and applies each token to the reader's format/scale/reference
+// state.
+func (r *Reader) parseOptionLine() error {
+	wantR := false // previous token was "R": next token is the impedance
+	tok := r.tok[:0]
+	flush := func() error {
+		if len(tok) == 0 {
+			return nil
+		}
+		s := strings.ToUpper(string(tok))
+		tok = tok[:0]
+		if wantR {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return r.pe("bad reference impedance %q", s)
+			}
+			r.reference = v
+			wantR = false
+			return nil
+		}
+		switch s {
+		case "HZ", "KHZ", "MHZ", "GHZ":
+			r.scale = unitScale[s]
+		case "S":
+			// scattering — accepted
+		case "Y", "Z", "H", "G":
+			return r.pe("%s-parameters not supported (scattering only)", s)
+		case "RI":
+			r.format = RI
+		case "MA":
+			r.format = MA
+		case "DB":
+			r.format = DB
+		case "R":
+			wantR = true
+		default:
+			return r.pe("unknown option token %q", s)
+		}
+		return nil
+	}
+	end := func() error {
+		if err := flush(); err != nil {
+			return err
+		}
+		if wantR {
+			return r.pe("R without impedance value")
+		}
+		return nil
+	}
+	for {
+		b, err := r.readByte()
+		if err == io.EOF {
+			return end()
+		}
+		if err != nil {
+			return err
+		}
+		switch {
+		case b == '\n':
+			r.line++
+			r.atLineStart = true
+			return end()
+		case isSpace(b):
+			if err := flush(); err != nil {
+				return err
+			}
+		case b == '!':
+			if err := flush(); err != nil {
+				return err
+			}
+			if cerr := r.skipComment(); cerr != nil && cerr != io.EOF {
+				return cerr
+			}
+			return end()
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+// readToken returns the next data token, handling whitespace, newlines and
+// comments. A second option line is rejected here. Returns io.EOF at a
+// clean end of stream. The returned slice aliases the reader's scratch and
+// is only valid until the next call.
+func (r *Reader) readToken() ([]byte, error) {
+	r.tok = r.tok[:0]
+	for {
+		b, err := r.readByte()
+		if err == io.EOF {
+			if len(r.tok) > 0 {
+				return r.tok, nil
+			}
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case b == '\n':
+			r.line++
+			r.atLineStart = true
+			if len(r.tok) > 0 {
+				return r.tok, nil
+			}
+		case isSpace(b):
+			if len(r.tok) > 0 {
+				return r.tok, nil
+			}
+		case b == '!':
+			if cerr := r.skipComment(); cerr != nil && cerr != io.EOF {
+				return nil, cerr
+			}
+			if len(r.tok) > 0 {
+				return r.tok, nil
+			}
+		case b == '#' && r.atLineStart && len(r.tok) == 0:
+			return nil, r.peAt(r.line, r.off-1, "multiple option lines")
+		default:
+			if len(r.tok) == 0 {
+				r.tokLine, r.tokByte = r.line, r.off-1
+			}
+			r.atLineStart = false
+			r.tok = append(r.tok, b)
+		}
+	}
+}
+
+// Next returns the next sample, converted to rad/s and the complex matrix
+// form used throughout the library (including the 2-port column-major
+// quirk). It returns io.EOF at a clean end of stream; any other error is
+// sticky and carries line+byte offsets.
+func (r *Reader) Next() (vectfit.Sample, error) {
+	if r.err != nil {
+		return vectfit.Sample{}, r.err
+	}
+	for len(r.vals) < r.perSample {
+		tok, err := r.readToken()
+		if err == io.EOF {
+			if len(r.vals) != 0 {
+				r.err = r.peAt(r.sampleLine, r.sampleByte,
+					"truncated sample %d: got %d of %d values (1 freq + %d pairs)",
+					r.n, len(r.vals), r.perSample, r.ports*r.ports)
+				return vectfit.Sample{}, r.err
+			}
+			r.err = io.EOF
+			return vectfit.Sample{}, io.EOF
+		}
+		if err != nil {
+			r.err = err
+			return vectfit.Sample{}, err
+		}
+		v, perr := strconv.ParseFloat(string(tok), 64)
+		if perr != nil {
+			r.err = r.peAt(r.tokLine, r.tokByte, "bad number %q", tok)
+			return vectfit.Sample{}, r.err
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			r.err = r.peAt(r.tokLine, r.tokByte, "non-finite value %q", tok)
+			return vectfit.Sample{}, r.err
+		}
+		if len(r.vals) == 0 {
+			r.sampleLine, r.sampleByte = r.tokLine, r.tokByte
+		}
+		r.vals = append(r.vals, v)
+	}
+	freq := r.vals[0] * r.scale
+	// The raw token is finite (checked above), but a large value can still
+	// overflow once the Hz/kHz/MHz/GHz unit scale is applied.
+	if math.IsInf(freq, 0) {
+		r.err = r.peAt(r.sampleLine, r.sampleByte,
+			"sample %d: frequency overflows after unit scaling", r.n)
+		return vectfit.Sample{}, r.err
+	}
+	if r.n > 0 && freq <= r.lastFreq {
+		r.err = r.peAt(r.sampleLine, r.sampleByte,
+			"frequencies not strictly increasing at sample %d", r.n)
+		return vectfit.Sample{}, r.err
+	}
+	ports := r.ports
+	h := mat.NewCDense(ports, ports)
+	for k := 0; k < ports*ports; k++ {
+		a, b := r.vals[1+2*k], r.vals[2+2*k]
+		var v complex128
+		switch r.format {
+		case RI:
+			v = complex(a, b)
+		case MA:
+			v = cmplx.Rect(a, b*math.Pi/180)
+		case DB:
+			v = cmplx.Rect(math.Pow(10, a/20), b*math.Pi/180)
+		}
+		// Touchstone order: row-major S11 S12 … except 2-port files, which
+		// historically store S11 S21 S12 S22 (column-major).
+		i, j := k/ports, k%ports
+		if ports == 2 {
+			i, j = k%ports, k/ports
+		}
+		// Finite tokens can still decode to Inf (e.g. 7000 dB overflows
+		// 10^(a/20)); downstream consumers require finite matrices.
+		if math.IsNaN(real(v)) || math.IsNaN(imag(v)) || cmplx.IsInf(v) {
+			r.err = r.peAt(r.sampleLine, r.sampleByte,
+				"sample %d entry (%d,%d) decodes to the non-finite value %v", r.n, i, j, v)
+			return vectfit.Sample{}, r.err
+		}
+		h.Set(i, j, v)
+	}
+	r.lastFreq = freq
+	r.n++
+	r.vals = r.vals[:0]
+	return vectfit.Sample{Omega: freq, H: h}, nil
+}
+
+// Each streams every remaining sample through fn, stopping at the first
+// parse error or the first error returned by fn (returned as-is). A clean
+// end of stream returns nil. Combined with vectfit.Fitter.Add this
+// overlaps file I/O with fit-system accumulation:
+//
+//	rd, _ := touchstone.NewReader(f, ports)
+//	ft := vectfit.NewFitter(order, opts)
+//	if err := rd.Each(ft.Add); err != nil { ... }
+//	fit, err := ft.Finish()
+func (r *Reader) Each(fn func(vectfit.Sample) error) error {
+	for {
+		s, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+}

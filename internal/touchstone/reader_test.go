@@ -1,0 +1,311 @@
+package touchstone
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/vectfit"
+)
+
+func collect(t *testing.T, src string, ports int) ([]vectfit.Sample, *Reader) {
+	t.Helper()
+	rd, err := NewReader(strings.NewReader(src), ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []vectfit.Sample
+	if err := rd.Each(func(s vectfit.Sample) error { out = append(out, s); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	return out, rd
+}
+
+func TestReaderBasic(t *testing.T) {
+	src := "! hdr\n# MHz S RI R 75\n100 0.5 0.1\n200 0.4 -0.2\n"
+	samples, rd := collect(t, src, 1)
+	if len(samples) != 2 || rd.Samples() != 2 {
+		t.Fatalf("%d samples", len(samples))
+	}
+	if rd.Format() != RI || rd.Reference() != 75 || rd.Ports() != 1 {
+		t.Fatalf("header state: %v %g %d", rd.Format(), rd.Reference(), rd.Ports())
+	}
+	wantW := 2 * math.Pi * 100e6
+	if math.Abs(samples[0].Omega-wantW) > 1e-3 {
+		t.Fatalf("omega %g want %g", samples[0].Omega, wantW)
+	}
+	if samples[0].H.At(0, 0) != complex(0.5, 0.1) {
+		t.Fatalf("S11 %v", samples[0].H.At(0, 0))
+	}
+}
+
+// positioned asserts that parsing src fails with a *ParseError at the given
+// line carrying a plausible byte offset and the msg substring.
+func positioned(t *testing.T, src string, ports, wantLine int, wantByte int64, msgPart string) {
+	t.Helper()
+	rd, err := NewReader(strings.NewReader(src), ports)
+	if err == nil {
+		err = rd.Each(func(vectfit.Sample) error { return nil })
+	}
+	if err == nil {
+		t.Fatalf("expected error for %q", src)
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("%q: error %v is not a *ParseError", src, err)
+	}
+	if pe.Line != wantLine {
+		t.Fatalf("%q: error at line %d, want %d (%v)", src, pe.Line, wantLine, err)
+	}
+	if wantByte >= 0 && pe.Byte != wantByte {
+		t.Fatalf("%q: error at byte %d, want %d (%v)", src, pe.Byte, wantByte, err)
+	}
+	if !strings.Contains(pe.Msg, msgPart) {
+		t.Fatalf("%q: error %q does not mention %q", src, pe.Msg, msgPart)
+	}
+}
+
+func TestReaderErrorOffsets(t *testing.T) {
+	opt := "# GHz S RI R 50\n" // 16 bytes, line 1
+	// Bad token on line 3; its byte offset is len(opt) + len("1 0.5 0.25\n") + 2.
+	positioned(t, opt+"1 0.5 0.25\n2 bad 0.5\n", 1, 3, int64(len(opt))+13, `bad number "bad"`)
+	// Non-monotone frequency: reported at the offending sample's freq token.
+	positioned(t, opt+"2 0.5 0.1\n1 0.4 0.2\n", 1, 3, int64(len(opt))+10, "not strictly increasing")
+	// Truncated trailing sample: positioned at the sample's first token.
+	positioned(t, opt+"1 0.5 0.1\n2 0.5\n", 1, 3, int64(len(opt))+10, "truncated sample 1")
+	// Second option line.
+	positioned(t, opt+"# GHz S RI\n1 0.5 0.1\n", 1, 2, int64(len(opt)), "multiple option lines")
+	// Non-finite value.
+	positioned(t, opt+"1 NaN 0.1\n", 1, 2, int64(len(opt))+2, "non-finite")
+	// A finite frequency token that overflows once the unit scale is
+	// applied: positioned at the sample's frequency token.
+	positioned(t, opt+"1e308 0.5 0.1\n", 1, 2, int64(len(opt)), "overflows after unit scaling")
+	// Header problems are positioned too (the offending byte itself).
+	positioned(t, "1 0.5 0.1\n", 1, 1, 0, "data before the # option line")
+	positioned(t, "# GHz S RI R\n1 0.5 0.1\n", 1, 2, -1, "R without impedance value")
+	positioned(t, "! only comments\n", 1, 2, -1, "missing # option line")
+}
+
+func TestReaderStickyError(t *testing.T) {
+	rd, err := NewReader(strings.NewReader("# GHz S RI\n1 bad 0\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err1 := rd.Next()
+	_, err2 := rd.Next()
+	if err1 == nil || err2 == nil || err1.Error() != err2.Error() {
+		t.Fatalf("error not sticky: %v vs %v", err1, err2)
+	}
+}
+
+func TestReaderEOFAfterDone(t *testing.T) {
+	rd, err := NewReader(strings.NewReader("# GHz S RI\n1 0.5 0.1\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := rd.Next(); err != io.EOF {
+			t.Fatalf("want io.EOF, got %v", err)
+		}
+	}
+}
+
+func TestReaderEachCallbackError(t *testing.T) {
+	rd, err := NewReader(strings.NewReader("# GHz S RI\n1 0.5 0.1\n2 0.5 0.1\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop")
+	n := 0
+	if got := rd.Each(func(vectfit.Sample) error { n++; return sentinel }); got != sentinel {
+		t.Fatalf("Each returned %v, want sentinel", got)
+	}
+	if n != 1 {
+		t.Fatalf("callback ran %d times", n)
+	}
+}
+
+func TestReaderOptionLineVariants(t *testing.T) {
+	// Comment on the option line, no space after '#', lowercase tokens,
+	// CRLF endings, samples split across physical lines.
+	src := "!hdr\r\n#mhz s ri r 75 ! trailing comment\r\n100 0.5 0.1\r\n200\r\n0.4 -0.2\r\n"
+	samples, rd := collect(t, src, 1)
+	if len(samples) != 2 || rd.Reference() != 75 || rd.Format() != RI {
+		t.Fatalf("variant parse: %d samples ref %g fmt %v", len(samples), rd.Reference(), rd.Format())
+	}
+	if samples[1].H.At(0, 0) != complex(0.4, -0.2) {
+		t.Fatalf("wrapped sample: %v", samples[1].H.At(0, 0))
+	}
+}
+
+// TestParseUnboundedLogicalLine is the regression test for the old
+// bufio.Scanner 1 MiB line cap: Parse used to fail with "token too long"
+// on wide n-port rows emitted as one physical line. The streaming
+// tokenizer has no line-length limit.
+func TestParseUnboundedLogicalLine(t *testing.T) {
+	const ports = 180 // 1 + 2·180² = 64801 values on one line
+	var b strings.Builder
+	b.WriteString("# GHz S RI R 50\n1")
+	for k := 0; k < ports*ports; k++ {
+		// Padded fixed-width pairs push the single data line past 1 MiB.
+		fmt.Fprintf(&b, "%20d%20d", k+1, 0)
+	}
+	b.WriteString("\n")
+	if b.Len() < 1<<20 {
+		t.Fatalf("regression input only %d bytes — below the old 1 MiB cap", b.Len())
+	}
+	d, err := Parse(strings.NewReader(b.String()), ports)
+	if err != nil {
+		t.Fatalf("wide single-line row: %v", err)
+	}
+	if len(d.Samples) != 1 {
+		t.Fatalf("%d samples", len(d.Samples))
+	}
+	h := d.Samples[0].H
+	// Row-major mapping for n≥3 ports: entry (i,j) carries value i·p+j+1.
+	for _, ij := range [][2]int{{0, 0}, {0, 179}, {97, 42}, {179, 179}} {
+		want := complex(float64(ij[0]*ports+ij[1]+1), 0)
+		if h.At(ij[0], ij[1]) != want {
+			t.Fatalf("entry %v = %v, want %v", ij, h.At(ij[0], ij[1]), want)
+		}
+	}
+}
+
+// synthSNP procedurally generates a 2-port RI Touchstone stream of n
+// samples without materializing it, so memory tests see only the Reader's
+// own allocations.
+type synthSNP struct {
+	n, i    int
+	buf     []byte
+	scratch []byte
+}
+
+func newSynthSNP(n int) *synthSNP {
+	s := &synthSNP{n: n, scratch: make([]byte, 0, 128)}
+	s.buf = []byte("# GHz S RI R 50\n")
+	return s
+}
+
+func (s *synthSNP) Read(p []byte) (int, error) {
+	for len(s.buf) == 0 {
+		if s.i >= s.n {
+			return 0, io.EOF
+		}
+		b := s.scratch[:0]
+		b = strconv.AppendInt(b, int64(s.i+1), 10)
+		b = append(b, " 0.1 0.2 0.3 0.4 0.5 0.6 0.7 0.8\n"...)
+		s.scratch = b
+		s.buf = b
+		s.i++
+	}
+	n := copy(p, s.buf)
+	s.buf = s.buf[n:]
+	return n, nil
+}
+
+// TestReaderBoundedMemory asserts the acceptance criterion: streaming a
+// ≥100k-sample .snp file leaves the live heap where it started — peak
+// working memory is O(ports²), independent of sample count.
+func TestReaderBoundedMemory(t *testing.T) {
+	const n = 120_000
+	rd, err := NewReader(newSynthSNP(n), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	count := 0
+	for {
+		s, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.H.Rows != 2 {
+			t.Fatal("bad sample")
+		}
+		count++
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if count != n {
+		t.Fatalf("parsed %d of %d samples", count, n)
+	}
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if growth > 1<<20 {
+		t.Fatalf("live heap grew %d bytes across a %d-sample stream — working memory is not bounded", growth, n)
+	}
+}
+
+// TestReaderNextAllocsConstant pins the per-sample allocation count: it
+// must not depend on how much of the stream has already been consumed.
+func TestReaderNextAllocsConstant(t *testing.T) {
+	perNext := func(warmup int) float64 {
+		rd, err := NewReader(newSynthSNP(warmup+300), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < warmup; i++ {
+			if _, err := rd.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(200, func() {
+			if _, err := rd.Next(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	early, late := perNext(10), perNext(50_000)
+	// 2-port sample: 9 number tokens + one p×p matrix → well under 20.
+	if early > 20 || late > 20 {
+		t.Fatalf("allocs per Next: early %.1f late %.1f — want < 20", early, late)
+	}
+	if math.Abs(early-late) > 2 {
+		t.Fatalf("allocs per Next drift with stream position: early %.1f late %.1f", early, late)
+	}
+}
+
+func TestParseReaderAgreeOnFixtures(t *testing.T) {
+	// Buffered and streaming paths must agree sample-for-sample, bitwise.
+	for _, ports := range []int{1, 2, 3, 4} {
+		for _, f := range []Format{RI, MA, DB} {
+			in := sampleSet(t, ports)
+			var buf bytes.Buffer
+			if err := Write(&buf, in, f, 50); err != nil {
+				t.Fatal(err)
+			}
+			d, err := Parse(bytes.NewReader(buf.Bytes()), ports)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed, _ := collect(t, buf.String(), ports)
+			if len(streamed) != len(d.Samples) {
+				t.Fatalf("p=%d %v: %d streamed vs %d parsed", ports, f, len(streamed), len(d.Samples))
+			}
+			for i := range streamed {
+				if streamed[i].Omega != d.Samples[i].Omega {
+					t.Fatalf("p=%d %v sample %d: omega mismatch", ports, f, i)
+				}
+				for e := range streamed[i].H.Data {
+					if streamed[i].H.Data[e] != d.Samples[i].H.Data[e] {
+						t.Fatalf("p=%d %v sample %d entry %d mismatch", ports, f, i, e)
+					}
+				}
+			}
+		}
+	}
+}

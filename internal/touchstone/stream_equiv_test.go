@@ -1,0 +1,93 @@
+package touchstone
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"repro/internal/statespace"
+	"repro/internal/vectfit"
+)
+
+// gobBytes serializes a value for exact (bit-level) comparison; gob
+// encodes float64 fields losslessly.
+func gobBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamingBufferedFitEquivalence is the streaming⇄buffered
+// equivalence battery: driving vectfit.Fitter.Add from a streaming Reader
+// must produce a bit-identical model (and diagnostics) to the batch
+// vectfit.Fit entry point fed by the buffered Parse, on scaled-down
+// Table-I cases (same seeds and calibrated peaks as the paper benchmarks,
+// orders shrunk to keep the fit in test budget). CI runs this under -race.
+func TestStreamingBufferedFitEquivalence(t *testing.T) {
+	for _, id := range []int{1, 4, 7} {
+		spec, err := statespace.FindCase(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shrink hard: the VF least-squares SVD dominates, and this test is
+		// about bit-identity of the two ingestion paths, not fit quality.
+		ports := spec.P
+		if ports > 3 {
+			ports = 3
+		}
+		m, err := statespace.Generate(spec.Seed, statespace.GenOptions{
+			Ports: ports, Order: spec.N / 50, TargetPeak: spec.TargetPeak, GridPoints: 40,
+		})
+		if err != nil {
+			t.Fatalf("case %d mini: %v", id, err)
+		}
+		samples := vectfit.SampleModel(m, statespace.LogGrid(2*math.Pi*1e8, 2*math.Pi*2e10, 36))
+		var file bytes.Buffer
+		if err := Write(&file, samples, RI, 50); err != nil {
+			t.Fatal(err)
+		}
+
+		// Buffered path: collect-all Parse, batch Fit.
+		d, err := Parse(bytes.NewReader(file.Bytes()), ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := vectfit.Fit(d.Samples, 6, vectfit.Options{})
+		if err != nil {
+			t.Fatalf("case %d batch fit: %v", id, err)
+		}
+
+		// Streaming path: Reader → Fitter.Add → Finish.
+		rd, err := NewReader(bytes.NewReader(file.Bytes()), ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft := vectfit.NewFitter(6, vectfit.Options{})
+		if err := rd.Each(ft.Add); err != nil {
+			t.Fatal(err)
+		}
+		if ft.Len() != len(d.Samples) {
+			t.Fatalf("case %d: fitter saw %d samples, parse %d", id, ft.Len(), len(d.Samples))
+		}
+		stream, err := ft.Finish()
+		if err != nil {
+			t.Fatalf("case %d streaming fit: %v", id, err)
+		}
+
+		if !bytes.Equal(gobBytes(t, batch.Model), gobBytes(t, stream.Model)) {
+			t.Fatalf("case %d: streaming and batch models are not bit-identical", id)
+		}
+		if batch.RMSError != stream.RMSError {
+			t.Fatalf("case %d: RMS %v vs %v", id, batch.RMSError, stream.RMSError)
+		}
+		for c := range batch.Iterations {
+			if batch.Iterations[c] != stream.Iterations[c] {
+				t.Fatalf("case %d column %d: iteration counts differ", id, c)
+			}
+		}
+	}
+}

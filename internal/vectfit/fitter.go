@@ -1,0 +1,156 @@
+package vectfit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/statespace"
+)
+
+// Fitter is the sample-at-a-time entry point to Vector Fitting: Add
+// validates each incoming sample (square, consistent dimensions, strictly
+// increasing frequency) and packs it into the least-squares sample storage
+// immediately — the caller's matrix is not retained — so ingestion (e.g. a
+// streaming touchstone.Reader) overlaps I/O with system accumulation and
+// never materializes a second copy of the raw file. Finish then runs
+// exactly the batch fit: Fit itself is implemented as NewFitter + Add +
+// Finish, so the two paths produce bit-identical models by construction.
+//
+// The pole-relocation iteration is inherently multi-pass, so the samples
+// themselves (O(K·p²) floats) must be held until Finish; what streaming
+// removes is every other buffer — the raw bytes, the token values and the
+// intermediate Data — which dominate for text .snp input.
+type Fitter struct {
+	order int
+	opts  Options
+
+	p      int // ports; 0 until the first sample
+	omegas []float64
+	// hdata holds each sample's p×p matrix row-major, appended in arrival
+	// order: sample k entry (i,j) is hdata[k·p² + i·p + j].
+	hdata []complex128
+}
+
+// NewFitter prepares an incremental fit of the given per-column order.
+func NewFitter(order int, opts Options) *Fitter {
+	opts.setDefaults()
+	return &Fitter{order: order, opts: opts}
+}
+
+// Add appends one sample. Frequencies must arrive strictly increasing and
+// all samples must be square with matching dimensions. The sample matrix
+// is copied, never retained.
+func (ft *Fitter) Add(s Sample) error {
+	p := s.H.Rows
+	if p < 1 {
+		return errors.New("vectfit: empty sample matrix")
+	}
+	if s.H.Cols != p {
+		return errors.New("vectfit: samples must be square matrices")
+	}
+	if ft.p == 0 {
+		ft.p = p
+	} else {
+		if p != ft.p {
+			return errors.New("vectfit: inconsistent sample dimensions")
+		}
+		if s.Omega <= ft.omegas[len(ft.omegas)-1] {
+			return errors.New("vectfit: frequencies must be strictly increasing")
+		}
+	}
+	ft.omegas = append(ft.omegas, s.Omega)
+	ft.hdata = append(ft.hdata, s.H.Data...)
+	return nil
+}
+
+// Len returns the number of samples added so far.
+func (ft *Fitter) Len() int { return len(ft.omegas) }
+
+// Finish runs the fit over everything added. It is equivalent to calling
+// Fit on the same sample sequence.
+func (ft *Fitter) Finish() (*Result, error) {
+	k := len(ft.omegas)
+	if k < 4 {
+		return nil, errors.New("vectfit: need at least 4 samples")
+	}
+	if ft.order < 2 {
+		return nil, errors.New("vectfit: order must be at least 2")
+	}
+	p := ft.p
+	if 2*k*p < ft.order+1+ft.order {
+		return nil, fmt.Errorf("vectfit: %d samples insufficient for order %d", k, ft.order)
+	}
+	opts := ft.opts
+	omegas := ft.omegas
+
+	polesByCol := make([][]complex128, p)
+	residByCol := make([]*mat.CDense, p)
+	dCol := mat.NewDense(p, p)
+	iters := make([]int, p)
+
+	for col := 0; col < p; col++ {
+		// Column samples: p×K.
+		f := mat.NewCDense(p, k)
+		for ki := 0; ki < k; ki++ {
+			for r := 0; r < p; r++ {
+				f.Set(r, ki, ft.hdata[ki*p*p+r*p+col])
+			}
+		}
+		poles := InitialPoles(omegas[0], omegas[len(omegas)-1], ft.order)
+		var lastErr float64 = math.Inf(1)
+		it := 0
+		for ; it < opts.Iterations; it++ {
+			next, err := relocatePoles(omegas, f, poles, opts.Relaxed)
+			if err != nil {
+				return nil, fmt.Errorf("vectfit: column %d iteration %d: %w", col, it, err)
+			}
+			poles = next
+			// Monitor convergence with a residue fit.
+			_, _, rms, err := fitResidues(omegas, f, poles)
+			if err != nil {
+				return nil, fmt.Errorf("vectfit: column %d iteration %d: %w", col, it, err)
+			}
+			if math.Abs(lastErr-rms) <= opts.RelTol*math.Max(rms, 1e-300) {
+				it++
+				break
+			}
+			lastErr = rms
+		}
+		res, d, _, err := fitResidues(omegas, f, poles)
+		if err != nil {
+			return nil, fmt.Errorf("vectfit: column %d final fit: %w", col, err)
+		}
+		polesByCol[col] = poles
+		residByCol[col] = res
+		for r := 0; r < p; r++ {
+			dCol.Set(r, col, d[r])
+		}
+		iters[col] = it
+	}
+
+	model, err := statespace.FromPoleResidue(dCol, polesByCol, residByCol)
+	if err != nil {
+		return nil, fmt.Errorf("vectfit: assembling realization: %w", err)
+	}
+	// Final RMS over all entries (same accumulation order as the original
+	// batch loop: sample → row → column).
+	var ss float64
+	cnt := 0
+	for ki := 0; ki < k; ki++ {
+		h := model.EvalJW(omegas[ki])
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				d := h.At(i, j) - ft.hdata[ki*p*p+i*p+j]
+				ss += real(d)*real(d) + imag(d)*imag(d)
+				cnt++
+			}
+		}
+	}
+	return &Result{
+		Model:      model,
+		RMSError:   math.Sqrt(ss / float64(cnt)),
+		Iterations: iters,
+	}, nil
+}

@@ -1,0 +1,140 @@
+package vectfit
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/statespace"
+)
+
+func fitterSamples(t *testing.T, ports int) []Sample {
+	t.Helper()
+	m, err := statespace.Generate(11, statespace.GenOptions{
+		Ports: ports, Order: 6 * ports, TargetPeak: 0.95, GridPoints: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SampleModel(m, statespace.LogGrid(2*math.Pi*1e8, 2*math.Pi*2e10, 50))
+}
+
+func encode(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFitterMatchesBatch pins the core contract: NewFitter+Add+Finish is
+// the batch Fit, bit for bit, in both strict and relaxed modes.
+func TestFitterMatchesBatch(t *testing.T) {
+	for _, relaxed := range []bool{false, true} {
+		samples := fitterSamples(t, 2)
+		opts := Options{Relaxed: relaxed}
+		batch, err := Fit(samples, 10, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft := NewFitter(10, opts)
+		for _, s := range samples {
+			if err := ft.Add(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inc, err := ft.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encode(t, batch.Model), encode(t, inc.Model)) {
+			t.Fatalf("relaxed=%v: incremental model differs from batch", relaxed)
+		}
+		if batch.RMSError != inc.RMSError {
+			t.Fatalf("relaxed=%v: RMS %v vs %v", relaxed, batch.RMSError, inc.RMSError)
+		}
+	}
+}
+
+// TestFitterCopiesSamples: Add must not retain the caller's matrix — a
+// streaming producer may reuse or mutate it after the call.
+func TestFitterCopiesSamples(t *testing.T) {
+	samples := fitterSamples(t, 1)
+	want, err := Fit(samples, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := NewFitter(6, Options{})
+	scratch := mat.NewCDense(1, 1)
+	for _, s := range samples {
+		scratch.Data[0] = s.H.Data[0]
+		if err := ft.Add(Sample{Omega: s.Omega, H: scratch}); err != nil {
+			t.Fatal(err)
+		}
+		scratch.Data[0] = complex(math.NaN(), math.NaN()) // poison after Add
+	}
+	got, err := ft.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, want.Model), encode(t, got.Model)) {
+		t.Fatal("Add retained the caller's matrix")
+	}
+}
+
+func TestFitterValidation(t *testing.T) {
+	h := func(p int) *mat.CDense { return mat.NewCDense(p, p) }
+
+	ft := NewFitter(4, Options{})
+	if err := ft.Add(Sample{Omega: 1, H: mat.NewCDense(2, 3)}); err == nil ||
+		!strings.Contains(err.Error(), "square") {
+		t.Fatalf("non-square: %v", err)
+	}
+	if err := ft.Add(Sample{Omega: 1, H: mat.NewCDense(0, 0)}); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if err := ft.Add(Sample{Omega: 1, H: h(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.Add(Sample{Omega: 2, H: h(3)}); err == nil ||
+		!strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("dimension change: %v", err)
+	}
+	if err := ft.Add(Sample{Omega: 1, H: h(2)}); err == nil ||
+		!strings.Contains(err.Error(), "strictly increasing") {
+		t.Fatalf("non-monotone: %v", err)
+	}
+	if ft.Len() != 1 {
+		t.Fatalf("Len %d after one good Add", ft.Len())
+	}
+	if _, err := ft.Finish(); err == nil ||
+		!strings.Contains(err.Error(), "at least 4 samples") {
+		t.Fatalf("too few samples: %v", err)
+	}
+
+	ft = NewFitter(1, Options{})
+	for i := 0; i < 4; i++ {
+		if err := ft.Add(Sample{Omega: float64(i + 1), H: h(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ft.Finish(); err == nil ||
+		!strings.Contains(err.Error(), "order must be at least 2") {
+		t.Fatalf("bad order: %v", err)
+	}
+
+	ft = NewFitter(40, Options{})
+	for i := 0; i < 4; i++ {
+		if err := ft.Add(Sample{Omega: float64(i + 1), H: h(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ft.Finish(); err == nil ||
+		!strings.Contains(err.Error(), "insufficient") {
+		t.Fatalf("insufficient samples: %v", err)
+	}
+}

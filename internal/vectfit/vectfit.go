@@ -8,7 +8,6 @@ package vectfit
 
 import (
 	"errors"
-	"fmt"
 	"math"
 	"math/cmplx"
 	"sort"
@@ -59,102 +58,21 @@ type Result struct {
 // Fit identifies a stable rational macromodel of the given per-column
 // order from tabulated samples. Samples must share a common, positive,
 // strictly increasing frequency grid.
+//
+// Fit is the batch form of the incremental Fitter — it feeds every sample
+// through Fitter.Add and calls Finish, so the streaming and buffered paths
+// produce bit-identical models by construction.
 func Fit(samples []Sample, order int, opts Options) (*Result, error) {
-	opts.setDefaults()
 	if len(samples) < 4 {
 		return nil, errors.New("vectfit: need at least 4 samples")
 	}
-	p := samples[0].H.Rows
-	if samples[0].H.Cols != p {
-		return nil, errors.New("vectfit: samples must be square matrices")
-	}
-	for i := 1; i < len(samples); i++ {
-		if samples[i].Omega <= samples[i-1].Omega {
-			return nil, errors.New("vectfit: frequencies must be strictly increasing")
-		}
-		if samples[i].H.Rows != p || samples[i].H.Cols != p {
-			return nil, errors.New("vectfit: inconsistent sample dimensions")
-		}
-	}
-	if order < 2 {
-		return nil, errors.New("vectfit: order must be at least 2")
-	}
-	if 2*len(samples)*p < order+1+order {
-		return nil, fmt.Errorf("vectfit: %d samples insufficient for order %d", len(samples), order)
-	}
-
-	omegas := make([]float64, len(samples))
-	for i, s := range samples {
-		omegas[i] = s.Omega
-	}
-
-	polesByCol := make([][]complex128, p)
-	residByCol := make([]*mat.CDense, p)
-	dCol := mat.NewDense(p, p)
-	iters := make([]int, p)
-
-	for col := 0; col < p; col++ {
-		// Column samples: p×K.
-		f := mat.NewCDense(p, len(samples))
-		for k, s := range samples {
-			for r := 0; r < p; r++ {
-				f.Set(r, k, s.H.At(r, col))
-			}
-		}
-		poles := InitialPoles(omegas[0], omegas[len(omegas)-1], order)
-		var lastErr float64 = math.Inf(1)
-		it := 0
-		for ; it < opts.Iterations; it++ {
-			next, err := relocatePoles(omegas, f, poles, opts.Relaxed)
-			if err != nil {
-				return nil, fmt.Errorf("vectfit: column %d iteration %d: %w", col, it, err)
-			}
-			poles = next
-			// Monitor convergence with a residue fit.
-			_, _, rms, err := fitResidues(omegas, f, poles)
-			if err != nil {
-				return nil, fmt.Errorf("vectfit: column %d iteration %d: %w", col, it, err)
-			}
-			if math.Abs(lastErr-rms) <= opts.RelTol*math.Max(rms, 1e-300) {
-				it++
-				break
-			}
-			lastErr = rms
-		}
-		res, d, _, err := fitResidues(omegas, f, poles)
-		if err != nil {
-			return nil, fmt.Errorf("vectfit: column %d final fit: %w", col, err)
-		}
-		polesByCol[col] = poles
-		residByCol[col] = res
-		for r := 0; r < p; r++ {
-			dCol.Set(r, col, d[r])
-		}
-		iters[col] = it
-	}
-
-	model, err := statespace.FromPoleResidue(dCol, polesByCol, residByCol)
-	if err != nil {
-		return nil, fmt.Errorf("vectfit: assembling realization: %w", err)
-	}
-	// Final RMS over all entries.
-	var ss float64
-	cnt := 0
+	ft := NewFitter(order, opts)
 	for _, s := range samples {
-		h := model.EvalJW(s.Omega)
-		for i := 0; i < p; i++ {
-			for j := 0; j < p; j++ {
-				d := h.At(i, j) - s.H.At(i, j)
-				ss += real(d)*real(d) + imag(d)*imag(d)
-				cnt++
-			}
+		if err := ft.Add(s); err != nil {
+			return nil, err
 		}
 	}
-	return &Result{
-		Model:      model,
-		RMSError:   math.Sqrt(ss / float64(cnt)),
-		Iterations: iters,
-	}, nil
+	return ft.Finish()
 }
 
 // InitialPoles produces the standard VF starting poles: complex pairs with

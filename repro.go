@@ -273,6 +273,7 @@ const (
 )
 
 // ParseTouchstone reads tabulated S-parameters from a Touchstone stream.
+// It buffers every sample; for multi-GB sweeps use NewTouchstoneReader.
 func ParseTouchstone(r io.Reader, ports int) (*TouchstoneData, error) {
 	return touchstone.Parse(r, ports)
 }
@@ -280,6 +281,60 @@ func ParseTouchstone(r io.Reader, ports int) (*TouchstoneData, error) {
 // WriteTouchstone emits samples as a Touchstone file (GHz, S-params).
 func WriteTouchstone(w io.Writer, samples []VFSample, format TouchstoneFormat, reference float64) error {
 	return touchstone.Write(w, samples, format, reference)
+}
+
+// TouchstoneReader streams a .snp file one sample at a time with O(ports²)
+// working memory; every parse error carries line+byte offsets.
+type TouchstoneReader = touchstone.Reader
+
+// TouchstoneParseError is the positioned error type of the streaming
+// Touchstone reader.
+type TouchstoneParseError = touchstone.ParseError
+
+// NewTouchstoneReader opens a streaming Touchstone parser (reads and
+// validates the # option line before returning).
+func NewTouchstoneReader(r io.Reader, ports int) (*TouchstoneReader, error) {
+	return touchstone.NewReader(r, ports)
+}
+
+// VFFitter accumulates samples one at a time into a Vector Fitting system;
+// Finish is equivalent to the batch FitVector on the same sequence. Feed
+// it from a TouchstoneReader to overlap ingestion I/O with fitting:
+//
+//	rd, _ := repro.NewTouchstoneReader(f, ports)
+//	ft := repro.NewVFFitter(order, repro.VFOptions{})
+//	if err := rd.Each(ft.Add); err != nil { ... }
+//	fit, err := ft.Finish()
+type VFFitter = vectfit.Fitter
+
+// NewVFFitter prepares an incremental Vector Fitting run.
+func NewVFFitter(order int, opts VFOptions) *VFFitter {
+	return vectfit.NewFitter(order, opts)
+}
+
+// CharacterizeTouchstone is the measured-data front door: it streams a
+// Touchstone .snp file through parse → Vector Fitting → the Hamiltonian
+// passivity characterization, at bounded ingestion memory. It returns the
+// fit diagnostics alongside the passivity report (the fit is returned even
+// when characterization fails, so callers can report RMS error).
+func CharacterizeTouchstone(r io.Reader, ports, order int, vfOpts VFOptions, charOpts CharOptions) (*VFResult, *Report, error) {
+	rd, err := touchstone.NewReader(r, ports)
+	if err != nil {
+		return nil, nil, err
+	}
+	ft := vectfit.NewFitter(order, vfOpts)
+	if err := rd.Each(ft.Add); err != nil {
+		return nil, nil, err
+	}
+	fit, err := ft.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := passivity.Characterize(fit.Model, charOpts)
+	if err != nil {
+		return fit, nil, err
+	}
+	return fit, rep, nil
 }
 
 // ---- the fleet engine (shared-pool multi-model jobs) ----

@@ -1,0 +1,59 @@
+package repro_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestCharacterizeTouchstone exercises the measured-data front door
+// through the façade only: a non-passive device serialized to a Touchstone
+// stream must come back as a non-passive report via the streaming
+// parse → vector fit → Hamiltonian pipeline.
+func TestCharacterizeTouchstone(t *testing.T) {
+	device, err := repro.GenerateModel(42, repro.GenOptions{
+		Ports: 2, Order: 12, TargetPeak: 1.05, GridPoints: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := repro.SampleModel(device, repro.LogGrid(2*math.Pi*1e8, 2*math.Pi*2e10, 200))
+	var file bytes.Buffer
+	if err := repro.WriteTouchstone(&file, samples, repro.TouchstoneRI, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	fit, report, err := repro.CharacterizeTouchstone(&file, 2, 12,
+		repro.VFOptions{}, repro.CharOptions{Core: repro.SolverOptions{Threads: 2, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.RMSError > 1e-6 {
+		t.Fatalf("fit RMS %g", fit.RMSError)
+	}
+	if report.Passive {
+		t.Fatal("non-passive device reported passive through the touchstone pipeline")
+	}
+	if len(report.Violations()) == 0 {
+		t.Fatal("no violation bands reported")
+	}
+}
+
+// TestCharacterizeTouchstoneParseError: ingestion failures surface the
+// streaming reader's positioned errors through the façade.
+func TestCharacterizeTouchstoneParseError(t *testing.T) {
+	bad := "# GHz S RI R 50\n1 0.5 0.1\n2 oops 0.1\n"
+	_, _, err := repro.CharacterizeTouchstone(strings.NewReader(bad), 1, 8,
+		repro.VFOptions{}, repro.CharOptions{})
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want a positioned parse error, got %v", err)
+	}
+	var pe *repro.TouchstoneParseError
+	if !errors.As(err, &pe) || pe.Line != 3 {
+		t.Fatalf("error %v is not a positioned TouchstoneParseError", err)
+	}
+}
