@@ -254,6 +254,29 @@ func BenchmarkVectorFitting(b *testing.B) {
 	}
 }
 
+// BenchmarkSnpcheckFit measures the snpcheck fit stage on a synthetic
+// many-port (8-port) sweep — the workload whose per-column SVD-heavy LS
+// solves the pool-routed PhaseFit batches overlap. T01 is the sequential
+// baseline; T08 runs the same fit on an 8-worker pool (bit-identical
+// output; cmd/fleetbench's vectfit A/B records the wall-time ratio in
+// BENCH_fleet.json).
+func BenchmarkSnpcheckFit(b *testing.B) {
+	device, err := repro.GenerateModel(7, repro.GenOptions{Ports: 8, Order: 48, TargetPeak: 1.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := repro.SampleModel(device, repro.LogGrid(1e8, 1e11, 40))
+	for _, threads := range []int{1, 8} {
+		b.Run(fmt.Sprintf("T%02d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.FitVector(samples, 6, repro.VFOptions{Threads: threads}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEnforcement measures the full characterize→enforce loop.
 func BenchmarkEnforcement(b *testing.B) {
 	m, err := repro.GenerateModel(44, repro.GenOptions{Ports: 2, Order: 60, TargetPeak: 1.05})

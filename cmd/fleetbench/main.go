@@ -15,10 +15,15 @@
 //     admission engine, then an interactive characterization submitted
 //     mid-batch must overtake the queued batch work and finish first; a
 //     fail-fast engine at its cap must reject the over-cap submit.
+//  5. Vector Fitting A/B — a synthetic many-port sweep fitted with one
+//     worker vs the full pool (pool-routed PhaseFit column batches),
+//     asserting the fitted models are bit-identical and reporting the
+//     wall-time win (the BenchmarkSnpcheckFit scenario).
 //
 // The fleet phase also reports per-phase pool utilization (eig / probe /
-// constraint task counts and worker-busy share), so the probe-phase
-// speedup from pool-routed classifyBands stays trackable.
+// constraint / refine task counts and worker-busy share), so the
+// probe-phase speedup from pool-routed classifyBands and the pool-routed
+// refinement tails stay trackable.
 //
 // Results go to stdout and to -json (BENCH_fleet.json) so the throughput
 // trajectory stays trackable across PRs.
@@ -27,7 +32,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -44,6 +51,27 @@ import (
 	"repro"
 	"repro/internal/statespace"
 )
+
+// sameFit reports whether two Vector Fitting results are bit-identical:
+// same gob-encoded model, same RMS error, same per-column iterations.
+func sameFit(a, b *repro.VFResult) bool {
+	if a.RMSError != b.RMSError || len(a.Iterations) != len(b.Iterations) {
+		return false
+	}
+	for i := range a.Iterations {
+		if a.Iterations[i] != b.Iterations[i] {
+			return false
+		}
+	}
+	enc := func(m *repro.Model) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+			log.Fatalf("gob-encoding fit model: %v", err)
+		}
+		return buf.Bytes()
+	}
+	return bytes.Equal(enc(a.Model), enc(b.Model))
+}
 
 type caseRow struct {
 	Case         int     `json:"case"`
@@ -90,6 +118,18 @@ type priorityRow struct {
 	FailFastMaxQueued int     `json:"failfast_max_queued"`
 }
 
+type vfRow struct {
+	Ports        int     `json:"ports"`
+	OrderPerCol  int     `json:"order_per_column"`
+	Samples      int     `json:"samples"`
+	Fit1NS       int64   `json:"fit_threads1_ns"`
+	FitNNS       int64   `json:"fit_threadsN_ns"`
+	FitThreads   int     `json:"fit_threads"`
+	Speedup      float64 `json:"speedup"`
+	BitIdentical bool    `json:"fit_bit_identical"`
+	RMSError     float64 `json:"rms_error"`
+}
+
 type benchOut struct {
 	Workers         int          `json:"workers"`
 	HostCores       int          `json:"host_cores"`
@@ -102,6 +142,7 @@ type benchOut struct {
 	Phases          []phaseRow   `json:"fleet_phase_utilization"`
 	WarmStart       *warmRow     `json:"warmstart,omitempty"`
 	Priority        *priorityRow `json:"priority,omitempty"`
+	VectFit         *vfRow       `json:"vectfit,omitempty"`
 }
 
 func main() {
@@ -111,6 +152,7 @@ func main() {
 	jsonOut := flag.String("json", "BENCH_fleet.json", "machine-readable output file (empty to disable)")
 	warmCase := flag.Int("warmcase", 2, "violating Table-I case for the warm-start A/B (0 to skip)")
 	prioCase := flag.Int("priocase", 2, "violating Table-I case for the batch jobs of the priority/admission demo (0 to skip)")
+	vfPorts := flag.Int("vfports", 8, "port count of the synthetic sweep for the Vector Fitting A/B (0 to skip)")
 	flag.Parse()
 
 	specs := repro.TableICases()
@@ -365,6 +407,47 @@ func main() {
 		fmt.Printf("priority demo: interactive case %d done in %.3fs vs %.3fs for %d batch enforcements of case %d (overtook: %v, %.1fx headroom); fail-fast over-cap rejected: %v\n",
 			interSpec.ID, float64(pr.InteractiveNS)/1e9, float64(pr.LastBatchNS)/1e9,
 			nBatch, spec.ID, pr.Overtook, pr.OvertakeFactor, pr.FailFastRejected)
+	}
+
+	// Phase 5: Vector Fitting A/B — one worker vs the pool on a synthetic
+	// many-port sweep (the per-column PhaseFit batches of vectfit.Fitter).
+	if *vfPorts > 0 {
+		const vfOrder, vfSamples = 6, 40
+		device, err := repro.GenerateModel(7, repro.GenOptions{
+			Ports: *vfPorts, Order: 6 * *vfPorts, TargetPeak: 1.02,
+		})
+		if err != nil {
+			log.Fatalf("vectfit device: %v", err)
+		}
+		samples := repro.SampleModel(device, repro.LogGrid(1e8, 1e11, vfSamples))
+		fitWith := func(threads int) (*repro.VFResult, int64) {
+			start := time.Now()
+			fit, err := repro.FitVector(samples, vfOrder, repro.VFOptions{Threads: threads})
+			if err != nil {
+				log.Fatalf("vectfit (threads=%d): %v", threads, err)
+			}
+			return fit, time.Since(start).Nanoseconds()
+		}
+		// The parallel leg uses at least 8 workers (the BenchmarkSnpcheckFit
+		// T08 scenario) even when -workers is smaller; on a host with fewer
+		// cores the pool time-shares and the ratio honestly reports ~1.
+		threadsN := *workers
+		if threadsN < 8 {
+			threadsN = 8
+		}
+		fit1, ns1 := fitWith(1)
+		fitN, nsN := fitWith(threadsN)
+		vf := vfRow{
+			Ports: *vfPorts, OrderPerCol: vfOrder, Samples: vfSamples,
+			Fit1NS: ns1, FitNNS: nsN, FitThreads: threadsN,
+			Speedup:      float64(ns1) / float64(nsN),
+			BitIdentical: sameFit(fit1, fitN),
+			RMSError:     fitN.RMSError,
+		}
+		out.VectFit = &vf
+		fmt.Printf("vectfit A/B (%d ports, order %d, %d samples): %.3fs @1 thread → %.3fs @%d (%.2fx), bit-identical: %v\n",
+			vf.Ports, vf.OrderPerCol, vf.Samples, float64(ns1)/1e9, float64(nsN)/1e9,
+			vf.FitThreads, vf.Speedup, vf.BitIdentical)
 	}
 
 	if *jsonOut != "" {

@@ -4,6 +4,13 @@
 // arrive, runs the parallel Hamiltonian characterization, and prints a
 // passivity report. Parse errors include line and byte offsets.
 //
+// One worker pool of -threads workers spans the whole pipeline: the
+// per-column Vector Fitting LS solves, the eigensolver shifts, the band
+// probes, and the refinement tails all run as tasks of one scheduling
+// client, so the machine stays full from the first fitted column to the
+// last polished crossing. -json reports the per-phase pool utilization
+// alongside the characterization.
+//
 // Usage examples:
 //
 //	snpcheck coupled.s2p
@@ -14,6 +21,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,6 +31,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 
 	"repro"
@@ -39,15 +49,38 @@ func main() {
 
 var snpExt = regexp.MustCompile(`(?i)\.s(\d+)p$`)
 
+// jsonFit summarizes the Vector Fitting stage for -json output.
+type jsonFit struct {
+	Order      int     `json:"order"`
+	States     int     `json:"states"`
+	RMSError   float64 `json:"rms_error"`
+	Iterations []int   `json:"iterations_per_column"`
+}
+
+// jsonPhase is one pool compute phase's execution counters.
+type jsonPhase struct {
+	Tasks  int   `json:"tasks"`
+	BusyNS int64 `json:"busy_ns"`
+}
+
+// jsonOut is the -json document: the characterization report plus the fit
+// diagnostics and the per-phase utilization of the shared worker pool
+// (keys: fit, eig, probe, refine, ...).
+type jsonOut struct {
+	Report     json.RawMessage      `json:"report"`
+	Fit        jsonFit              `json:"fit"`
+	PoolPhases map[string]jsonPhase `json:"pool_phases"`
+}
+
 func run(args []string, stdin io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("snpcheck", flag.ContinueOnError)
 	fs.SetOutput(out)
 	ports := fs.Int("ports", 0, "port count (0 = infer from the .sNp extension; required for stdin)")
 	order := fs.Int("order", 20, "per-column Vector Fitting order")
 	relaxed := fs.Bool("relaxed", false, "use the relaxed VF non-triviality constraint")
-	threads := fs.Int("threads", runtime.NumCPU(), "eigensolver worker threads")
+	threads := fs.Int("threads", runtime.NumCPU(), "shared worker-pool width (fit + eigensolver + probes)")
 	seed := fs.Int64("seed", 1, "eigensolver start-vector seed")
-	jsonOut := fs.String("json", "", "write the characterization report as JSON to this file ('-' = stdout)")
+	jsonOutPath := fs.String("json", "", "write the report, fit diagnostics and pool phase stats as JSON to this file ('-' = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,12 +109,18 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		return fmt.Errorf("cannot infer port count from %q: pass -ports", path)
 	}
 
+	// One shared pool for the whole pipeline: the fleet engine owns it, the
+	// client is the scheduling identity every compute phase runs under.
+	engine := repro.NewFleet(*threads)
+	defer engine.Close()
+	client := engine.NewClient(repro.PriorityInteractive, 1)
+
 	// Stream: parse → accumulate the fit system sample by sample.
 	rd, err := repro.NewTouchstoneReader(in, *ports)
 	if err != nil {
 		return err
 	}
-	ft := repro.NewVFFitter(*order, repro.VFOptions{Relaxed: *relaxed})
+	ft := repro.NewVFFitter(*order, repro.VFOptions{Relaxed: *relaxed, Client: client})
 	var lo, hi float64
 	if err := rd.Each(func(s repro.VFSample) error {
 		if ft.Len() == 0 {
@@ -95,6 +134,7 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	fmt.Fprintf(out, "ingested %d samples, %d ports, %s format, ref %g Ω, band [%.6g, %.6g] rad/s\n",
 		rd.Samples(), rd.Ports(), rd.Format(), rd.Reference(), lo, hi)
 
+	// The per-column LS solves fan out as PhaseFit tasks on the pool.
 	fit, err := ft.Finish()
 	if err != nil {
 		return err
@@ -103,22 +143,28 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		*order, fit.Model.Order(), fit.RMSError)
 
 	report, err := repro.Characterize(fit.Model, repro.CharOptions{
-		Core: repro.SolverOptions{Threads: *threads, Seed: *seed},
+		Core: repro.SolverOptions{Threads: *threads, Seed: *seed, Client: client},
 	})
 	if err != nil {
 		return err
 	}
 	printReport(out, report)
+	printPhases(out, engine.PhaseStats())
 
-	if *jsonOut != "" {
-		if *jsonOut == "-" {
-			return report.WriteJSON(out)
-		}
-		f, err := os.Create(*jsonOut)
+	if *jsonOutPath != "" {
+		doc, err := buildJSON(report, *order, fit, engine.PhaseStats())
 		if err != nil {
 			return err
 		}
-		if err := report.WriteJSON(f); err != nil {
+		if *jsonOutPath == "-" {
+			_, err := out.Write(doc)
+			return err
+		}
+		f, err := os.Create(*jsonOutPath)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(doc); err != nil {
 			f.Close()
 			return err
 		}
@@ -127,6 +173,32 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		return f.Close()
 	}
 	return nil
+}
+
+// buildJSON assembles the -json document: report + fit + pool phases.
+func buildJSON(report *repro.Report, order int, fit *repro.VFResult, phases map[string]repro.PhaseStat) ([]byte, error) {
+	var repBuf bytes.Buffer
+	if err := report.WriteJSON(&repBuf); err != nil {
+		return nil, err
+	}
+	doc := jsonOut{
+		Report: json.RawMessage(repBuf.Bytes()),
+		Fit: jsonFit{
+			Order:      order,
+			States:     fit.Model.Order(),
+			RMSError:   fit.RMSError,
+			Iterations: fit.Iterations,
+		},
+		PoolPhases: make(map[string]jsonPhase, len(phases)),
+	}
+	for ph, st := range phases {
+		doc.PoolPhases[ph] = jsonPhase{Tasks: st.Tasks, BusyNS: st.Busy.Nanoseconds()}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
 }
 
 func printReport(out io.Writer, r *repro.Report) {
@@ -147,4 +219,20 @@ func printReport(out io.Writer, r *repro.Report) {
 		fmt.Fprintf(out, "  violation band [%.6g, %s] rad/s  peak σ=%.6f @ ω=%.6g\n",
 			b.Lo, hi, b.PeakSigma, b.PeakOmega)
 	}
+}
+
+// printPhases reports how the shared pool's work split across compute
+// phases (fit/eig/probe/refine/...), sorted by busy time.
+func printPhases(out io.Writer, phases map[string]repro.PhaseStat) {
+	names := make([]string, 0, len(phases))
+	for ph := range phases {
+		names = append(names, ph)
+	}
+	sort.Slice(names, func(i, j int) bool { return phases[names[i]].Busy > phases[names[j]].Busy })
+	fmt.Fprintf(out, "pool phases:")
+	for _, ph := range names {
+		st := phases[ph]
+		fmt.Fprintf(out, " %s=%d tasks/%.3fs", ph, st.Tasks, st.Busy.Seconds())
+	}
+	fmt.Fprintln(out)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"math"
 	"os"
@@ -61,6 +62,50 @@ func TestSnpcheckEndToEnd(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSnpcheckJSONPhases: -json must carry the characterization report
+// plus the fit diagnostics and the per-phase stats of the one pool the
+// whole pipeline ran on — including the new fit and refine phases.
+func TestSnpcheckJSONPhases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-order", "12", "-threads", "2", "-json", "-", fixture}, nil, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	start := strings.Index(out, "{")
+	if start < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	var doc struct {
+		Report struct {
+			Passive   bool      `json:"passive"`
+			Crossings []float64 `json:"crossings"`
+		} `json:"report"`
+		Fit struct {
+			Order    int     `json:"order"`
+			States   int     `json:"states"`
+			RMSError float64 `json:"rms_error"`
+		} `json:"fit"`
+		PoolPhases map[string]struct {
+			Tasks  int   `json:"tasks"`
+			BusyNS int64 `json:"busy_ns"`
+		} `json:"pool_phases"`
+	}
+	if err := json.Unmarshal([]byte(out[start:]), &doc); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, out[start:])
+	}
+	if doc.Report.Passive || len(doc.Report.Crossings) == 0 {
+		t.Fatalf("fixture must characterize as non-passive with crossings: %+v", doc.Report)
+	}
+	if doc.Fit.Order != 12 || doc.Fit.States == 0 || doc.Fit.RMSError <= 0 {
+		t.Fatalf("fit diagnostics missing: %+v", doc.Fit)
+	}
+	for _, phase := range []string{"fit", "eig", "probe", "refine"} {
+		if doc.PoolPhases[phase].Tasks == 0 {
+			t.Fatalf("phase %q absent from pool_phases: %+v", phase, doc.PoolPhases)
 		}
 	}
 }

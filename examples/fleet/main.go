@@ -1,9 +1,11 @@
 // Command fleet demonstrates the shared-pool job engine: a batch of
 // macromodels characterized (and the non-passive ones enforced)
 // concurrently on ONE worker pool sized to the machine, with bounded
-// admission, a deadline on the whole batch, and an interactive job that
-// overtakes the queued batch work. Compare examples/quickstart, which
-// runs a single model with a private pool.
+// admission, a deadline on the whole batch, an interactive job that
+// overtakes the queued batch work, and a Vector Fitting ingest whose
+// per-column solves run on the same pool (Fleet.NewClient +
+// VFOptions.Client). Compare examples/quickstart, which runs a single
+// model with a private pool.
 package main
 
 import (
@@ -78,6 +80,32 @@ func main() {
 	}
 	fmt.Printf("interactive job done in %.2fs (passive=%v) while the batch keeps running\n",
 		time.Since(start).Seconds(), ires.Report.Passive)
+
+	// Ingest path on the same pool: tabulated data fitted with Vector
+	// Fitting whose per-column LS solves run as PhaseFit tasks of the
+	// engine's pool (via a client from NewClient), then the fitted model
+	// is submitted like any other job.
+	device, err := repro.GenerateModel(7, repro.GenOptions{Ports: 2, Order: 16, TargetPeak: 1.02})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vfClient := engine.NewClient(repro.PriorityBatch, 1)
+	fit, err := repro.FitVector(
+		repro.SampleModel(device, repro.LogGrid(3e7, 3e10, 80)), 16,
+		repro.VFOptions{Client: vfClient})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fitted, err := engine.Submit(ctx, repro.FleetRequest{Model: fit.Model})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fres, err := fitted.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted ingest: RMS %.2e, fitted model passive=%v\n",
+		fit.RMSError, fres.Report.Passive)
 
 	for i, h := range handles {
 		res, err := h.Wait()

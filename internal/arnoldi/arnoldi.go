@@ -4,6 +4,18 @@
 // Hamiltonian eigenvalues closest to the shift ϑ, together with a certified
 // disk radius ρ such that the returned set contains every eigenvalue in
 // C_{ϑ,ρ} = {s : |s − ϑ| < ρ}.
+//
+// Invariants: the disk certificate is what the multi-shift scheduler's
+// coverage guarantee rests on — SingleShift may shrink ρ, never report a
+// radius containing unreturned eigenvalues. All randomness flows from the
+// caller-provided seed (SingleShiftParams.Seed / Config.Rng), so a call is
+// a pure function of (operator, parameters): repeated runs are
+// bit-identical, which the pool scheduler depends on.
+//
+// Concurrency: the package holds no global state. Each SingleShift /
+// LargestMagnitude call owns its operator, workspace and RNG for the
+// duration of the call; concurrent calls are safe as long as they use
+// distinct Operator instances (core's pool runs one shift per worker).
 package arnoldi
 
 import (

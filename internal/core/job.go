@@ -17,11 +17,13 @@ func errShiftBudget(max int) error {
 // Submit registers one multi-shift solve with the pool and returns a Job
 // handle. The job's tentative intervals are queued as PhaseEig tasks under
 // opts.Client (an ephemeral default-priority client when nil). The ω_max
-// estimate (when Options.OmegaMax is zero) runs in the calling goroutine;
-// the shifts themselves run on the pool workers. The context cancels or
-// deadlines the job: remaining tentative intervals are dropped and Wait
-// returns ctx.Err() once in-flight shifts drain (cancellation granularity
-// is one shift).
+// estimate (when Options.OmegaMax is zero) also runs as a PhaseEig pool
+// task of that client — Submit blocks until it is scheduled, so a burst
+// of submits is bounded by the pool width and obeys the client's
+// priority. The context cancels or deadlines the job: remaining tentative
+// intervals are dropped and Wait returns ctx.Err() once in-flight shifts
+// drain (cancellation granularity is one shift; the post-completion
+// refinement tail is not canceled — see Wait).
 func (p *Pool) Submit(ctx context.Context, op *hamiltonian.Op, opts Options) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -46,16 +48,21 @@ func (p *Pool) Submit(ctx context.Context, op *hamiltonian.Op, opts Options) (*J
 
 	omegaMax := opts.OmegaMax
 	if omegaMax == 0 {
-		// The estimate runs on the submitting goroutine; bound the burst of
-		// N concurrent submits with the global refinement semaphore so it
-		// cannot oversubscribe the machine the pool is sized to.
-		refineSem <- struct{}{}
-		est, err := EstimateOmegaMax(op, opts.Seed)
-		<-refineSem
+		// The estimate is itself an Arnoldi sweep, so it runs as a pool
+		// task under the job's client: a burst of N concurrent submits is
+		// bounded by the pool width (and obeys the client's priority)
+		// instead of oversubscribing the machine the pool is sized to.
+		err := client.RunBatch(ctx, PhaseEig, []func(int) error{func(int) error {
+			est, err := EstimateOmegaMax(op, opts.Seed)
+			if err != nil {
+				return err
+			}
+			omegaMax = est
+			return nil
+		}})
 		if err != nil {
 			return nil, err
 		}
-		omegaMax = est
 	}
 	if omegaMax <= opts.OmegaMin {
 		return nil, fmt.Errorf("core: empty band [%g, %g]", opts.OmegaMin, omegaMax)
@@ -161,7 +168,16 @@ func (j *Job) Wait() (*Result, error) {
 	res.Stats.ShiftsProcessed = j.processed
 	res.Stats.TentativeDeleted = j.tentativeDeleted
 	res.Stats.Elapsed = j.elapsed
-	collect(res, j.op, j.opts.AxisTol, j.opts.Threads)
+	// The collect tail (eigenvalue refinements + canonical polish) runs as
+	// PhaseRefine batches of this job's client, on the same pool the shifts
+	// ran on. It deliberately ignores the submission context: a ctx
+	// cancellation racing job completion must not discard a complete
+	// Result (the same guarantee failLocked gives the scheduler side), and
+	// the pre-pool goroutine tail was never cancelable either. The only
+	// possible failure is a pool closed between job completion and Wait.
+	if err := collect(j.client, res, j.op, j.opts.AxisTol); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 

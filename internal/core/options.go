@@ -9,6 +9,27 @@
 // Two baselines are provided for the paper's comparisons: a serial
 // bisection solver (Sec. III / ref. [9]) and a statically pre-distributed
 // shift grid whose poor parallel efficiency motivates the dynamic scheme.
+//
+// The package also owns the system-wide scheduler: Pool is a phase-
+// agnostic priority task executor, and every heavy compute phase of the
+// whole pipeline — eigensolver shifts, ω_max estimates, band probes,
+// enforcement constraints, sampling sweeps, Vector Fitting columns, and
+// the eigenvalue-refinement/arbitration tails — runs as its tasks (phase
+// labels PhaseEig … PhaseRefine). Coordinator goroutines do control flow
+// and cheap glue only; no heavy compute runs on free goroutines.
+//
+// Invariants: per job, the queued tentative intervals are pairwise
+// disjoint and their union is exactly the uncovered part of the band; the
+// scheduler only decides WHEN a task runs, never with what data, so
+// solves and batches are bit-identical under any worker count; reported
+// crossings are additionally schedule-independent via the canonical
+// polish in collect.
+//
+// Concurrency: Pool/Client/Job methods are safe for concurrent use (all
+// scheduler state is guarded by the pool mutex). Client.RunBatch and
+// Job.Wait block and must not be called from a pool worker goroutine —
+// coordinator goroutines only — or a fully-busy pool could deadlock on
+// the join.
 package core
 
 import (

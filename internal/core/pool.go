@@ -41,6 +41,15 @@ const (
 	PhaseConstraint = "constraint"
 	// PhaseSample is a per-ω σ evaluation of the sampling baseline.
 	PhaseSample = "sample"
+	// PhaseFit is a Vector Fitting task: one column's pole-relocation
+	// iteration (with its convergence-monitor residue solve) or final
+	// residue LS solve (vectfit.Fitter).
+	PhaseFit = "fit"
+	// PhaseRefine is an eigenvalue-refinement task of a solve's collect
+	// tail: a structured inverse-iteration polish of one near-axis
+	// candidate or one canonical-polish re-refinement (each re-factors a
+	// shift-invert operator).
+	PhaseRefine = "refine"
 )
 
 // PhaseStat aggregates the pool-worker work spent in one compute phase.

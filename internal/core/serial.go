@@ -89,6 +89,8 @@ func SolveSerialBisection(op *hamiltonian.Op, opts Options) (*Result, error) {
 		}
 	}
 	res.Stats.Elapsed = time.Since(start)
-	collect(res, op, opts.AxisTol, opts.Threads)
+	if err := collectStandalone(res, op, opts.AxisTol, opts.Threads); err != nil {
+		return nil, err
+	}
 	return res, nil
 }

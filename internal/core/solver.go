@@ -1,13 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/arnoldi"
 	"repro/internal/hamiltonian"
@@ -59,10 +58,21 @@ func runShift(op *hamiltonian.Op, omega, rho0 float64, params arnoldi.SingleShif
 // candidates are polished with structured inverse iteration before
 // classification: Ritz values of the non-normal Hamiltonian can carry
 // errors far above the residual tolerance, which would otherwise produce
-// phantom or missing crossings. Refinements run on up to `threads`
-// goroutines — each one re-factors a shift-invert operator, which would
-// otherwise serialize the tail of a parallel solve.
-func collect(res *Result, op *hamiltonian.Op, axisTol float64, threads int) {
+// phantom or missing crossings.
+//
+// The refinements (and the canonical polish after them) run as PhaseRefine
+// task batches under the given client: each one re-factors a shift-invert
+// operator, which would otherwise serialize the tail of a parallel solve —
+// and on a shared pool the refinement tails of N jobs finishing together
+// obey the same priority/fairness/admission policy as every other compute
+// phase instead of oversubscribing the machine on free goroutines. Each
+// task writes only its own index-assigned slot, so the refined values (and
+// hence the reported crossings) are bit-identical under any worker count.
+// The tail is not cancelable (the solve's context governs the shifts, not
+// this post-completion work — see Job.Wait); the returned error is
+// non-nil only when the pool closed underneath the batch. Per-eigenvalue
+// refinement failures fall back to the unrefined estimate as before.
+func collect(client *Client, res *Result, op *hamiltonian.Op, axisTol float64) error {
 	scale := res.OmegaMax
 	if scale == 0 {
 		scale = 1
@@ -110,46 +120,55 @@ func collect(res *Result, op *hamiltonian.Op, axisTol float64, threads int) {
 			candidates = append(candidates, p.v)
 		}
 	}
-	if threads < 1 {
-		threads = 1
-	}
 	refined := make([]complex128, len(candidates))
 	resids := make([]float64, len(candidates))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, threads)
+	fns := make([]func(int) error, len(candidates))
 	for i, v := range candidates {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, v complex128) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			refineSem <- struct{}{}
+		i, v := i, v
+		fns[i] = func(int) error {
 			r, resid, err := op.RefineEig(v, 6)
-			<-refineSem
 			if err != nil {
 				r, resid = v, 0 // keep the unrefined estimate, no error bar
 			}
 			refined[i], resids[i] = r, resid
-		}(i, v)
+			return nil
+		}
 	}
-	wg.Wait()
+	if err := client.RunBatch(context.Background(), PhaseRefine, fns); err != nil {
+		return err
+	}
 	// Final arbiter: the physical boundary test at the refined frequency.
 	// Eigenvalue-based classification (axisTol) fast-paths clear cases;
 	// everything else is decided by IsCrossing, which is insensitive to
-	// eigenvalue conditioning.
-	var crossings []float64
+	// eigenvalue conditioning. The IsCrossing evaluations each factor a
+	// shift-invert operator, so they too fan out as PhaseRefine tasks; the
+	// verdicts land in index-assigned slots and are collected in candidate
+	// order, keeping the crossing list schedule-independent.
+	keep := make([]bool, len(refined))
+	var arbiter []func(int) error
 	for i, r := range refined {
 		w := math.Abs(imag(r))
 		if hamiltonian.ClassifyImag(r, 1e-12, floor) {
-			crossings = append(crossings, w)
+			keep[i] = true
 			continue
 		}
 		if !hamiltonian.ClassifyImagWithResidual(r, resids[i], axisTol, floor) {
 			continue
 		}
-		ok, err := op.IsCrossing(w, 0)
-		if err == nil && ok {
-			crossings = append(crossings, w)
+		i, w := i, w
+		arbiter = append(arbiter, func(int) error {
+			ok, err := op.IsCrossing(w, 0)
+			keep[i] = err == nil && ok
+			return nil
+		})
+	}
+	if err := client.RunBatch(context.Background(), PhaseRefine, arbiter); err != nil {
+		return err
+	}
+	var crossings []float64
+	for i, r := range refined {
+		if keep[i] {
+			crossings = append(crossings, math.Abs(imag(r)))
 		}
 	}
 	sort.Float64s(crossings)
@@ -160,7 +179,9 @@ func collect(res *Result, op *hamiltonian.Op, axisTol float64, threads int) {
 		}
 		out = append(out, w)
 	}
-	canonicalPolish(out, op, scale, threads)
+	if err := canonicalPolish(client, out, op, scale); err != nil {
+		return err
+	}
 	// Polish can collapse two barely-distinct candidates (just outside the
 	// pre-polish dedup window) onto the exact same eigenvalue; dedup again.
 	sort.Float64s(out)
@@ -172,6 +193,17 @@ func collect(res *Result, op *hamiltonian.Op, axisTol float64, threads int) {
 		final = append(final, w)
 	}
 	res.Crossings = final
+	return nil
+}
+
+// collectStandalone runs the collect tail of the pool-less baselines
+// (serial bisection, static grid) on an ephemeral private pool of the
+// given width, so the refinement code path is the same one the pooled
+// solves exercise.
+func collectStandalone(res *Result, op *hamiltonian.Op, axisTol float64, threads int) error {
+	p := NewPool(threads)
+	defer p.Close()
+	return collect(p.NewClient(ClientOptions{}), res, op, axisTol)
 }
 
 // canonicalPolish re-refines each accepted crossing from a quantized seed
@@ -185,9 +217,13 @@ func collect(res *Result, op *hamiltonian.Op, axisTol float64, threads int) {
 // counts and across standalone-vs-fleet scheduling. A polish that wanders
 // off to a different eigenvalue (clustered spectra) is discarded in favor
 // of the original refined value.
-func canonicalPolish(crossings []float64, op *hamiltonian.Op, scale float64, threads int) {
+//
+// The polishes run as one PhaseRefine batch under the job's client; each
+// task reads and writes only its own crossing slot, so scheduling cannot
+// influence the result.
+func canonicalPolish(client *Client, crossings []float64, op *hamiltonian.Op, scale float64) error {
 	if len(crossings) == 0 {
-		return
+		return nil
 	}
 	// The grid must NOT adapt to the observed separations: near-duplicate
 	// candidates of one eigenvalue appear schedule-dependently just above
@@ -198,40 +234,27 @@ func canonicalPolish(crossings []float64, op *hamiltonian.Op, scale float64, thr
 	// probe resolution) polish to one eigenvalue and merge; the 2·quantum
 	// wander guard below rejects collapses wider than that.
 	quantum := 1e-7 * scale
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, threads)
+	fns := make([]func(int) error, len(crossings))
 	for i, w := range crossings {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, w float64) {
-			defer wg.Done()
-			defer func() { <-sem }()
+		i, w := i, w
+		fns[i] = func(int) error {
 			wq := math.Round(w/quantum) * quantum
-			refineSem <- struct{}{}
 			r, _, err := op.RefineEig(complex(0, wq), 6)
-			<-refineSem
 			if err != nil {
-				return
+				return nil // keep the original refined value
 			}
 			pw := math.Abs(imag(r))
 			// A legitimate polish moves w by far less than a grid cell; a
 			// jump of ≥ 2 cells means the iteration converged to a different
 			// (neighboring) eigenvalue — keep the original refined value.
 			if math.Abs(pw-w) > 2*quantum {
-				return
+				return nil
 			}
 			crossings[i] = pw
-		}(i, w)
+			return nil
+		}
 	}
-	wg.Wait()
+	return client.RunBatch(context.Background(), PhaseRefine, fns)
 }
-
-// refineSem globally bounds concurrent eigenvalue refinements across ALL
-// jobs: each refinement re-factors a shift-invert operator, and the
-// refinement tails of N fleet jobs finishing together would otherwise run
-// N × Threads goroutines against GOMAXPROCS cores — the oversubscription
-// the shared pool exists to avoid. The per-collect semaphore still applies
-// the per-job Threads limit on top.
-var refineSem = make(chan struct{}, runtime.GOMAXPROCS(0))
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

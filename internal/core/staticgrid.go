@@ -160,6 +160,8 @@ func SolveStaticGrid(op *hamiltonian.Op, opts Options) (*Result, error) {
 		gaps = next
 	}
 	res.Stats.Elapsed = time.Since(start)
-	collect(res, op, opts.AxisTol, opts.Threads)
+	if err := collectStandalone(res, op, opts.AxisTol, opts.Threads); err != nil {
+		return nil, err
+	}
 	return res, nil
 }

@@ -387,6 +387,8 @@ func TestSubmitRejectsForeignClient(t *testing.T) {
 
 // TestEigTasksAccountedPerPhase: a pooled solve books its shift tasks
 // under PhaseEig — the counter fleetbench uses for per-phase utilization.
+// The ω_max estimation sweep is itself one PhaseEig pool task, and the
+// collect tail books its refinements under PhaseRefine.
 func TestEigTasksAccountedPerPhase(t *testing.T) {
 	p := NewPool(2)
 	defer p.Close()
@@ -400,11 +402,15 @@ func TestEigTasksAccountedPerPhase(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := p.PhaseStats()[PhaseEig]
-	if st.Tasks != res.Stats.ShiftsProcessed {
-		t.Fatalf("PhaseEig counted %d tasks, solver processed %d shifts", st.Tasks, res.Stats.ShiftsProcessed)
+	if st.Tasks != res.Stats.ShiftsProcessed+1 {
+		t.Fatalf("PhaseEig counted %d tasks, want %d shifts + 1 estimate",
+			st.Tasks, res.Stats.ShiftsProcessed)
 	}
 	if st.Busy <= 0 {
 		t.Fatal("PhaseEig busy time not accounted")
+	}
+	if rf := p.PhaseStats()[PhaseRefine]; rf.Tasks == 0 {
+		t.Fatal("collect tail booked no PhaseRefine tasks")
 	}
 }
 

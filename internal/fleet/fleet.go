@@ -27,6 +27,18 @@
 // Cancellation is per-job via contexts; the completion guarantee (the
 // certified disks of a finished job cover its whole search band) is
 // per-job and unaffected by sharing.
+//
+// Invariants: one scheduling client spans every compute phase of a job
+// (shifts, probes, constraints, refinement tails), so priority and
+// fairness apply to the job as a whole; job results are bit-identical to
+// standalone runs of the same request (fleetbench asserts this across all
+// twelve Table-I cases).
+//
+// Concurrency: Engine methods are safe for concurrent use. Submit may
+// block on admission; each job is coordinated by one goroutine that is
+// NOT a pool worker, so batch joins inside the job cannot deadlock the
+// pool. NewClient hands out identities for pool-routed work outside
+// Submit (e.g. Vector Fitting on the engine's pool).
 package fleet
 
 import (
@@ -110,6 +122,18 @@ func (e *Engine) Workers() int { return e.pool.Workers() }
 // core.PhaseConstraint, ...). cmd/fleetbench derives per-phase worker
 // utilization from it.
 func (e *Engine) PhaseStats() map[string]core.PhaseStat { return e.pool.PhaseStats() }
+
+// NewClient registers a scheduling identity on the engine's shared pool
+// for pool-routed work that does not go through Submit — e.g. a Vector
+// Fitting run (vectfit.Options.Client) feeding models into the fleet, or a
+// solve driven directly via core.Options.Client. Tasks submitted under the
+// client compete with the engine's jobs under the same priority/fairness
+// policy. Clients hold no resources and need no teardown, but they become
+// useless once the engine is closed (their batches fail with
+// core.ErrPoolClosed).
+func (e *Engine) NewClient(pri core.PriorityClass, weight int) *core.Client {
+	return e.pool.NewClient(core.ClientOptions{Priority: pri, Weight: weight})
+}
 
 // Request is one unit of work for the engine.
 type Request struct {

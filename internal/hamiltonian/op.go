@@ -10,6 +10,17 @@
 // values of H(jω) cross the unit threshold (scattering) or where the
 // Hermitian part of H(jω) becomes singular (immittance), so they fully
 // characterize passivity.
+//
+// Invariants: an Op never mutates its model; RefineEig and IsCrossing are
+// deterministic (fixed internal start vectors), so refining the same
+// eigenvalue twice yields the same bits — the canonical-polish guarantee
+// in core builds on this.
+//
+// Concurrency: an Op is read-only after New and safe for concurrent use —
+// Apply draws its scratch from a sync.Pool and ShiftInvert only reads the
+// packed kernels. A ShiftOp carries per-shift factorization scratch and
+// must stay confined to one goroutine at a time (each pool task builds or
+// owns its own).
 package hamiltonian
 
 import (
@@ -32,6 +43,7 @@ const (
 	Immittance
 )
 
+// String names the representation for logs and error messages.
 func (r Representation) String() string {
 	switch r {
 	case Scattering:

@@ -8,6 +8,16 @@
 //   - Matrices are stored row-major in a flat slice.
 //   - Dimension mismatches are programmer errors and panic.
 //   - Numerical failures (singularity, non-convergence) return errors.
+//
+// Invariants: factorizations never alias their input unless the name says
+// so (CLUFactorInPlace); accumulation orders are fixed, so every routine
+// is bit-deterministic for identical inputs — the property the scheduler
+// layers above rely on for cross-thread-count reproducibility.
+//
+// Concurrency: the package has no global state and does no internal
+// locking. Distinct matrices/vectors may be used from distinct goroutines
+// freely; sharing one object concurrently is the caller's responsibility
+// (the pool layers only ever share read-only operands).
 package mat
 
 import (

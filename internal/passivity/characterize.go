@@ -3,6 +3,20 @@
 // between unit singular-value crossings) and enforces passivity by
 // iterative residue perturbation, re-running the characterization after
 // each perturbation pass (DATE'11 Sec. II; enforcement per refs. [8]/[15]).
+//
+// Invariants: the violation bands partition [0, ∞) at the crossing
+// frequencies; σ probes never leave the certified search bound; and the
+// whole report — crossings, band peaks, enforced model — is bit-identical
+// under any worker count, because every parallel step writes only
+// index-assigned slots.
+//
+// Concurrency: all heavy work runs as pool task batches under one
+// scheduling client per characterization/enforcement — σ_max band probes
+// (core.PhaseProbe) and per-band constraint assembly (core.PhaseConstraint)
+// here, shifts/refinements inside the solver. Without an explicit
+// Options.Core.Pool/Client a private pool of Core.Threads workers spans
+// the call. Characterize/Enforce block on batch joins and must not be
+// called from a pool worker goroutine.
 package passivity
 
 import (

@@ -163,7 +163,7 @@ func EnforceContext(ctx context.Context, m *statespace.Model, opts EnforceOption
 			// on every non-final iteration). If the true radius escaped
 			// the carried bound, re-characterize over the full band — a
 			// crossing could be hiding just above it.
-			est, err := freshOmegaMax(work, charOpts.Core.Seed)
+			est, err := freshOmegaMax(ctx, charOpts.Core.Client, work, charOpts.Core.Seed)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -235,8 +235,11 @@ func warmArnoldi(p arnoldi.SingleShiftParams) arnoldi.SingleShiftParams {
 
 // freshOmegaMax re-runs the spectral-radius estimation Arnoldi on the
 // (perturbed) model — used once per enforcement run to confirm a carried
-// bound before it certifies passivity.
-func freshOmegaMax(m *statespace.Model, seed int64) (float64, error) {
+// bound before it certifies passivity. Like Submit's startup estimate, it
+// runs as a PhaseEig task of the run's client so the sweep obeys the
+// shared pool's scheduling policy instead of running on the coordinator
+// goroutine.
+func freshOmegaMax(ctx context.Context, client *core.Client, m *statespace.Model, seed int64) (float64, error) {
 	op, err := hamiltonian.New(m, hamiltonian.Scattering)
 	if err != nil {
 		return 0, err
@@ -244,7 +247,16 @@ func freshOmegaMax(m *statespace.Model, seed int64) (float64, error) {
 	if seed == 0 {
 		seed = 1 // mirror core.Options.setDefaults so the estimate matches Submit's
 	}
-	return core.EstimateOmegaMax(op, seed)
+	var est float64
+	err = client.RunBatch(ctx, core.PhaseEig, []func(int) error{func(int) error {
+		e, err := core.EstimateOmegaMax(op, seed)
+		if err != nil {
+			return err
+		}
+		est = e
+		return nil
+	}})
+	return est, err
 }
 
 // carryOmegaMax inflates a certified spectral-radius bound so it stays a

@@ -78,9 +78,14 @@ func TestCharacterizeProbesRunAsPoolTasks(t *testing.T) {
 		t.Fatalf("PhaseProbe counted %d tasks, report has %d bands",
 			st[core.PhaseProbe].Tasks, len(rep.Bands))
 	}
-	if st[core.PhaseEig].Tasks != rep.Solver.ShiftsProcessed {
-		t.Fatalf("PhaseEig counted %d tasks, solver processed %d shifts",
+	// One extra PhaseEig task is the pool-routed ω_max estimation sweep.
+	if st[core.PhaseEig].Tasks != rep.Solver.ShiftsProcessed+1 {
+		t.Fatalf("PhaseEig counted %d tasks, want %d shifts + 1 estimate",
 			st[core.PhaseEig].Tasks, rep.Solver.ShiftsProcessed)
+	}
+	// The collect tail (refinements + canonical polish) books PhaseRefine.
+	if st[core.PhaseRefine].Tasks == 0 {
+		t.Fatal("no PhaseRefine tasks executed on the pool")
 	}
 }
 

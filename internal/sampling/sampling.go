@@ -6,6 +6,16 @@
 // simple and embarrassingly parallel, but it can only certify passivity up
 // to the resolution of the sweep and famously misses narrow violation
 // bands (demonstrated in this package's tests).
+//
+// Invariants: each distinct ω is evaluated exactly once per sweep
+// (single-flight memoization), and refinement decisions depend only on the
+// evaluated values — results are independent of evaluation order and
+// therefore of the worker count.
+//
+// Concurrency: with Options.Pool/Client set, the bootstrap grid runs as
+// one core.PhaseSample task batch on the shared pool (each task writes an
+// index-assigned slot); otherwise evaluation is sequential on the calling
+// goroutine. Characterize must not be called from a pool worker.
 package sampling
 
 import (

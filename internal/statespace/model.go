@@ -12,6 +12,19 @@
 // for complex pole pairs), u_k carries the block input weights, and
 // C_k ∈ R^{p×m_k} stores the residues of the k-th column of H(s). A has at
 // most 2n non-zero entries and B has n, which enables O(n) shifted solves.
+//
+// Invariants: Block/Column are the construction representation; the flat
+// packed kernel cache (packed.go) is the execution representation, built
+// lazily and bit-equivalent to the dense reference (equivalence-tested to
+// 1e-12). A Model whose blocks or residues are mutated in place MUST call
+// InvalidateKernels before the next kernel call, or the stale cache will
+// be used.
+//
+// Concurrency: a Model is safe for concurrent readers — the packed cache
+// is published through an atomic pointer and a racing rebuild is harmless
+// because the build is deterministic. Mutation (enforcement's residue
+// perturbation) requires exclusive access; Clone/Balanced/FrequencyScaled
+// return fresh models and need no invalidation.
 package statespace
 
 import (

@@ -24,6 +24,7 @@ type ParseError struct {
 	Msg  string
 }
 
+// Error formats the failure with its 1-based line and 0-based byte offset.
 func (e *ParseError) Error() string {
 	return fmt.Sprintf("touchstone: line %d (byte %d): %s", e.Line, e.Byte, e.Msg)
 }

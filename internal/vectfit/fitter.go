@@ -1,10 +1,12 @@
 package vectfit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/mat"
 	"repro/internal/statespace"
 )
@@ -71,12 +73,68 @@ func (ft *Fitter) Len() int { return len(ft.omegas) }
 // Finish runs the fit over everything added. It is equivalent to calling
 // Fit on the same sample sequence.
 func (ft *Fitter) Finish() (*Result, error) {
+	return ft.FinishContext(context.Background())
+}
+
+// colFit is the per-column fit state threaded through the PhaseFit rounds.
+// Each pool task owns exactly one colFit (index-assigned), so the rounds
+// are data-race-free and bit-identical under any worker count.
+type colFit struct {
+	poles   []complex128
+	lastErr float64
+	it      int
+	done    bool
+	resid   *mat.CDense
+	d       []float64
+}
+
+// columnSamples extracts column col's p×K sample matrix from the packed
+// storage. Each pool task builds it on entry and releases it on exit, so
+// only the columns currently in flight (≤ pool width) hold a second copy
+// of their samples; the O(p·K) re-extraction per round is noise next to
+// the round's SVD. The sequential loop likewise held one column at a
+// time.
+func (ft *Fitter) columnSamples(col int) *mat.CDense {
+	k, p := len(ft.omegas), ft.p
+	f := mat.NewCDense(p, k)
+	for ki := 0; ki < k; ki++ {
+		for r := 0; r < p; r++ {
+			f.Set(r, ki, ft.hdata[ki*p*p+r*p+col])
+		}
+	}
+	return f
+}
+
+// FinishContext is Finish with cancellation/deadline support.
+//
+// The p columns of the fit are independent; their pole-relocation rounds
+// and final residue solves — the SVD-heavy LS systems that dominate
+// many-port fits — are submitted to a worker pool as core.PhaseFit task
+// batches: one task per still-unconverged column per round, then one
+// final-residue task per column. Options.Client selects a shared pool
+// (fleet callers); otherwise a private pool of Options.Threads workers
+// spans the fit. Each task reads and writes only its own column's state,
+// and within a column the computation sequence is exactly the sequential
+// algorithm's, so the fitted model, RMS error, and iteration counts are
+// bit-identical under any worker count and pool load.
+//
+// Memory: each task extracts its column's p×K sample matrix on entry and
+// releases it on exit, so at most the in-flight columns (≤ pool width)
+// hold a second copy of their samples at any moment — the overlapped
+// analogue of the sequential loop's one-column-at-a-time copy.
+//
+// FinishContext must not be called from a pool worker goroutine (the
+// batch join could deadlock a fully-busy pool).
+func (ft *Fitter) FinishContext(ctx context.Context) (*Result, error) {
 	k := len(ft.omegas)
 	if k < 4 {
 		return nil, errors.New("vectfit: need at least 4 samples")
 	}
 	if ft.order < 2 {
 		return nil, errors.New("vectfit: order must be at least 2")
+	}
+	if ft.opts.Threads < 0 {
+		return nil, fmt.Errorf("vectfit: Threads must be ≥ 0, got %d", ft.opts.Threads)
 	}
 	p := ft.p
 	if 2*k*p < ft.order+1+ft.order {
@@ -85,68 +143,119 @@ func (ft *Fitter) Finish() (*Result, error) {
 	opts := ft.opts
 	omegas := ft.omegas
 
+	client := opts.Client
+	if client == nil {
+		// Standalone fit: a private pool of Threads workers (NewPool clamps
+		// < 1 to one worker — the sequential default).
+		pool := core.NewPool(opts.Threads)
+		defer pool.Close()
+		client = pool.NewClient(core.ClientOptions{})
+	}
+
+	// Per-column state, owned by one task at a time.
+	cols := make([]colFit, p)
+	for col := 0; col < p; col++ {
+		cols[col] = colFit{
+			poles:   InitialPoles(omegas[0], omegas[len(omegas)-1], ft.order),
+			lastErr: math.Inf(1),
+		}
+	}
+
+	// Pole relocation: one round = one sigma-iteration of every
+	// still-unconverged column, fanned out as a PhaseFit batch. Converged
+	// columns drop out of later rounds, exactly like the sequential loop's
+	// early break.
+	for round := 0; round < opts.Iterations; round++ {
+		var fns []func(int) error
+		for ci := range cols {
+			if cols[ci].done {
+				continue
+			}
+			c, col := &cols[ci], ci
+			fns = append(fns, func(int) error {
+				f := ft.columnSamples(col) // task-local; freed when the task returns
+				next, err := relocatePoles(omegas, f, c.poles, opts.Relaxed)
+				if err != nil {
+					return fmt.Errorf("vectfit: column %d iteration %d: %w", col, c.it, err)
+				}
+				c.poles = next
+				// Monitor convergence with a residue fit.
+				_, _, rms, err := fitResidues(omegas, f, c.poles)
+				if err != nil {
+					return fmt.Errorf("vectfit: column %d iteration %d: %w", col, c.it, err)
+				}
+				c.it++
+				if math.Abs(c.lastErr-rms) <= opts.RelTol*math.Max(rms, 1e-300) {
+					c.done = true
+				}
+				c.lastErr = rms
+				return nil
+			})
+		}
+		if len(fns) == 0 {
+			break
+		}
+		if err := client.RunBatch(ctx, core.PhaseFit, fns); err != nil {
+			return nil, err
+		}
+	}
+
+	// Final residue solves with the converged poles, one task per column.
+	fns := make([]func(int) error, p)
+	for ci := range cols {
+		c, col := &cols[ci], ci
+		fns[ci] = func(int) error {
+			res, d, _, err := fitResidues(omegas, ft.columnSamples(col), c.poles)
+			if err != nil {
+				return fmt.Errorf("vectfit: column %d final fit: %w", col, err)
+			}
+			c.resid, c.d = res, d
+			return nil
+		}
+	}
+	if err := client.RunBatch(ctx, core.PhaseFit, fns); err != nil {
+		return nil, err
+	}
+
 	polesByCol := make([][]complex128, p)
 	residByCol := make([]*mat.CDense, p)
 	dCol := mat.NewDense(p, p)
 	iters := make([]int, p)
-
-	for col := 0; col < p; col++ {
-		// Column samples: p×K.
-		f := mat.NewCDense(p, k)
-		for ki := 0; ki < k; ki++ {
-			for r := 0; r < p; r++ {
-				f.Set(r, ki, ft.hdata[ki*p*p+r*p+col])
-			}
-		}
-		poles := InitialPoles(omegas[0], omegas[len(omegas)-1], ft.order)
-		var lastErr float64 = math.Inf(1)
-		it := 0
-		for ; it < opts.Iterations; it++ {
-			next, err := relocatePoles(omegas, f, poles, opts.Relaxed)
-			if err != nil {
-				return nil, fmt.Errorf("vectfit: column %d iteration %d: %w", col, it, err)
-			}
-			poles = next
-			// Monitor convergence with a residue fit.
-			_, _, rms, err := fitResidues(omegas, f, poles)
-			if err != nil {
-				return nil, fmt.Errorf("vectfit: column %d iteration %d: %w", col, it, err)
-			}
-			if math.Abs(lastErr-rms) <= opts.RelTol*math.Max(rms, 1e-300) {
-				it++
-				break
-			}
-			lastErr = rms
-		}
-		res, d, _, err := fitResidues(omegas, f, poles)
-		if err != nil {
-			return nil, fmt.Errorf("vectfit: column %d final fit: %w", col, err)
-		}
-		polesByCol[col] = poles
-		residByCol[col] = res
+	for col := range cols {
+		polesByCol[col] = cols[col].poles
+		residByCol[col] = cols[col].resid
 		for r := 0; r < p; r++ {
-			dCol.Set(r, col, d[r])
+			dCol.Set(r, col, cols[col].d[r])
 		}
-		iters[col] = it
+		iters[col] = cols[col].it
 	}
 
 	model, err := statespace.FromPoleResidue(dCol, polesByCol, residByCol)
 	if err != nil {
 		return nil, fmt.Errorf("vectfit: assembling realization: %w", err)
 	}
-	// Final RMS over all entries (same accumulation order as the original
-	// batch loop: sample → row → column).
+	// Final RMS over all entries, as one pool task: the accumulation order
+	// (sample → row → column) must stay exactly the sequential loop's for
+	// the error to be bit-identical, so the K model evaluations are not
+	// split — but they still run on a worker, under the client's
+	// scheduling policy, not on the coordinator goroutine.
 	var ss float64
 	cnt := 0
-	for ki := 0; ki < k; ki++ {
-		h := model.EvalJW(omegas[ki])
-		for i := 0; i < p; i++ {
-			for j := 0; j < p; j++ {
-				d := h.At(i, j) - ft.hdata[ki*p*p+i*p+j]
-				ss += real(d)*real(d) + imag(d)*imag(d)
-				cnt++
+	err = client.RunBatch(ctx, core.PhaseFit, []func(int) error{func(int) error {
+		for ki := 0; ki < k; ki++ {
+			h := model.EvalJW(omegas[ki])
+			for i := 0; i < p; i++ {
+				for j := 0; j < p; j++ {
+					d := h.At(i, j) - ft.hdata[ki*p*p+i*p+j]
+					ss += real(d)*real(d) + imag(d)*imag(d)
+					cnt++
+				}
 			}
 		}
+		return nil
+	}})
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		Model:      model,

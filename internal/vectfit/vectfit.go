@@ -4,14 +4,30 @@
 // tools (paper Sec. II, refs. [1]–[5]). Each column of the p×p scattering
 // matrix is fitted independently with its own pole set, which yields
 // exactly the multiple-SIMO block structure of paper Eq. 2.
+//
+// Invariants: Fit ≡ NewFitter+Add+Finish (streaming and buffered fits are
+// bit-identical by construction), and the pool-routed column fit is
+// bit-identical to the sequential algorithm under any worker count —
+// each core.PhaseFit task performs one column's next pole-relocation
+// round (or its final residue solve) on state only that task may touch.
+//
+// Concurrency: a Fitter is confined to one goroutine at a time (Add
+// mutates accumulation state; Finish runs the fit). Finish fans the
+// per-column LS solves out to a worker pool — a shared one via
+// Options.Client, else a private pool of Options.Threads workers — and
+// blocks on the batch joins, so it must not be called from a pool worker
+// goroutine. Concurrent fits with distinct Fitters are safe, including on
+// one shared pool.
 package vectfit
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/cmplx"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/mat"
 	"repro/internal/statespace"
 )
@@ -28,6 +44,19 @@ type Options struct {
 	// normalization row Σ_k Re σ(jω_k) = K replaces the hard σ(∞) = 1
 	// assumption, which improves convergence on noisy data.
 	Relaxed bool
+	// Threads sizes the private worker pool Finish creates when Client is
+	// nil. The p columns of the fit are independent, and their SVD-heavy
+	// LS solves run as pool tasks; the result is bit-identical under any
+	// worker count. Default 1 (the sequential behavior).
+	Threads int
+	// Client routes the fit's per-column tasks through a shared
+	// core.Pool instead of a private one: each pole-relocation round and
+	// the final residue solves are submitted as PhaseFit batches under
+	// this scheduling identity, so a fleet caller's fit competes for
+	// workers under the same priority/fairness policy as every other
+	// compute phase. Threads is ignored when Client is set. Finish must
+	// not be called from a goroutine that is itself a pool worker.
+	Client *core.Client
 }
 
 func (o *Options) setDefaults() {
@@ -63,6 +92,13 @@ type Result struct {
 // through Fitter.Add and calls Finish, so the streaming and buffered paths
 // produce bit-identical models by construction.
 func Fit(samples []Sample, order int, opts Options) (*Result, error) {
+	return FitContext(context.Background(), samples, order, opts)
+}
+
+// FitContext is Fit with cancellation/deadline support: a canceled context
+// drops the fit's queued pool tasks (in-flight ones drain first) and the
+// error is ctx.Err().
+func FitContext(ctx context.Context, samples []Sample, order int, opts Options) (*Result, error) {
 	if len(samples) < 4 {
 		return nil, errors.New("vectfit: need at least 4 samples")
 	}
@@ -72,7 +108,7 @@ func Fit(samples []Sample, order int, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
-	return ft.Finish()
+	return ft.FinishContext(ctx)
 }
 
 // InitialPoles produces the standard VF starting poles: complex pairs with

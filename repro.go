@@ -236,7 +236,11 @@ func VerifyBySampling(m *Model, rep *Report, points int) error {
 // VFSample is one tabulated frequency response H(jω).
 type VFSample = vectfit.Sample
 
-// VFOptions controls the Vector Fitting iteration.
+// VFOptions controls the Vector Fitting iteration. Threads parallelizes
+// the independent per-column LS solves on a private worker pool; Client
+// routes them through a shared pool (e.g. Fleet.NewClient) as PhaseFit
+// task batches instead. Either way the fitted model is bit-identical to
+// the sequential fit.
 type VFOptions = vectfit.Options
 
 // VFResult is a fitted model plus diagnostics.
@@ -246,6 +250,12 @@ type VFResult = vectfit.Result
 // samples by Vector Fitting (per-column SIMO, paper Eq. 2 structure).
 func FitVector(samples []VFSample, order int, opts VFOptions) (*VFResult, error) {
 	return vectfit.Fit(samples, order, opts)
+}
+
+// FitVectorContext is FitVector with cancellation/deadline support: a
+// canceled context drops the fit's queued pool tasks and returns ctx.Err().
+func FitVectorContext(ctx context.Context, samples []VFSample, order int, opts VFOptions) (*VFResult, error) {
+	return vectfit.FitContext(ctx, samples, order, opts)
 }
 
 // SampleModel tabulates a model on a frequency grid (stand-in for field
@@ -317,7 +327,34 @@ func NewVFFitter(order int, opts VFOptions) *VFFitter {
 // passivity characterization, at bounded ingestion memory. It returns the
 // fit diagnostics alongside the passivity report (the fit is returned even
 // when characterization fails, so callers can report RMS error).
+//
+// One worker pool spans the whole pipeline: the fit's per-column LS
+// solves and the characterization's shifts/probes/refinements all run as
+// tasks of one scheduling client. Standalone callers get a private pool
+// sized by charOpts.Core.Threads (or vfOpts.Threads, whichever is
+// larger); fleet callers share the engine's pool by setting
+// vfOpts.Client / charOpts.Core.Client (e.g. from Fleet.NewClient).
 func CharacterizeTouchstone(r io.Reader, ports, order int, vfOpts VFOptions, charOpts CharOptions) (*VFResult, *Report, error) {
+	if vfOpts.Client == nil {
+		if charOpts.Core.Client != nil {
+			// The characterization already has a shared-pool identity: the
+			// fit rides on it instead of spinning up a second pool.
+			vfOpts.Client = charOpts.Core.Client
+		} else if charOpts.Core.Pool == nil {
+			threads := charOpts.Core.Threads
+			if vfOpts.Threads > threads {
+				threads = vfOpts.Threads
+			}
+			pool := core.NewPool(threads)
+			defer pool.Close()
+			client := pool.NewClient(core.ClientOptions{})
+			vfOpts.Client = client
+			charOpts.Core.Pool = pool
+			charOpts.Core.Client = client
+		} else {
+			vfOpts.Client = charOpts.Core.Pool.NewClient(core.ClientOptions{})
+		}
+	}
 	rd, err := touchstone.NewReader(r, ports)
 	if err != nil {
 		return nil, nil, err
@@ -365,6 +402,14 @@ type FleetResult = fleet.Result
 
 // PriorityClass selects a fleet job's scheduling tier on the shared pool.
 type PriorityClass = core.PriorityClass
+
+// Client is a scheduling identity on a shared worker pool: a priority
+// class plus a weighted-round-robin fairness share. Every compute phase
+// submitted under one client — eigensolver shifts, band probes,
+// constraint assembly, Vector Fitting columns, refinement tails — obeys
+// that one policy. Obtain one from Fleet.NewClient and pass it through
+// VFOptions.Client or SolverOptions.Client.
+type Client = core.Client
 
 // Priority classes: interactive tasks pop before any queued batch task
 // (preemption at task granularity; in-flight tasks finish first).
