@@ -11,11 +11,15 @@
 //  3. Warm-start A/B — enforcement on a violating case with and without
 //     warm-started re-characterizations, reporting the drop in total
 //     Stats.ShiftsProcessed.
-//  4. Priority + admission — batch enforcement jobs fill a bounded-
+//  4. Shift-cache A/B — the same enforcement with the shift-factorization
+//     cache off (every shift refactors) vs on (LRU over SMW factors +
+//     batched multi-shift prefactor), asserting bit-identical crossings
+//     and reporting the hit rate and wall-time delta.
+//  5. Priority + admission — batch enforcement jobs fill a bounded-
 //     admission engine, then an interactive characterization submitted
 //     mid-batch must overtake the queued batch work and finish first; a
 //     fail-fast engine at its cap must reject the over-cap submit.
-//  5. Vector Fitting A/B — a synthetic many-port sweep fitted with one
+//  6. Vector Fitting A/B — a synthetic many-port sweep fitted with one
 //     worker vs the full pool (pool-routed PhaseFit column batches),
 //     asserting the fitted models are bit-identical and reporting the
 //     wall-time win (the BenchmarkSnpcheckFit scenario).
@@ -49,8 +53,23 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/hamiltonian"
 	"repro/internal/statespace"
 )
+
+// sameCrossings reports whether two characterizations found bit-identical
+// crossing lists.
+func sameCrossings(a, b *repro.Report) bool {
+	if len(a.Crossings) != len(b.Crossings) {
+		return false
+	}
+	for i := range a.Crossings {
+		if a.Crossings[i] != b.Crossings[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // sameFit reports whether two Vector Fitting results are bit-identical:
 // same gob-encoded model, same RMS error, same per-column iterations.
@@ -85,6 +104,9 @@ type caseRow struct {
 	FleetNS      int64   `json:"fleet_ns"` // per-job latency inside the fleet run
 	Shifts       int     `json:"shifts"`
 	ShiftsSolo   int     `json:"shifts_solo"`
+	ShiftsPerSec float64 `json:"shifts_per_sec"` // fleet-leg shift throughput
+	CacheHits    uint64  `json:"cache_hits"`     // this case's traffic on the engine-wide shift cache
+	CacheMisses  uint64  `json:"cache_misses"`
 	Passive      bool    `json:"passive"`
 	WorstSigma   float64 `json:"worst_sigma"`
 }
@@ -130,19 +152,35 @@ type vfRow struct {
 	RMSError     float64 `json:"rms_error"`
 }
 
+type cacheRow struct {
+	Case         int     `json:"case"`
+	OffNS        int64   `json:"cache_off_ns"`
+	OnNS         int64   `json:"cache_on_ns"`
+	Speedup      float64 `json:"speedup"`
+	Hits         uint64  `json:"cache_hits"`
+	Misses       uint64  `json:"cache_misses"`
+	HitRate      float64 `json:"hit_rate"`
+	Evictions    uint64  `json:"evictions"`
+	Iterations   int     `json:"iterations"`
+	BitIdentical bool    `json:"crossings_bit_identical"`
+}
+
 type benchOut struct {
-	Workers         int          `json:"workers"`
-	HostCores       int          `json:"host_cores"`
-	Cases           []caseRow    `json:"cases"`
-	SoloWallNS      int64        `json:"solo_wall_ns"`
-	FleetWallNS     int64        `json:"fleet_wall_ns"`
-	Speedup         float64      `json:"speedup"`
-	ThroughputJobsS float64      `json:"fleet_throughput_jobs_per_s"`
-	AllBitIdentical bool         `json:"all_crossings_bit_identical"`
-	Phases          []phaseRow   `json:"fleet_phase_utilization"`
-	WarmStart       *warmRow     `json:"warmstart,omitempty"`
-	Priority        *priorityRow `json:"priority,omitempty"`
-	VectFit         *vfRow       `json:"vectfit,omitempty"`
+	Workers          int          `json:"workers"`
+	HostCores        int          `json:"host_cores"`
+	Cases            []caseRow    `json:"cases"`
+	SoloWallNS       int64        `json:"solo_wall_ns"`
+	FleetWallNS      int64        `json:"fleet_wall_ns"`
+	Speedup          float64      `json:"speedup"`
+	ThroughputJobsS  float64      `json:"fleet_throughput_jobs_per_s"`
+	AllBitIdentical  bool         `json:"all_crossings_bit_identical"`
+	FleetCacheHits   uint64       `json:"fleet_cache_hits"` // engine-wide shift-cache totals for the fleet run
+	FleetCacheMisses uint64       `json:"fleet_cache_misses"`
+	Phases           []phaseRow   `json:"fleet_phase_utilization"`
+	WarmStart        *warmRow     `json:"warmstart,omitempty"`
+	Cache            *cacheRow    `json:"cache,omitempty"`
+	Priority         *priorityRow `json:"priority,omitempty"`
+	VectFit          *vfRow       `json:"vectfit,omitempty"`
 }
 
 func main() {
@@ -151,6 +189,7 @@ func main() {
 	cacheDir := flag.String("cache", "testdata/cases", "model cache directory")
 	jsonOut := flag.String("json", "BENCH_fleet.json", "machine-readable output file (empty to disable)")
 	warmCase := flag.Int("warmcase", 2, "violating Table-I case for the warm-start A/B (0 to skip)")
+	cacheCase := flag.Int("cachecase", 2, "violating Table-I case for the shift-cache on/off enforcement A/B (0 to skip)")
 	prioCase := flag.Int("priocase", 2, "violating Table-I case for the batch jobs of the priority/admission demo (0 to skip)")
 	vfPorts := flag.Int("vfports", 8, "port count of the synthetic sweep for the Vector Fitting A/B (0 to skip)")
 	flag.Parse()
@@ -236,6 +275,14 @@ func main() {
 	}
 	out.FleetWallNS = time.Since(fleetStart).Nanoseconds()
 	latencyWG.Wait()
+	// Per-case traffic on the engine-wide shift-factorization cache, plus
+	// the cache-wide totals (read before Close while the ops are alive).
+	caseCache := make([]repro.CacheStats, len(specs))
+	for i := range specs {
+		caseCache[i] = engine.ModelCacheStats(models[i])
+	}
+	fleetCache := engine.ShiftCacheStats()
+	out.FleetCacheHits, out.FleetCacheMisses = fleetCache.Hits, fleetCache.Misses
 	// Per-phase worker utilization of the fleet run: which fraction of the
 	// pool's capacity each compute phase kept busy.
 	stats := engine.PhaseStats()
@@ -258,8 +305,8 @@ func main() {
 	}
 	engine.Close()
 
-	fmt.Printf("%-7s %5s %4s %8s %4s %6s | %9s %9s | %4s\n",
-		"Case", "n", "p", "Nλ(pap)", "Nλ", "shifts", "solo[s]", "fleet[s]", "bit=")
+	fmt.Printf("%-7s %5s %4s %8s %4s %6s %8s %5s %5s | %9s %9s | %4s\n",
+		"Case", "n", "p", "Nλ(pap)", "Nλ", "shifts", "sh/s", "hits", "miss", "solo[s]", "fleet[s]", "bit=")
 	for i, spec := range specs {
 		solo, fl := soloReps[i], fleetReps[i]
 		bit := len(solo.Crossings) == len(fl.Crossings)
@@ -280,11 +327,16 @@ func main() {
 			PaperNlambda: spec.PaperNlambda, BitIdentical: bit,
 			SoloNS: soloNS[i], FleetNS: fleetNS[i],
 			Shifts: fl.Solver.ShiftsProcessed, ShiftsSolo: solo.Solver.ShiftsProcessed,
+			CacheHits: caseCache[i].Hits, CacheMisses: caseCache[i].Misses,
 			Passive: fl.Passive, WorstSigma: fl.WorstViolation(),
 		}
+		if fleetNS[i] > 0 {
+			row.ShiftsPerSec = float64(row.Shifts) / (float64(fleetNS[i]) / 1e9)
+		}
 		out.Cases = append(out.Cases, row)
-		fmt.Printf("Case %-2d %5d %4d %8d %4d %6d | %9.3f %9.3f | %v\n",
+		fmt.Printf("Case %-2d %5d %4d %8d %4d %6d %8.1f %5d %5d | %9.3f %9.3f | %v\n",
 			spec.ID, spec.N, spec.P, spec.PaperNlambda, row.Nlambda, row.Shifts,
+			row.ShiftsPerSec, row.CacheHits, row.CacheMisses,
 			float64(row.SoloNS)/1e9, float64(row.FleetNS)/1e9, bit)
 	}
 	out.Speedup = float64(out.SoloWallNS) / float64(out.FleetWallNS)
@@ -330,7 +382,53 @@ func main() {
 			float64(w.ColdNS)/1e9, float64(w.WarmNS)/1e9)
 	}
 
-	// Phase 4: priority + admission demo. Batch enforcement jobs fill a
+	// Phase 4: shift-cache on/off A/B — the same enforcement run with the
+	// factorization cache disabled (every shift refactors from scratch, no
+	// batched prefactor) vs enabled through an operator cache, asserting the
+	// final crossings are bit-identical and reporting the hit rate and the
+	// wall-time delta the cache buys.
+	if *cacheCase > 0 {
+		spec, err := repro.FindCase(*cacheCase)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := statespace.CachedCase(spec, *cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := func(ops *hamiltonian.OpCache, cacheSize int) (*repro.EnforceReport, int64) {
+			opts := repro.EnforceOptions{Char: charOpts()}
+			opts.Char.Core.ShiftCacheSize = cacheSize
+			opts.Char.Ops = ops
+			start := time.Now()
+			_, rep, err := repro.Enforce(m, opts)
+			if err != nil {
+				log.Fatalf("enforce (cache=%d) case %d: %v", cacheSize, spec.ID, err)
+			}
+			return rep, time.Since(start).Nanoseconds()
+		}
+		offRep, offNS := run(nil, -1)
+		oc := hamiltonian.NewOpCache(repro.DefaultShiftCacheSize)
+		onRep, onNS := run(oc, 0)
+		st := oc.ShiftCache().Stats()
+		cr := cacheRow{
+			Case:  spec.ID,
+			OffNS: offNS, OnNS: onNS,
+			Speedup: float64(offNS) / float64(onNS),
+			Hits:    st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+			Iterations:   onRep.Iterations,
+			BitIdentical: sameCrossings(offRep.FinalReport, onRep.FinalReport),
+		}
+		if total := st.Hits + st.Misses; total > 0 {
+			cr.HitRate = float64(st.Hits) / float64(total)
+		}
+		out.Cache = &cr
+		fmt.Printf("cache A/B (case %d, %d iterations): %.3fs off → %.3fs on (%.2fx), %d hits / %d misses (%.1f%% hit rate, %d evictions), bit-identical: %v\n",
+			cr.Case, cr.Iterations, float64(offNS)/1e9, float64(onNS)/1e9, cr.Speedup,
+			cr.Hits, cr.Misses, 100*cr.HitRate, cr.Evictions, cr.BitIdentical)
+	}
+
+	// Phase 5: priority + admission demo. Batch enforcement jobs fill a
 	// bounded-admission engine; an interactive characterization submitted
 	// mid-batch must overtake the queued batch work.
 	if *prioCase > 0 {
@@ -409,7 +507,7 @@ func main() {
 			nBatch, spec.ID, pr.Overtook, pr.OvertakeFactor, pr.FailFastRejected)
 	}
 
-	// Phase 5: Vector Fitting A/B — one worker vs the pool on a synthetic
+	// Phase 6: Vector Fitting A/B — one worker vs the pool on a synthetic
 	// many-port sweep (the per-column PhaseFit batches of vectfit.Fitter).
 	if *vfPorts > 0 {
 		const vfOrder, vfSamples = 6, 40

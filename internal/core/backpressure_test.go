@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunBatchChunkingRunsEveryTask: with MaxQueuedTasks set, a large batch
+// still runs every function exactly once and in a state indistinguishable
+// from the unchunked path (index-assigned slots all written).
+func TestRunBatchChunkingRunsEveryTask(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	c := p.NewClient(ClientOptions{MaxQueuedTasks: 4})
+
+	const n = 19 // deliberately not a multiple of the chunk size
+	ran := make([]int32, n)
+	fns := make([]func(int) error, n)
+	for i := range fns {
+		i := i
+		fns[i] = func(int) error {
+			atomic.AddInt32(&ran[i], 1)
+			return nil
+		}
+	}
+	if err := c.RunBatch(context.Background(), PhaseProbe, fns); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ran {
+		if r != 1 {
+			t.Fatalf("task %d ran %d times, want exactly once", i, r)
+		}
+	}
+}
+
+// TestRunBatchChunkingBoundsQueue: while one chunk is in flight, the
+// client's pool-queue footprint never exceeds MaxQueuedTasks — the whole
+// point of the knob. A single-worker pool is blocked on the chunk's first
+// task so the queue length can be inspected at its maximum.
+func TestRunBatchChunkingBoundsQueue(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	const limit = 3
+	c := p.NewClient(ClientOptions{MaxQueuedTasks: limit})
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	const n = 10
+	fns := make([]func(int) error, n)
+	for i := range fns {
+		i := i
+		fns[i] = func(int) error {
+			if i == 0 {
+				close(entered)
+				<-gate
+			}
+			return nil
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.RunBatch(context.Background(), PhaseProbe, fns) }()
+	<-entered
+	// Worker is parked in task 0; everything else queued is the rest of the
+	// first chunk only.
+	p.mu.Lock()
+	queued := len(c.queue)
+	p.mu.Unlock()
+	if queued > limit-1 {
+		t.Fatalf("%d tasks queued while chunk in flight; MaxQueuedTasks=%d allows at most %d waiting", queued, limit, limit-1)
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunBatchChunkingStopsAfterFailedChunk: the first failing chunk
+// returns its error and no later chunk's task ever runs.
+func TestRunBatchChunkingStopsAfterFailedChunk(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	const limit = 4
+	c := p.NewClient(ClientOptions{MaxQueuedTasks: limit})
+
+	boom := errors.New("boom")
+	const n = 12
+	var ran atomic.Int32
+	fns := make([]func(int) error, n)
+	for i := range fns {
+		i := i
+		fns[i] = func(int) error {
+			ran.Add(1)
+			if i == 1 { // inside the first chunk
+				return boom
+			}
+			return nil
+		}
+	}
+	err := c.RunBatch(context.Background(), PhaseProbe, fns)
+	if !errors.Is(err, boom) {
+		t.Fatalf("RunBatch error = %v, want %v", err, boom)
+	}
+	// Tasks from the failing chunk may or may not have run (purge races the
+	// pops), but nothing beyond it was ever enqueued.
+	if got := ran.Load(); got > limit {
+		t.Fatalf("%d tasks ran after a first-chunk failure, want ≤ %d (no later chunk enqueued)", got, limit)
+	}
+}
+
+// TestRunBatchNegativeMaxQueuedClamped: a negative cap is clamped to the
+// unbounded historical behavior rather than wedging every batch.
+func TestRunBatchNegativeMaxQueuedClamped(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	c := p.NewClient(ClientOptions{MaxQueuedTasks: -7})
+	var ran atomic.Int32
+	fns := make([]func(int) error, 5)
+	for i := range fns {
+		fns[i] = func(int) error { ran.Add(1); return nil }
+	}
+	if err := c.RunBatch(context.Background(), PhaseProbe, fns); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 5 {
+		t.Fatalf("%d tasks ran, want 5", ran.Load())
+	}
+}

@@ -44,6 +44,16 @@ func (p *Pool) Submit(ctx context.Context, op *hamiltonian.Op, opts Options) (*J
 		opts.Threads = p.workers
 	}
 	opts.setDefaults()
+	// Factorization-cache wiring: attach (or, on request, detach) the
+	// operator's shift cache before any shift work runs. EnsureShiftCache
+	// keeps an already-attached cache — the fleet engine attaches one
+	// shared cache across jobs, and a per-solve default must not displace
+	// it.
+	if opts.ShiftCacheSize < 0 {
+		op.SetShiftCache(nil)
+	} else {
+		op.EnsureShiftCache(opts.ShiftCacheSize)
+	}
 	start := time.Now()
 
 	omegaMax := opts.OmegaMax
@@ -83,6 +93,11 @@ func (p *Pool) Submit(ctx context.Context, op *hamiltonian.Op, opts Options) (*J
 	if len(ivs) == 0 {
 		ivs = initialIntervals(opts.OmegaMin, omegaMax, opts.Kappa*opts.Threads)
 	}
+	if opts.MultiShiftBatch > 0 && op.ShiftCacheHandle() != nil {
+		if err := prefactorIntervals(ctx, client, op, ivs, opts.MultiShiftBatch); err != nil {
+			return nil, err
+		}
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -106,6 +121,33 @@ func (p *Pool) Submit(ctx context.Context, op *hamiltonian.Op, opts Options) (*J
 		}()
 	}
 	return j, nil
+}
+
+// prefactorIntervals batches the startup shifts' SMW setups into the
+// operator's shift cache as PhaseSetup pool tasks: each chunk computes its
+// resolvent panels in one pass over the packed kernels and publishes the
+// factorizations the upcoming PhaseEig tasks will pin. Purely a warm-up —
+// the published factors are bit-identical to what each shift task would
+// build lazily, so a chunk lost to cancellation or early eviction changes
+// timing, never results.
+func prefactorIntervals(ctx context.Context, client *Client, op *hamiltonian.Op, ivs []*interval, chunk int) error {
+	thetas := make([]complex128, len(ivs))
+	for i, iv := range ivs {
+		thetas[i] = complex(0, iv.shift)
+	}
+	var fns []func(int) error
+	for lo := 0; lo < len(thetas); lo += chunk {
+		hi := lo + chunk
+		if hi > len(thetas) {
+			hi = len(thetas)
+		}
+		part := thetas[lo:hi]
+		fns = append(fns, func(int) error {
+			op.PrefactorShifts(part)
+			return nil
+		})
+	}
+	return client.RunBatch(ctx, PhaseSetup, fns)
 }
 
 // shiftOut is the raw per-shift output buffered until Wait assembles the

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arnoldi"
+	"repro/internal/hamiltonian"
+	"repro/internal/mat"
+	"repro/internal/statespace"
+)
+
+// narrowPairModel builds a model whose two unit crossings sit inside ONE
+// canonical-polish quantization cell: a single lightly damped resonance at
+// ω ≈ 1 pushes σ(H) just above 1 over a ~0.05-wide band (crossings near
+// 0.926 and 0.974), while the solve runs with OmegaMax pinned to 5e6 so
+// the polish grid quantum is 1e-7·5e6 = 0.5 — the pair's separation is
+// ~9.5e-9·ω_max, squarely inside the [3e-9, 2e-7]·ω_max band where the
+// quantized-seed-only polish used to merge true crossings.
+func narrowPairModel(t *testing.T) *statespace.Model {
+	t.Helper()
+	m := &statespace.Model{
+		P: 1,
+		D: mat.NewDense(1, 1),
+		Cols: []statespace.Column{{
+			Blocks: []statespace.Block{{Size: 2, Sigma: -0.05, Omega: 1, B1: 1}},
+			C:      mat.NewDense(1, 2),
+		}},
+	}
+	m.D.Set(0, 0, 0.9)
+	m.Cols[0].C.Set(0, 1, -0.02)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const narrowPairOmegaMax = 5e6
+
+// TestCanonicalPolishResolvesInCellPair is the regression test for the
+// carried canonical-polish bug: two TRUE crossings within one quantization
+// cell snapped to the same canonical seed, polished to the same eigenvalue
+// and merged in the final dedup — the solver silently reported one
+// crossing where the dense reference finds two. The multiplicity pass must
+// keep both, bit-identically across worker counts.
+func TestCanonicalPolishResolvesInCellPair(t *testing.T) {
+	m := narrowPairModel(t)
+	op, err := hamiltonian.New(m, hamiltonian.Scattering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := op.FullImagEigs(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 2 {
+		t.Fatalf("construction drifted: dense reference finds %d crossings %v, want 2", len(want), want)
+	}
+	// Guard the construction invariants the regression depends on: the
+	// pair separation must sit inside the merge-bug window and both
+	// crossings must share a polish cell.
+	sep := want[1] - want[0]
+	if rel := sep / narrowPairOmegaMax; rel < 3e-9 || rel > 2e-7 {
+		t.Fatalf("construction drifted: separation %g = %g·ω_max outside [3e-9, 2e-7]", sep, rel)
+	}
+	quantum := 1e-7 * narrowPairOmegaMax
+	if math.Round(want[0]/quantum) != math.Round(want[1]/quantum) {
+		t.Fatalf("construction drifted: crossings %v no longer share a quantization cell", want)
+	}
+
+	var ref []float64
+	for _, threads := range []int{1, 2, 8} {
+		res, err := Solve(op, Options{
+			Threads:  threads,
+			Seed:     3,
+			OmegaMax: narrowPairOmegaMax,
+			Arnoldi:  arnoldi.SingleShiftParams{NWanted: 4, MaxDim: 40},
+		})
+		if err != nil {
+			t.Fatalf("T=%d: %v", threads, err)
+		}
+		if len(res.Crossings) != 2 {
+			t.Fatalf("T=%d: in-cell pair merged: got %d crossings %v, want 2 near %v",
+				threads, len(res.Crossings), res.Crossings, want)
+		}
+		for i := range res.Crossings {
+			if math.Abs(res.Crossings[i]-want[i]) > 1e-6 {
+				t.Fatalf("T=%d: crossing %d = %g, want %g", threads, i, res.Crossings[i], want[i])
+			}
+		}
+		if ref == nil {
+			ref = res.Crossings
+			continue
+		}
+		for i := range ref {
+			if res.Crossings[i] != ref[i] {
+				t.Fatalf("T=%d: crossing %d = %v differs from T=1's %v (bit-identity)",
+					threads, i, res.Crossings[i], ref[i])
+			}
+		}
+	}
+}

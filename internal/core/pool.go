@@ -34,6 +34,11 @@ const (
 const (
 	// PhaseEig is a tentative-interval shift task of a multi-shift solve.
 	PhaseEig = "eig"
+	// PhaseSetup is a batched shift-factorization task: one chunk of a
+	// solve's startup shifts prefactored into the operator's shift cache
+	// via the multi-shift resolvent-panel kernels (Job submission batches
+	// these ahead of the per-shift PhaseEig tasks).
+	PhaseSetup = "setup"
 	// PhaseProbe is a per-band σ_max probe of passivity.classifyBands.
 	PhaseProbe = "probe"
 	// PhaseConstraint is a per-band constraint-assembly task of
@@ -90,9 +95,10 @@ type task struct {
 // Clients hold no resources and need no teardown; all fields below mu are
 // guarded by the owning pool's mutex.
 type Client struct {
-	pool   *Pool
-	pri    PriorityClass
-	weight int
+	pool      *Pool
+	pri       PriorityClass
+	weight    int
+	maxQueued int // RunBatch enqueue window, 0 = unbounded
 
 	queue  []*task // this client's pending tasks, FIFO
 	credit int     // WRR pops left before the client rotates to the back
@@ -107,6 +113,15 @@ type ClientOptions struct {
 	// of the same class: a weight-2 client gets two task pops per round
 	// for every one of a weight-1 client. Minimum (and default) 1.
 	Weight int
+	// MaxQueuedTasks bounds how many tasks of one RunBatch call sit in the
+	// client's queue at a time: larger batches are enqueued in chunks of
+	// this size, each chunk joining before the next is queued. A
+	// pathological fan-out (a 10⁵-band report's probe batch) then costs
+	// O(MaxQueuedTasks) pool-queue memory instead of O(batch). 0 (the
+	// default) enqueues every batch whole — the historical behavior.
+	// Chunking is invisible to results: tasks still write only their own
+	// index-assigned slots, and per-client FIFO order is preserved.
+	MaxQueuedTasks int
 }
 
 // NewClient registers a scheduling identity with the pool.
@@ -117,7 +132,10 @@ func (p *Pool) NewClient(o ClientOptions) *Client {
 	if o.Priority < 0 || o.Priority >= numPriorityClasses {
 		o.Priority = PriorityBatch
 	}
-	return &Client{pool: p, pri: o.Priority, weight: o.Weight}
+	if o.MaxQueuedTasks < 0 {
+		o.MaxQueuedTasks = 0
+	}
+	return &Client{pool: p, pri: o.Priority, weight: o.Weight, maxQueued: o.MaxQueuedTasks}
 }
 
 // Pool returns the pool the client is registered with.

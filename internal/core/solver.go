@@ -34,8 +34,9 @@ func EstimateOmegaMax(op *hamiltonian.Op, seed int64) (float64, error) {
 	return 1.02 * cmplx.Abs(v), nil
 }
 
-// runShift executes one single-shift iteration S(jω, ρ₀) on a fresh
-// factored shift-invert operator.
+// runShift executes one single-shift iteration S(jω, ρ₀) on a factored
+// shift-invert operator — freshly factored, or pinned from the operator's
+// shift cache when the interval was prefactored (Job.prefactorShifts).
 func runShift(op *hamiltonian.Op, omega, rho0 float64, params arnoldi.SingleShiftParams) (*arnoldi.SingleShiftResult, error) {
 	so, err := op.ShiftInvert(complex(0, omega))
 	if err != nil {
@@ -50,6 +51,7 @@ func runShift(op *hamiltonian.Op, omega, rho0 float64, params arnoldi.SingleShif
 			return nil, err
 		}
 	}
+	defer so.Release()
 	return arnoldi.SingleShift(so, rho0, params)
 }
 
@@ -218,7 +220,17 @@ func collectStandalone(res *Result, op *hamiltonian.Op, axisTol float64, threads
 // off to a different eigenvalue (clustered spectra) is discarded in favor
 // of the original refined value.
 //
-// The polishes run as one PhaseRefine batch under the job's client; each
+// Crossings that share a grid cell — two TRUE crossings separated by less
+// than a cell width, a violation band physically narrower than the probe
+// resolution — would collapse onto the cell's single canonical seed and
+// merge. They instead go through an unquantized multiplicity pass first:
+// each member refines from its own frequency to resolve which eigenvalue
+// it belongs to, and the resolved value is snapped to a fine sub-grid
+// (still far above cross-schedule scatter) for its canonical seed, so
+// distinct in-cell crossings keep distinct reported values while genuine
+// duplicates still merge.
+//
+// The polishes run as PhaseRefine batches under the job's client; each
 // task reads and writes only its own crossing slot, so scheduling cannot
 // influence the result.
 func canonicalPolish(client *Client, crossings []float64, op *hamiltonian.Op, scale float64) error {
@@ -228,26 +240,66 @@ func canonicalPolish(client *Client, crossings []float64, op *hamiltonian.Op, sc
 	// The grid must NOT adapt to the observed separations: near-duplicate
 	// candidates of one eigenvalue appear schedule-dependently just above
 	// the dedup window, and any quantum derived from them would shift every
-	// other crossing's seed between runs. The fixed grid leaves one known
-	// corner: two TRUE crossings inside the same cell (separation within
-	// [3e-9, 2e-7]·ω_max — a violation band physically narrower than the
-	// probe resolution) polish to one eigenvalue and merge; the 2·quantum
-	// wander guard below rejects collapses wider than that.
+	// other crossing's seed between runs.
 	quantum := 1e-7 * scale
+	// Fine sub-grid for multi-member cells: coarse enough to absorb the
+	// cross-schedule scatter of the refined values (≪ 1e-9·scale, the
+	// eigenvalue dedup window), fine enough that crossings surviving the
+	// 3e-9·scale crossing dedup land in distinct fine cells.
+	fineQuantum := 1e-9 * scale
+	cellOf := func(w float64) int64 { return int64(math.Round(w / quantum)) }
+	members := make(map[int64]int, len(crossings))
+	for _, w := range crossings {
+		members[cellOf(w)]++
+	}
+	seeds := make([]float64, len(crossings))
+	guards := make([]float64, len(crossings))
+	var multiplicity []func(int) error
+	for i, w := range crossings {
+		if members[cellOf(w)] == 1 {
+			seeds[i] = math.Round(w/quantum) * quantum
+			guards[i] = 2 * quantum
+			continue
+		}
+		i, w := i, w
+		seeds[i] = math.NaN() // stays NaN if the multiplicity pass fails
+		guards[i] = 2 * fineQuantum
+		multiplicity = append(multiplicity, func(int) error {
+			r, _, err := op.RefineEig(complex(0, w), 6)
+			if err != nil {
+				return nil
+			}
+			pw := math.Abs(imag(r))
+			if math.Abs(pw-w) > 2*quantum {
+				return nil // wandered out of the cell entirely
+			}
+			seeds[i] = math.Round(pw/fineQuantum) * fineQuantum
+			return nil
+		})
+	}
+	if err := client.RunBatch(context.Background(), PhaseRefine, multiplicity); err != nil {
+		return err
+	}
 	fns := make([]func(int) error, len(crossings))
 	for i, w := range crossings {
 		i, w := i, w
 		fns[i] = func(int) error {
-			wq := math.Round(w/quantum) * quantum
+			wq := seeds[i]
+			if math.IsNaN(wq) {
+				return nil // keep the original refined value
+			}
 			r, _, err := op.RefineEig(complex(0, wq), 6)
 			if err != nil {
 				return nil // keep the original refined value
 			}
 			pw := math.Abs(imag(r))
-			// A legitimate polish moves w by far less than a grid cell; a
-			// jump of ≥ 2 cells means the iteration converged to a different
+			// A legitimate polish moves w by far less than a seed cell; a
+			// larger jump means the iteration converged to a different
 			// (neighboring) eigenvalue — keep the original refined value.
-			if math.Abs(pw-w) > 2*quantum {
+			// For in-cell pairs the guard is 2·fineQuantum, below the
+			// 3e-9·scale minimum true separation, so a polish that slides
+			// onto the pair's other member is rejected.
+			if math.Abs(pw-w) > guards[i] {
 				return nil
 			}
 			crossings[i] = pw

@@ -48,6 +48,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/hamiltonian"
 	"repro/internal/passivity"
 	"repro/internal/statespace"
 )
@@ -76,12 +77,28 @@ type EngineOptions struct {
 	// FailFast makes Submit return ErrQueueFull immediately instead of
 	// blocking when MaxQueued jobs are in flight.
 	FailFast bool
+	// ShiftCacheSize sizes the engine-wide shift-factorization cache
+	// shared by every job (hamiltonian.OpCache): jobs characterizing the
+	// same model share one balanced operator, one packed-kernel epoch, and
+	// one LRU of factored SMW shifts. 0 means DefaultShiftCacheSize;
+	// < 0 disables cross-job sharing (each job then runs with the
+	// per-solve cache policy of its own core.Options.ShiftCacheSize).
+	// Results are bit-identical either way — the cache only skips
+	// redundant factorization work.
+	ShiftCacheSize int
 }
+
+// DefaultShiftCacheSize is the engine-wide factorization-cache capacity
+// when EngineOptions.ShiftCacheSize is zero: four per-solve defaults, so a
+// handful of concurrent jobs can keep their startup shifts resident at
+// once.
+const DefaultShiftCacheSize = 4 * core.DefaultShiftCacheSize
 
 // Engine owns the shared worker pool and tracks in-flight jobs.
 type Engine struct {
 	pool     *core.Pool
-	sem      chan struct{} // admission slots, nil when unbounded
+	ops      *hamiltonian.OpCache // engine-wide operator + shift-factor cache, nil when disabled
+	sem      chan struct{}        // admission slots, nil when unbounded
 	failFast bool
 
 	mu       sync.Mutex
@@ -108,10 +125,38 @@ func NewEngine(o EngineOptions) *Engine {
 		failFast: o.FailFast,
 		closedCh: make(chan struct{}),
 	}
+	if o.ShiftCacheSize >= 0 {
+		size := o.ShiftCacheSize
+		if size == 0 {
+			size = DefaultShiftCacheSize
+		}
+		e.ops = hamiltonian.NewOpCache(size)
+	}
 	if o.MaxQueued > 0 {
 		e.sem = make(chan struct{}, o.MaxQueued)
 	}
 	return e
+}
+
+// ShiftCacheStats snapshots the engine-wide factorization cache's
+// counters (zero-valued when cross-job sharing is disabled).
+func (e *Engine) ShiftCacheStats() hamiltonian.CacheStats {
+	if e.ops == nil {
+		return hamiltonian.CacheStats{}
+	}
+	return e.ops.ShiftCache().Stats()
+}
+
+// ModelCacheStats attributes the engine-wide cache's traffic to one
+// model's shared scattering operator — the hits and misses that model's
+// jobs generated, regardless of what the rest of the fleet did. Zero when
+// cross-job sharing is disabled or the model never ran through this
+// engine. cmd/fleetbench uses it for per-case cache columns.
+func (e *Engine) ModelCacheStats(m *statespace.Model) hamiltonian.CacheStats {
+	if e.ops == nil {
+		return hamiltonian.CacheStats{}
+	}
+	return e.ops.StatsFor(m, hamiltonian.Scattering)
 }
 
 // Workers returns the shared pool's worker count.
@@ -251,6 +296,9 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 			opts := *req.Enforce
 			opts.Char.Core.Pool = e.pool
 			opts.Char.Core.Client = client
+			if opts.Char.Ops == nil {
+				opts.Char.Ops = e.ops
+			}
 			model, rep, err := passivity.EnforceContext(ctx, req.Model, opts)
 			j.res.Model = model
 			j.res.EnforceReport = rep
@@ -263,6 +311,9 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 		opts := req.Char
 		opts.Core.Pool = e.pool
 		opts.Core.Client = client
+		if opts.Ops == nil {
+			opts.Ops = e.ops
+		}
 		rep, err := passivity.CharacterizeContext(ctx, req.Model, opts)
 		j.res.Report = rep
 		j.err = err

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mat"
 	"repro/internal/statespace"
@@ -70,13 +71,34 @@ type Op struct {
 	P     int        // ports
 	w     *mat.Dense // 2p×2p coupling
 
+	// id is a process-unique operator identity. A ShiftCache may serve many
+	// Ops (the fleet engine shares one cache across jobs), so cache keys
+	// combine id with the model's kernel epoch and the exact shift bits —
+	// epoch alone cannot distinguish two different models.
+	id uint64
+
+	// cache, when set, memoizes factored shift state across ShiftInvert
+	// calls (see ShiftCache). Atomic so fleet wiring and in-flight solves
+	// never race; nil means every ShiftInvert factors from scratch.
+	cache atomic.Pointer[ShiftCache]
+	// cacheHits/cacheMisses attribute cache traffic to this operator —
+	// an engine-wide cache's global counters can't break down per case.
+	cacheHits, cacheMisses atomic.Uint64
+
 	// applyPool recycles Apply workspaces (t, wt ∈ C^{2p}, u ∈ C^{2n}) so
 	// steady-state Apply calls are allocation-free; ω_max estimation and
 	// per-eigenvalue residual checks call Apply thousands of times.
 	applyPool sync.Pool
 	// panelPool recycles the p×p SMW setup panels of ShiftInvert.
 	panelPool sync.Pool
+	// shiftPool recycles ShiftOp shells (apply scratch only — the factored
+	// state lives in shiftFactor), so a cache hit builds its operator with
+	// zero allocations.
+	shiftPool sync.Pool
 }
+
+// opIDs hands out process-unique Op identities for cache keying.
+var opIDs atomic.Uint64
 
 type applyScratch struct{ t, wt, u []complex128 }
 
@@ -160,7 +182,7 @@ func New(m *statespace.Model, rep Representation) (*Op, error) {
 	default:
 		return nil, fmt.Errorf("hamiltonian: unknown representation %v", rep)
 	}
-	return &Op{Model: m, Rep: rep, N: m.Order(), P: p, w: w}, nil
+	return &Op{Model: m, Rep: rep, N: m.Order(), P: p, w: w, id: opIDs.Add(1)}, nil
 }
 
 func setBlock(dst *mat.Dense, i0, j0 int, b *mat.Dense) {
@@ -228,16 +250,69 @@ func (op *Op) Apply(y, x []complex128) {
 	op.applyPool.Put(ws)
 }
 
-// ShiftOp is a factored shift-invert operator (M − ϑI)⁻¹ for one shift ϑ.
-// Each apply costs O(n·p). Not safe for concurrent use (scratch buffers);
-// create one per goroutine.
-type ShiftOp struct {
-	op    *Op
+// shiftFactor is the immutable factored state of one shift-invert setup:
+// the shift and the LU-factored 2p×2p SMW capacitance. It is read-only
+// after construction, so any number of ShiftOps — across goroutines — may
+// apply against the same shiftFactor concurrently (the CLU solve takes
+// caller scratch). This is the unit the ShiftCache stores.
+type shiftFactor struct {
 	theta complex128
 	cap   *mat.CLU // factored (I + W·V·G·U), 2p×2p
+}
+
+// ShiftOp is a shift-invert operator (M − ϑI)⁻¹ for one shift ϑ: a shared
+// immutable shiftFactor plus private apply scratch. Each apply costs
+// O(n·p). Not safe for concurrent use (scratch buffers); create one per
+// goroutine — concurrent ShiftOps may share the underlying factorization.
+// Call Release when done: it unpins the cache entry (if the operator came
+// from a ShiftCache) and recycles the scratch. Using a ShiftOp after
+// Release is a bug.
+type ShiftOp struct {
+	op    *Op
+	fac   *shiftFactor
+	entry *cacheEntry // non-nil iff pinned in a ShiftCache
 	// scratch
-	g, gu []complex128 // 2n
-	t, s  []complex128 // 2p
+	g, gu   []complex128 // 2n
+	t, s    []complex128 // 2p
+	permBuf []complex128 // 2p, CLU permutation gather
+}
+
+// newShiftOp wraps a factor in a (pooled) ShiftOp shell.
+func (op *Op) newShiftOp(fac *shiftFactor, entry *cacheEntry) *ShiftOp {
+	if so, ok := op.shiftPool.Get().(*ShiftOp); ok {
+		so.fac, so.entry = fac, entry
+		return so
+	}
+	n, p2 := op.N, 2*op.P
+	// All persistent ShiftOp scratch in one allocation.
+	buf := make([]complex128, 4*n+3*p2)
+	return &ShiftOp{
+		op:      op,
+		fac:     fac,
+		entry:   entry,
+		g:       buf[:2*n],
+		gu:      buf[2*n : 4*n],
+		t:       buf[4*n : 4*n+p2],
+		s:       buf[4*n+p2 : 4*n+2*p2],
+		permBuf: buf[4*n+2*p2:],
+	}
+}
+
+// Release returns the operator's scratch to the pool and, when the
+// factorization came from a ShiftCache, unpins its entry so eviction may
+// reclaim it. Safe on nil. Idempotent within one ownership cycle only —
+// after Release the ShiftOp may be handed to another goroutine by the
+// pool.
+func (so *ShiftOp) Release() {
+	if so == nil {
+		return
+	}
+	if so.entry != nil {
+		so.entry.cache.release(so.entry)
+		so.entry = nil
+	}
+	so.fac = nil
+	so.op.shiftPool.Put(so)
 }
 
 // ShiftInvert factors (M − ϑI)⁻¹ using the Sherman–Morrison–Woodbury form
@@ -255,20 +330,28 @@ type ShiftOp struct {
 // O(n·p) + O(p³) for the capacitance assembly/factorization — not the 2p
 // independent O(n·p) column passes of the naive route. Fails with
 // ErrSingular when ϑ coincides with an eigenvalue of A/−Aᵀ or of M itself.
+//
+// When a ShiftCache is attached (EnsureShiftCache / fleet wiring), the
+// factored state is looked up by (op, kernel epoch, exact ϑ bits) first and
+// only factored on a miss; either way the returned operator is bit-for-bit
+// the operator the uncached path would build, so solves are unaffected by
+// cache state. Callers must Release the returned ShiftOp.
 func (op *Op) ShiftInvert(theta complex128) (*ShiftOp, error) {
-	n, p := op.N, op.P
-	p2 := 2 * p
-	// All persistent ShiftOp scratch in one allocation.
-	buf := make([]complex128, 4*n+2*p2)
-	so := &ShiftOp{
-		op:    op,
-		theta: theta,
-		g:     buf[:2*n],
-		gu:    buf[2*n : 4*n],
-		t:     buf[4*n : 4*n+p2],
-		s:     buf[4*n+p2:],
+	if c := op.cache.Load(); c != nil {
+		return c.shiftInvert(op, theta)
 	}
-	// Panels: x1 = C·(A−ϑI)⁻¹·B, x2 = −Bᵀ·(Aᵀ−(−ϑ)I)⁻¹·Cᵀ.
+	fac, err := op.factorShift(theta)
+	if err != nil {
+		return nil, err
+	}
+	return op.newShiftOp(fac, nil), nil
+}
+
+// factorShift runs the full SMW setup for one shift: both resolvent panels
+// plus capacitance assembly and factorization.
+func (op *Op) factorShift(theta complex128) (*shiftFactor, error) {
+	// Panels: x1 = C·(A−ϑI)⁻¹·B, x2 = Bᵀ·(Aᵀ−(−ϑ)I)⁻¹·Cᵀ (negated during
+	// assembly).
 	ps := op.getPanels()
 	defer op.panelPool.Put(ps)
 	if err := op.Model.CResolventB(ps.x1, theta); err != nil {
@@ -277,8 +360,19 @@ func (op *Op) ShiftInvert(theta complex128) (*ShiftOp, error) {
 	if err := op.Model.BTResolventCT(ps.x2, -theta); err != nil {
 		return nil, fmt.Errorf("hamiltonian: shift %v hits a pole: %w", theta, err)
 	}
-	for i := range ps.x2 {
-		ps.x2[i] = -ps.x2[i]
+	return op.assembleFactor(theta, ps.x1, ps.x2)
+}
+
+// assembleFactor builds and factors the SMW capacitance from the two
+// resolvent panels x1 = C·(A−ϑI)⁻¹·B and x2 = Bᵀ·(Aᵀ+ϑI)⁻¹·Cᵀ (x2 is
+// negated in place here). Shared by the single-shift path and the batched
+// prefactor path; both hand it bit-identical panels, so the factors agree
+// exactly.
+func (op *Op) assembleFactor(theta complex128, x1, x2 []complex128) (*shiftFactor, error) {
+	p := op.P
+	p2 := 2 * p
+	for i := range x2 {
+		x2[i] = -x2[i]
 	}
 	// cap = I + W·blkdiag(x1, x2), accumulated row-wise with real×complex
 	// products (W is real) against the contiguous panel rows.
@@ -288,14 +382,14 @@ func (op *Op) ShiftInvert(theta complex128) (*ShiftOp, error) {
 		dst := capm.Row(i)
 		for k := 0; k < p; k++ {
 			if wik := wrow[k]; wik != 0 {
-				x1row := ps.x1[k*p : (k+1)*p]
+				x1row := x1[k*p : (k+1)*p]
 				out := dst[:p]
 				for j, v := range x1row {
 					out[j] += complex(wik*real(v), wik*imag(v))
 				}
 			}
 			if wik := wrow[p+k]; wik != 0 {
-				x2row := ps.x2[k*p : (k+1)*p]
+				x2row := x2[k*p : (k+1)*p]
 				out := dst[p:]
 				for j, v := range x2row {
 					out[j] += complex(wik*real(v), wik*imag(v))
@@ -308,18 +402,18 @@ func (op *Op) ShiftInvert(theta complex128) (*ShiftOp, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hamiltonian: shift %v is (numerically) an eigenvalue: %w", theta, err)
 	}
-	so.cap = f
-	return so, nil
+	return &shiftFactor{theta: theta, cap: f}, nil
 }
 
 // applyG computes y = G·x = [(A−ϑI)⁻¹x₁; (−Aᵀ−ϑI)⁻¹x₂] in O(n).
 func (so *ShiftOp) applyG(y, x []complex128) error {
 	n := so.op.N
-	if err := so.op.Model.CSolveShiftedA(y[:n], x[:n], so.theta); err != nil {
+	theta := so.fac.theta
+	if err := so.op.Model.CSolveShiftedA(y[:n], x[:n], theta); err != nil {
 		return err
 	}
 	// (−Aᵀ − ϑI)⁻¹ = −(Aᵀ + ϑI)⁻¹ = −(Aᵀ − (−ϑ)I)⁻¹.
-	if err := so.op.Model.CSolveShiftedAT(y[n:2*n], x[n:2*n], -so.theta); err != nil {
+	if err := so.op.Model.CSolveShiftedAT(y[n:2*n], x[n:2*n], -theta); err != nil {
 		return err
 	}
 	for i := n; i < 2*n; i++ {
@@ -329,7 +423,7 @@ func (so *ShiftOp) applyG(y, x []complex128) error {
 }
 
 // Theta returns the shift.
-func (so *ShiftOp) Theta() complex128 { return so.theta }
+func (so *ShiftOp) Theta() complex128 { return so.fac.theta }
 
 // Dim returns the dimension 2n of the underlying Hamiltonian.
 func (so *ShiftOp) Dim() int { return 2 * so.op.N }
@@ -354,7 +448,9 @@ func (so *ShiftOp) Apply(y, x []complex128) error {
 	}
 	op.applyV(so.t, so.g)
 	op.applyW(so.s, so.t)
-	so.cap.SolveInto(so.s, so.s)
+	// Caller-scratch solve: the factorization may be shared with other
+	// in-flight ShiftOps via the cache, so it must stay read-only here.
+	so.fac.cap.SolveIntoScratch(so.s, so.s, so.permBuf)
 	op.applyU(so.gu, so.s)
 	if err := so.applyG(so.gu, so.gu); err != nil {
 		return err

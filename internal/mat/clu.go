@@ -106,17 +106,28 @@ func (f *CLU) Solve(b []complex128) []complex128 {
 // b may alias. The permutation gather uses a scratch buffer owned by the
 // factorization (allocated on first use), so steady-state calls are
 // allocation-free; as a consequence SolveInto is not safe for concurrent
-// use on the same CLU.
+// use on the same CLU. Concurrent callers sharing one factorization use
+// SolveIntoScratch with per-caller scratch instead.
 func (f *CLU) SolveInto(dst, b []complex128) {
+	if f.scratch == nil {
+		f.scratch = make([]complex128, f.lu.Rows)
+	}
+	f.SolveIntoScratch(dst, b, f.scratch)
+}
+
+// SolveIntoScratch is SolveInto with a caller-provided permutation gather
+// buffer (len n). It only reads the factorization, so any number of
+// goroutines may solve against the same CLU concurrently as long as each
+// brings its own scratch — the property the shift-factorization cache
+// relies on to share one factored SMW capacitance across in-flight Arnoldi
+// runs.
+func (f *CLU) SolveIntoScratch(dst, b, scratch []complex128) {
 	n := f.lu.Rows
-	if len(b) != n || len(dst) != n {
-		panic("mat: CLU SolveInto dimension mismatch")
+	if len(b) != n || len(dst) != n || len(scratch) < n {
+		panic("mat: CLU SolveIntoScratch dimension mismatch")
 	}
 	// Gather b through the permutation first so dst may alias b.
-	if f.scratch == nil {
-		f.scratch = make([]complex128, n)
-	}
-	tmp := f.scratch
+	tmp := scratch
 	for i := 0; i < n; i++ {
 		tmp[i] = b[f.piv[i]]
 	}
