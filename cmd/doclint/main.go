@@ -1,181 +1,64 @@
-// Command doclint is the documentation gate of the CI doc-lint stage: it
-// parses every non-test Go file under the given root (default ".") and
-// fails — one finding per line, non-zero exit — when a package lacks a
-// package-level doc comment or an exported top-level identifier (function,
-// method on an exported type, type, const, var) lacks a doc comment. A
-// doc comment on a grouped const/var/type declaration covers the group.
+// Command doclint is a deprecated shim: the documentation gate moved
+// into the repolint analyzer suite as internal/analysis/doccheck, so one
+// driver runs it alongside the determinism, pin/release, context, and
+// scheduler checks. This shim keeps the old invocation working — it runs
+// just the doccheck analyzer over the given root (default ".") with the
+// old one-finding-per-line output and exit codes — and will be removed
+// once nothing calls it.
 //
-//	go run ./cmd/doclint        # lint the repository
-//	go run ./cmd/doclint ./internal
+//	go run ./cmd/repolint ./...   # the replacement
 package main
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/doccheck"
 )
 
 func main() {
+	fmt.Fprintln(os.Stderr, "doclint: deprecated, use `go run ./cmd/repolint ./...` (doccheck analyzer)")
 	root := "."
 	if len(os.Args) > 1 {
 		root = os.Args[1]
 	}
-	findings, err := lintTree(root)
+	root, err := filepath.Abs(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "doclint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	mroot, modPath, err := analysis.FindModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "doclint: %d finding(s)\n", len(findings))
+	loader := analysis.NewLoader(modPath, mroot)
+	paths, err := loader.ModulePackages(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	count := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		findings, err := analysis.RunAnalyzers(loader.Fset, pkg, []*analysis.Analyzer{doccheck.Analyzer})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			count++
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d finding(s)\n", count)
 		os.Exit(1)
-	}
-}
-
-// lintTree walks root for directories containing Go files and lints each
-// as a package. Hidden directories, testdata, and vendor are skipped.
-func lintTree(root string) ([]string, error) {
-	var dirs []string
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			return nil
-		}
-		name := d.Name()
-		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
-			name == "testdata" || name == "vendor") {
-			return filepath.SkipDir
-		}
-		ents, err := os.ReadDir(path)
-		if err != nil {
-			return err
-		}
-		for _, e := range ents {
-			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
-				dirs = append(dirs, path)
-				break
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var findings []string
-	for _, dir := range dirs {
-		fs, err := lintDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		findings = append(findings, fs...)
-	}
-	sort.Strings(findings)
-	return findings, nil
-}
-
-// lintDir lints the non-test files of one directory.
-func lintDir(dir string) ([]string, error) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
-	if err != nil {
-		return nil, err
-	}
-	var findings []string
-	for name, pkg := range pkgs {
-		hasPkgDoc := false
-		for _, f := range pkg.Files {
-			if f.Doc != nil {
-				hasPkgDoc = true
-				break
-			}
-		}
-		if !hasPkgDoc {
-			findings = append(findings, fmt.Sprintf("%s: package %s missing package doc comment", dir, name))
-		}
-		for fname, f := range pkg.Files {
-			findings = append(findings, lintFile(fset, fname, f)...)
-		}
-	}
-	return findings, nil
-}
-
-// lintFile reports every undocumented exported top-level identifier of one
-// parsed file.
-func lintFile(fset *token.FileSet, fname string, f *ast.File) []string {
-	var findings []string
-	report := func(pos token.Pos, kind, name string) {
-		p := fset.Position(pos)
-		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s missing doc comment", fname, p.Line, kind, name))
-	}
-	for _, decl := range f.Decls {
-		switch d := decl.(type) {
-		case *ast.FuncDecl:
-			if !d.Name.IsExported() || d.Doc != nil {
-				continue
-			}
-			if recv := receiverType(d); recv != "" {
-				if !ast.IsExported(recv) {
-					continue // method on an unexported type: not API surface
-				}
-				report(d.Pos(), "method", recv+"."+d.Name.Name)
-				continue
-			}
-			report(d.Pos(), "function", d.Name.Name)
-		case *ast.GenDecl:
-			groupDoc := d.Doc != nil
-			for _, spec := range d.Specs {
-				switch s := spec.(type) {
-				case *ast.TypeSpec:
-					if s.Name.IsExported() && !groupDoc && s.Doc == nil {
-						report(s.Pos(), "type", s.Name.Name)
-					}
-				case *ast.ValueSpec:
-					if groupDoc || s.Doc != nil {
-						continue
-					}
-					for _, n := range s.Names {
-						if n.IsExported() {
-							report(n.Pos(), "const/var", n.Name)
-						}
-					}
-				}
-			}
-		}
-	}
-	return findings
-}
-
-// receiverType returns the bare receiver type name of a method ("" for
-// plain functions), unwrapping pointers and type parameters.
-func receiverType(d *ast.FuncDecl) string {
-	if d.Recv == nil || len(d.Recv.List) == 0 {
-		return ""
-	}
-	t := d.Recv.List[0].Type
-	for {
-		switch tt := t.(type) {
-		case *ast.StarExpr:
-			t = tt.X
-		case *ast.IndexExpr:
-			t = tt.X
-		case *ast.IndexListExpr:
-			t = tt.X
-		case *ast.Ident:
-			return tt.Name
-		default:
-			return "(unknown)"
-		}
 	}
 }

@@ -1,0 +1,193 @@
+// Package ctxflow enforces the PR-2 cancellation contract in internal
+// packages: contexts are threaded from the caller down to the pool, never
+// minted mid-stack. In any package whose import path contains the segment
+// "internal" it reports:
+//
+//   - calls to context.Background() or context.TODO() in non-test code,
+//     except the two sanctioned idioms — nil-context defaulting
+//     (`if ctx == nil { ctx = context.Background() }`) and the
+//     context-less convenience wrapper whose whole body is a single
+//     return delegating to the Context-suffixed variant;
+//   - passing a nil literal where the callee expects a context.Context
+//     (nil contexts panic in select-based plumbing and silently disable
+//     cancellation elsewhere).
+//
+// Deliberate detachment points — like the refinement tail in
+// core.collect, which must not let a cancellation racing completion
+// discard a finished result — carry //lint:ignore ctxflow directives
+// with their justification.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxflow instance registered with cmd/repolint.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background()/TODO() and nil contexts in internal non-test code; " +
+		"contexts must be threaded from the caller (nil-defaulting and single-return wrappers exempt)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasSegment(pass.Pkg.Path(), "internal") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := contextMint(pass, call); ok {
+				if !nilDefaultIdiom(pass, call, stack) && !wrapperIdiom(call, stack) {
+					pass.Reportf(call.Pos(),
+						"context.%s() in internal non-test code: thread the caller's ctx (cancellation contract)", name)
+				}
+			}
+			reportNilContextArgs(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// contextMint reports whether call is context.Background() or
+// context.TODO(), returning the function name.
+func contextMint(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return "", false
+	}
+	if name := sel.Sel.Name; name == "Background" || name == "TODO" {
+		return name, true
+	}
+	return "", false
+}
+
+// nilDefaultIdiom recognizes `if ctx == nil { ctx = context.Background() }`:
+// the call is the sole RHS of an assignment to a variable that the
+// enclosing if statement's condition compares against nil.
+func nilDefaultIdiom(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	var assigned *ast.Ident
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.AssignStmt:
+			if assigned == nil && len(n.Rhs) == 1 && n.Rhs[0] == call && len(n.Lhs) == 1 {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok {
+					assigned = id
+				}
+			}
+		case *ast.IfStmt:
+			if assigned != nil && comparesNil(pass, n.Cond, assigned) {
+				return true
+			}
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// comparesNil reports whether cond is `x == nil` or `nil == x` for the
+// same object as id.
+func comparesNil(pass *analysis.Pass, cond ast.Expr, id *ast.Ident) bool {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	side := func(e ast.Expr) bool {
+		sid, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.ObjectOf(sid) == obj
+	}
+	isNil := func(e ast.Expr) bool {
+		sid, ok := e.(*ast.Ident)
+		return ok && sid.Name == "nil"
+	}
+	return (side(bin.X) && isNil(bin.Y)) || (side(bin.Y) && isNil(bin.X))
+}
+
+// wrapperIdiom recognizes the convenience-wrapper shape: the minting call
+// sits in a top-level function whose entire body is one return statement
+// delegating to its own Context-suffixed variant
+// (e.g. `func Fit(...) { return FitContext(context.Background(), ...) }`).
+func wrapperIdiom(call *ast.CallExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.FuncDecl:
+			if n.Body == nil || len(n.Body.List) != 1 {
+				return false
+			}
+			ret, ok := n.Body.List[0].(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return false
+			}
+			outer, ok := ret.Results[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			return calleeName(outer.Fun) == n.Name.Name+"Context"
+		}
+	}
+	return false
+}
+
+// calleeName extracts the bare function or method name of a call target.
+func calleeName(fun ast.Expr) string {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// reportNilContextArgs flags nil literals passed as context.Context
+// parameters.
+func reportNilContextArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok || id.Name != "nil" {
+			continue
+		}
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			continue
+		}
+		if params.At(pi).Type().String() == "context.Context" {
+			pass.Reportf(arg.Pos(), "nil context passed to %s parameter; pass the caller's ctx", params.At(pi).Name())
+		}
+	}
+}

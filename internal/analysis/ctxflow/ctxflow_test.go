@@ -1,0 +1,19 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxflow"
+)
+
+// TestCtxflow drives the analyzer over a dirty internal fixture (with
+// both sanctioned idioms present), a clean internal fixture (negative
+// case), and a non-internal fixture exercising the path gate.
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer,
+		"ctxflow/internal/plumb",
+		"ctxflow/internal/clean",
+		"ctxflow/cmd/tool",
+	)
+}

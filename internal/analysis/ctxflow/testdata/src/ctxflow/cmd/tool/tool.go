@@ -1,0 +1,11 @@
+// Package tool proves the internal-only gate: a command entry point may
+// legitimately mint its root context.
+package tool
+
+import "context"
+
+// Main mints the process root context, which is fine outside internal.
+func Main() context.Context {
+	ctx := context.Background()
+	return ctx
+}

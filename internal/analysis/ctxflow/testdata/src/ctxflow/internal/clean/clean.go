@@ -1,0 +1,18 @@
+// Package clean is ctxflow's negative fixture: internal code that
+// threads its contexts properly and must produce no findings.
+package clean
+
+import "context"
+
+// Step stands in for a context-threading callee.
+func Step(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Pipeline threads the caller's ctx through every stage.
+func Pipeline(ctx context.Context) error {
+	if err := Step(ctx); err != nil {
+		return err
+	}
+	return Step(ctx)
+}

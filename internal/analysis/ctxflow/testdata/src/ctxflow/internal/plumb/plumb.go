@@ -1,0 +1,59 @@
+// Package plumb is ctxflow's dirty fixture: an internal package that
+// mints and drops contexts in ways the cancellation contract forbids,
+// alongside the two sanctioned idioms.
+package plumb
+
+import "context"
+
+// Work stands in for a context-threading callee.
+func Work(ctx context.Context, n int) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// Detached mints a context mid-stack instead of threading one.
+func Detached(n int) error {
+	ctx := context.Background() // want `context\.Background\(\) in internal non-test code`
+	return Work(ctx, n)
+}
+
+// RunContext is the ctx-threading variant Run delegates to.
+func RunContext(ctx context.Context, n int) error {
+	return Work(ctx, n)
+}
+
+// Undecided punts with TODO.
+func Undecided(n int) error {
+	return Work(context.TODO(), n) // want `context\.TODO\(\) in internal non-test code`
+}
+
+// Dropped receives a ctx and throws it away.
+func Dropped(ctx context.Context, n int) error {
+	return Work(context.Background(), n) // want `context\.Background\(\) in internal non-test code`
+}
+
+// NilCtx passes a nil context, which disables cancellation silently.
+func NilCtx(n int) error {
+	return Work(nil, n) // want `nil context passed to ctx parameter`
+}
+
+// Defaulted shows the sanctioned nil-defaulting idiom: not flagged.
+func Defaulted(ctx context.Context, n int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return Work(ctx, n)
+}
+
+// Run is the sanctioned context-less convenience wrapper: a single
+// return delegating to its Context-suffixed variant. Not flagged.
+func Run(n int) error {
+	return RunContext(context.Background(), n)
+}
+
+// Fire demonstrates a documented suppression for a deliberate
+// detachment point.
+func Fire(n int) error {
+	//lint:ignore ctxflow the tail must outlive the submitting context by design
+	return Work(context.Background(), n)
+}

@@ -1,0 +1,112 @@
+// Package detfloat enforces the bit-identity contract of the numeric
+// core: reports must be bit-identical to the paper's Table-I results
+// under any worker count, cache state, or fleet scheduling. Inside the
+// bit-identity packages (statespace, hamiltonian, arnoldi, core,
+// passivity) it rejects the constructs that can silently break that
+// guarantee:
+//
+//   - ranging over a map (iteration order is randomized per run);
+//   - math.FMA (fused rounding differs from the a*b+c code path and from
+//     non-FMA hardware);
+//   - time.Now / time.Since (wall-clock values must never feed numeric
+//     state);
+//   - math/rand package-level functions (the global source is shared and
+//     draw order is schedule-dependent) and all of math/rand/v2; seeded
+//     *rand.Rand values via rand.New(rand.NewSource(seed)) remain
+//     allowed — that is the repo's deterministic-stream idiom.
+//
+// Wall-clock reads that feed only telemetry (PhaseStats busy time,
+// Result.Elapsed) are suppressed at the call site with //lint:ignore
+// detfloat and a reason, keeping every exception documented.
+package detfloat
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// bitIdentityPkgs are the package-path segments whose code must be
+// schedule-independent down to the last float bit.
+var bitIdentityPkgs = []string{"statespace", "hamiltonian", "arnoldi", "core", "passivity"}
+
+// randAllowed lists math/rand constructors that produce explicitly seeded
+// deterministic streams and are therefore permitted.
+var randAllowed = map[string]bool{"New": true, "NewSource": true}
+
+// Analyzer is the detfloat instance registered with cmd/repolint.
+var Analyzer = &analysis.Analyzer{
+	Name: "detfloat",
+	Doc: "forbid map iteration, math.FMA, wall-clock reads, and global math/rand " +
+		"in the bit-identity packages (statespace, hamiltonian, arnoldi, core, passivity)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	gated := false
+	for _, seg := range bitIdentityPkgs {
+		if analysis.PathHasSegment(pass.Pkg.Path(), seg) {
+			gated = true
+			break
+		}
+	}
+	if !gated {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.X.Pos(),
+							"range over map: iteration order is nondeterministic and must not run in a bit-identity package")
+					}
+				}
+			case *ast.SelectorExpr:
+				pkgPath, ok := importedPackage(pass, n)
+				if !ok {
+					return true
+				}
+				name := n.Sel.Name
+				switch {
+				case pkgPath == "math" && name == "FMA":
+					pass.Reportf(n.Pos(), "math.FMA fuses rounding and diverges bitwise from the scalar a*b+c path")
+				case pkgPath == "time" && (name == "Now" || name == "Since"):
+					pass.Reportf(n.Pos(), "wall-clock read time.%s in a bit-identity package; timing must not feed numeric state", name)
+				case pkgPath == "math/rand/v2":
+					pass.Reportf(n.Pos(), "math/rand/v2 (rand.%s) is auto-seeded and schedule-dependent; use a seeded math/rand.Rand", name)
+				case pkgPath == "math/rand" && isPackageFunc(pass, n) && !randAllowed[name]:
+					pass.Reportf(n.Pos(), "global math/rand source (rand.%s) draws in schedule-dependent order; use a seeded *rand.Rand", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// importedPackage resolves sel's qualifier to an imported package path,
+// when sel is of the form pkgname.Ident.
+func importedPackage(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// isPackageFunc reports whether sel names a package-level function (as
+// opposed to a type, var, or const of that package).
+func isPackageFunc(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	_, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok
+}

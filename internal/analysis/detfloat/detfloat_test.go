@@ -1,0 +1,19 @@
+package detfloat_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detfloat"
+)
+
+// TestDetfloat drives the analyzer over a dirty gated fixture, a clean
+// gated fixture (negative case), and an ungated fixture exercising the
+// package-path gate.
+func TestDetfloat(t *testing.T) {
+	analysistest.Run(t, "testdata", detfloat.Analyzer,
+		"detfloat/core",
+		"detfloat/arnoldi",
+		"detfloat/ungated",
+	)
+}

@@ -1,0 +1,30 @@
+// Package arnoldi is detfloat's negative fixture: a gated package (path
+// segment "arnoldi") written in the deterministic idiom, which must
+// produce no findings.
+package arnoldi
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Sum folds a slice in index order — the deterministic iteration shape.
+func Sum(vals []float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	var s float64
+	for _, v := range sorted {
+		s += v
+	}
+	return s
+}
+
+// Start builds a deterministic start vector from a seeded stream.
+func Start(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

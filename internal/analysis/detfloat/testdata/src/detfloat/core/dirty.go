@@ -1,0 +1,55 @@
+// Package core is a detfloat fixture standing in for a bit-identity
+// package (its import path contains the gated segment "core").
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Accumulate sums map values — in nondeterministic order.
+func Accumulate(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want `range over map: iteration order is nondeterministic`
+		s += v
+	}
+	for k := range m { // want `range over map`
+		s += float64(k)
+	}
+	return s
+}
+
+// Fused uses the fused-multiply-add hardware path.
+func Fused(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want `math\.FMA fuses rounding`
+}
+
+// Stamp folds the wall clock into a numeric value.
+func Stamp() float64 {
+	t := time.Now() // want `wall-clock read time\.Now`
+	return float64(t.UnixNano())
+}
+
+// Age measures elapsed wall-clock time.
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time\.Since`
+}
+
+// Jitter draws from the shared global source.
+func Jitter() float64 {
+	return rand.Float64() // want `global math/rand source \(rand\.Float64\)`
+}
+
+// Seeded draws from an explicitly seeded stream — the allowed idiom.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Telemetry demonstrates a documented suppression: the read feeds only
+// a log line, and the directive keeps the exception auditable.
+func Telemetry() time.Time {
+	//lint:ignore detfloat wall-clock feeds telemetry only, never numeric state
+	return time.Now()
+}

@@ -1,0 +1,20 @@
+// Package ungated proves the bit-identity gate: its path has no gated
+// segment, so the very constructs detfloat forbids elsewhere are legal
+// here and must produce no findings.
+package ungated
+
+import "time"
+
+// Stamp reads the wall clock, which is fine outside the numeric core.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Count ranges a map, which is fine outside the numeric core.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

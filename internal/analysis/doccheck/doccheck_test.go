@@ -1,0 +1,13 @@
+package doccheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/doccheck"
+)
+
+func TestDoccheck(t *testing.T) {
+	analysistest.Run(t, "testdata", doccheck.Analyzer,
+		"doccheck/dirty", "doccheck/clean")
+}

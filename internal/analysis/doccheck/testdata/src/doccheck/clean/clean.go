@@ -1,0 +1,27 @@
+// Package clean is doccheck's negative fixture: everything exported is
+// documented, and unexported identifiers need nothing.
+package clean
+
+// Exported is documented.
+func Exported() {}
+
+// Thing is documented.
+type Thing struct{}
+
+// Do is documented.
+func (t *Thing) Do() {}
+
+type hidden struct{}
+
+func (h hidden) Do() {}
+
+// Count is documented.
+var Count int
+
+// Limits documents the group.
+const (
+	A = 1
+	B = 2
+)
+
+func unexported() {}

@@ -1,0 +1,23 @@
+package dirty // want `package dirty missing package doc comment`
+
+func Exported() {} // want `exported function Exported missing doc comment`
+
+type Thing struct{} // want `exported type Thing missing doc comment`
+
+func (t *Thing) Do() {} // want `exported method Thing.Do missing doc comment`
+
+type hidden struct{}
+
+func (h hidden) Do() {}
+
+var Count int // want `exported const/var Count missing doc comment`
+
+// Limits documents the group, which covers every spec in it.
+const (
+	A = 1
+	B = 2
+)
+
+const C = 3 // want `exported const/var C missing doc comment`
+
+func unexported() {}

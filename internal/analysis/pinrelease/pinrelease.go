@@ -1,0 +1,654 @@
+// Package pinrelease enforces the ShiftCache refcount lifecycle from the
+// shift-factorization cache: every pinned ShiftOp acquired through
+// ShiftInvert must reach Release() on every path out of the acquiring
+// function, including error returns — a leaked pin blocks LRU eviction
+// forever and unbounds the cache.
+//
+// The check is a conservative intra-function path analysis over the AST:
+//
+//   - an acquisition is `x, err := recv.ShiftInvert(...)` (or `=`);
+//   - a path is satisfied by `x.Release()`, `defer x.Release()`, or a
+//     directly deferred closure calling x.Release();
+//   - returning x transfers ownership to the caller and satisfies that
+//     path;
+//   - branches guarded by the acquisition's own error (`if err != nil`)
+//     are exempt on the side where the acquisition failed (ShiftInvert
+//     returns a nil ShiftOp on error and Release is nil-safe);
+//   - re-acquiring into x while the previous pin is unreleased is itself
+//     a finding (the first pin becomes unreachable);
+//   - a ShiftOp that escapes — stored into a field, global, container,
+//     or captured by a non-deferred closure, or handed to a goroutine —
+//     is skipped: its lifecycle is no longer a function-local property.
+//
+// The cache_test.go lifecycle battery checks these properties
+// dynamically for the cache itself; pinrelease checks every *call site*
+// statically on every build.
+package pinrelease
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the pinrelease instance registered with cmd/repolint.
+var Analyzer = &analysis.Analyzer{
+	Name: "pinrelease",
+	Doc: "every ShiftOp pinned via ShiftInvert must reach Release() on all paths " +
+		"out of the acquiring function, including error returns",
+	Run: run,
+}
+
+// acquireMethod is the pinning acquisition's method name.
+const acquireMethod = "ShiftInvert"
+
+// releaseMethod unpins.
+const releaseMethod = "Release"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			checkFunc(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// acquisition is one pinning assignment inside the function under check.
+type acquisition struct {
+	stmt   *ast.AssignStmt
+	obj    any // types object of the pinned variable
+	errObj any // types object of the paired error variable, or nil
+}
+
+// checkFunc finds every acquisition directly inside body (not in nested
+// function literals — those are checked as their own functions) and
+// verifies each one's release paths.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var acqs []*acquisition
+	var collect func(s ast.Stmt)
+	collectList := func(list []ast.Stmt) {
+		for _, s := range list {
+			collect(s)
+		}
+	}
+	collect = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if a := asAcquisition(pass, s); a != nil {
+				acqs = append(acqs, a)
+			}
+		case *ast.BlockStmt:
+			collectList(s.List)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				collect(s.Init)
+			}
+			collect(s.Body)
+			if s.Else != nil {
+				collect(s.Else)
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				collect(s.Init)
+			}
+			collect(s.Body)
+		case *ast.RangeStmt:
+			collect(s.Body)
+		case *ast.SwitchStmt:
+			collect(s.Body)
+		case *ast.TypeSwitchStmt:
+			collect(s.Body)
+		case *ast.SelectStmt:
+			collect(s.Body)
+		case *ast.CaseClause:
+			collectList(s.Body)
+		case *ast.CommClause:
+			collectList(s.Body)
+		case *ast.LabeledStmt:
+			collect(s.Stmt)
+		}
+	}
+	collectList(body.List)
+
+	for _, a := range acqs {
+		if escapes(pass, body, a) {
+			continue
+		}
+		checkAcquisition(pass, body, a)
+	}
+}
+
+// asAcquisition matches `x, err := recv.ShiftInvert(...)` shapes.
+func asAcquisition(pass *analysis.Pass, s *ast.AssignStmt) *acquisition {
+	if len(s.Rhs) != 1 || len(s.Lhs) != 2 {
+		return nil
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != acquireMethod {
+		return nil
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	a := &acquisition{stmt: s, obj: pass.TypesInfo.ObjectOf(id)}
+	if eid, ok := s.Lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+		a.errObj = pass.TypesInfo.ObjectOf(eid)
+	}
+	if a.obj == nil {
+		return nil
+	}
+	return a
+}
+
+// isObj reports whether e is an identifier resolving to obj.
+func isObj(pass *analysis.Pass, e ast.Expr, obj any) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && obj != nil && pass.TypesInfo.ObjectOf(id) == obj
+}
+
+// escapes reports whether the pinned variable's lifecycle leaves the
+// function by a route other than a plain return: stored into a non-local
+// lvalue or composite, captured by a non-deferred closure, or passed to
+// a goroutine. Such pins are skipped rather than guessed at.
+func escapes(pass *analysis.Pass, body *ast.BlockStmt, a *acquisition) bool {
+	esc := false
+	analysis.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if esc {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n == a.stmt {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !exprMentions(pass, rhs, a.obj) {
+					continue
+				}
+				// x on the RHS of an assignment to anything but a plain
+				// local identifier escapes.
+				if i < len(n.Lhs) {
+					if _, ok := n.Lhs[i].(*ast.Ident); !ok {
+						esc = true
+					}
+				} else {
+					esc = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if exprMentions(pass, el, a.obj) {
+					esc = true
+				}
+			}
+		case *ast.GoStmt:
+			if exprMentions(pass, n.Call, a.obj) {
+				esc = true
+			}
+		case *ast.FuncLit:
+			// A closure capturing x escapes it, unless the closure is the
+			// immediate function of a defer statement (the defer-release
+			// idiom, handled by the path simulation).
+			if len(stack) >= 2 {
+				if def, ok := stack[len(stack)-2].(*ast.DeferStmt); ok && def.Call.Fun == n {
+					return true
+				}
+			}
+			if nodeUses(pass, n, a.obj) {
+				esc = true
+			}
+			return false
+		}
+		return true
+	})
+	return esc
+}
+
+// exprMentions reports whether e contains an identifier for obj.
+func exprMentions(pass *analysis.Pass, e ast.Node, obj any) bool {
+	return nodeUses(pass, e, obj)
+}
+
+// nodeUses reports whether any identifier under n resolves to obj.
+func nodeUses(pass *analysis.Pass, n ast.Node, obj any) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkAcquisition simulates the statements that execute after the
+// acquisition and reports every path — explicit return, loop-iteration
+// end, or function end — the pin can leak through.
+func checkAcquisition(pass *analysis.Pass, body *ast.BlockStmt, a *acquisition) {
+	sim := &simulator{pass: pass, a: a}
+	found, rel, term := sim.simFrom(body.List)
+	if found && !rel && !term {
+		pass.Reportf(body.Rbrace,
+			"function ends without releasing the ShiftOp pinned at line %d (%s leaks its cache pin)",
+			pass.Fset.Position(a.stmt.Pos()).Line, objName(a.obj))
+	}
+}
+
+// simulator walks statement lists tracking whether the pin must have
+// been released ("st" = must-released-by-here).
+type simulator struct {
+	pass *analysis.Pass
+	a    *acquisition
+	// iterScoped is true while simulating the body of the loop the
+	// acquisition lives in: there, continue/break with a live pin ends
+	// the iteration leaking. Cleared inside nested loops, whose
+	// continue/break do not end the pin's iteration.
+	iterScoped bool
+}
+
+// simFrom locates the acquisition inside list (possibly nested) and
+// simulates the remainder of the list from there. Returns whether the
+// acquisition was found, and if so the list's (must-released, terminated)
+// post-state.
+func (s *simulator) simFrom(list []ast.Stmt) (found, rel, term bool) {
+	for i, stmt := range list {
+		if !s.containsAcquisition(stmt) {
+			continue
+		}
+		var st, terminated bool
+		switch {
+		case stmt == s.a.stmt:
+			st = false
+		default:
+			if ifs, ok := stmt.(*ast.IfStmt); ok && ifs.Init == s.a.stmt {
+				// `if x, err := recv.ShiftInvert(...); err == nil { ... }`
+				st, terminated = s.simIf(ifs, false)
+			} else {
+				// Acquisition nested inside a construct: simulate its
+				// local remainder and surface the construct's post-state.
+				st, terminated = s.descend(stmt)
+			}
+		}
+		if terminated {
+			return true, true, true
+		}
+		rel, term = s.simList(list[i+1:], st)
+		return true, rel, term
+	}
+	return false, false, false
+}
+
+// containsAcquisition reports whether stmt is or lexically contains the
+// acquisition statement.
+func (s *simulator) containsAcquisition(stmt ast.Stmt) bool {
+	if stmt == s.a.stmt {
+		return true
+	}
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == s.a.stmt {
+			found = true
+		}
+		_, isLit := n.(*ast.FuncLit)
+		return !found && !isLit
+	})
+	return found
+}
+
+// descend recurses into the construct holding the acquisition to
+// simulate the statements that follow it inside that construct, and
+// reports the construct's post-state. Paths on which the acquisition
+// never executed hold no pin and count as released.
+func (s *simulator) descend(stmt ast.Stmt) (rel, term bool) {
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		_, rel, term = s.simFrom(st.List)
+		return rel, term
+	case *ast.IfStmt:
+		if st.Init == s.a.stmt {
+			return s.simIf(st, false)
+		}
+		if s.containsAcquisitionIn(st.Body) {
+			_, rel, term = s.simFrom(st.Body.List)
+		} else if st.Else != nil {
+			rel, term = s.descend(st.Else)
+		}
+		if term {
+			// The pinned branch left the function; any continuing path
+			// never pinned.
+			return true, false
+		}
+		return rel, false
+	case *ast.ForStmt:
+		return s.descendLoop(st.Body)
+	case *ast.RangeStmt:
+		return s.descendLoop(st.Body)
+	case *ast.SwitchStmt:
+		return s.descendBody(st.Body)
+	case *ast.TypeSwitchStmt:
+		return s.descendBody(st.Body)
+	case *ast.SelectStmt:
+		return s.descendBody(st.Body)
+	case *ast.LabeledStmt:
+		return s.descend(st.Stmt)
+	}
+	return false, false
+}
+
+// descendLoop handles a per-iteration acquisition: the pin must die
+// within the iteration, or it accumulates a leak every pass.
+func (s *simulator) descendLoop(body *ast.BlockStmt) (rel, term bool) {
+	prev := s.iterScoped
+	s.iterScoped = true
+	found, rel, term := s.simFrom(body.List)
+	s.iterScoped = prev
+	if found && !rel && !term {
+		s.pass.Reportf(body.Rbrace,
+			"loop iteration ends without releasing the ShiftOp pinned at line %d (%s leaks one cache pin per iteration)",
+			s.pass.Fset.Position(s.a.stmt.Pos()).Line, objName(s.a.obj))
+	}
+	// After the loop the iteration-scoped pin is gone either way.
+	return true, false
+}
+
+func (s *simulator) descendBody(body *ast.BlockStmt) (rel, term bool) {
+	for _, cl := range body.List {
+		var list []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			list = cl.Body
+		case *ast.CommClause:
+			list = cl.Body
+		}
+		if found, rel, term := s.simFrom(list); found {
+			if term {
+				return true, false
+			}
+			return rel, false
+		}
+	}
+	return false, false
+}
+
+func (s *simulator) containsAcquisitionIn(b *ast.BlockStmt) bool {
+	for _, st := range b.List {
+		if s.containsAcquisition(st) {
+			return true
+		}
+	}
+	return false
+}
+
+// simList simulates a statement list with incoming must-released state
+// st, returning (must-released-after, terminated).
+func (s *simulator) simList(list []ast.Stmt, st bool) (bool, bool) {
+	for _, stmt := range list {
+		var term bool
+		st, term = s.simStmt(stmt, st)
+		if term {
+			return true, true
+		}
+	}
+	return st, false
+}
+
+// simStmt simulates one statement; (must-released-after, terminated).
+func (s *simulator) simStmt(stmt ast.Stmt, st bool) (bool, bool) {
+	switch n := stmt.(type) {
+	case *ast.ExprStmt:
+		if s.isRelease(n.X) {
+			return true, false
+		}
+	case *ast.DeferStmt:
+		if s.deferReleases(n) {
+			return true, false
+		}
+	case *ast.AssignStmt:
+		// Re-acquiring into the same variable while the previous pin is
+		// live orphans the first pin.
+		if !st && n != s.a.stmt {
+			if a2 := asAcquisition(s.pass, n); a2 != nil && a2.obj == s.a.obj {
+				s.pass.Reportf(n.Pos(),
+					"%s reassigned by a new %s before the previous pin was released", objName(s.a.obj), acquireMethod)
+				// The new pin is tracked by its own acquisition record.
+				return true, false
+			}
+		}
+	case *ast.ReturnStmt:
+		if !st && !s.returnsPin(n) {
+			s.pass.Reportf(n.Pos(),
+				"return without releasing the ShiftOp pinned at line %d (%s leaks its cache pin on this path)",
+				s.pass.Fset.Position(s.a.stmt.Pos()).Line, objName(s.a.obj))
+		}
+		return true, true
+	case *ast.BlockStmt:
+		return s.simList(n.List, st)
+	case *ast.IfStmt:
+		return s.simIf(n, st)
+	case *ast.ForStmt:
+		// The body may run zero times; simulate for reporting, keep st.
+		// A nested loop's continue/break do not end the pin's iteration.
+		prev := s.iterScoped
+		s.iterScoped = false
+		s.simList(n.Body.List, st)
+		s.iterScoped = prev
+		return st, false
+	case *ast.RangeStmt:
+		prev := s.iterScoped
+		s.iterScoped = false
+		s.simList(n.Body.List, st)
+		s.iterScoped = prev
+		return st, false
+	case *ast.SwitchStmt:
+		return s.simClauses(n.Body, st, hasDefault(n.Body))
+	case *ast.TypeSwitchStmt:
+		return s.simClauses(n.Body, st, hasDefault(n.Body))
+	case *ast.SelectStmt:
+		return s.simClauses(n.Body, st, false)
+	case *ast.LabeledStmt:
+		return s.simStmt(n.Stmt, st)
+	case *ast.BranchStmt:
+		// Inside the pin's own loop, continue/break end the iteration:
+		// leaving with a live pin leaks one cache pin per pass.
+		if !st && s.iterScoped && (n.Tok == token.CONTINUE || n.Tok == token.BREAK) {
+			s.pass.Reportf(n.Pos(),
+				"loop iteration ends without releasing the ShiftOp pinned at line %d (%s leaks one cache pin per iteration)",
+				s.pass.Fset.Position(s.a.stmt.Pos()).Line, objName(s.a.obj))
+			return true, true
+		}
+		// break/continue/goto end the linear path without leaving the
+		// function; treat as terminated so outer state is not corrupted.
+		return st, true
+	}
+	return st, false
+}
+
+// simIf simulates an if/else with error-guard awareness.
+func (s *simulator) simIf(n *ast.IfStmt, st bool) (bool, bool) {
+	thenSt, elseSt := st, st
+	if n.Init == s.a.stmt {
+		// Acquisition in the if-init: the guard decides which side holds
+		// a live pin.
+		thenSt, elseSt = false, false
+	}
+	switch s.errGuard(n.Cond) {
+	case guardErrNonNil:
+		thenSt = true // acquisition failed on this side: nothing pinned
+	case guardErrNil:
+		elseSt = true
+	}
+	tRel, tTerm := s.simList(n.Body.List, thenSt)
+	eRel, eTerm := elseSt, false
+	if n.Else != nil {
+		switch e := n.Else.(type) {
+		case *ast.BlockStmt:
+			eRel, eTerm = s.simList(e.List, elseSt)
+		case *ast.IfStmt:
+			eRel, eTerm = s.simIf(e, elseSt)
+		}
+	}
+	switch {
+	case tTerm && eTerm:
+		return true, true
+	case tTerm:
+		return eRel, false
+	case eTerm:
+		return tRel, false
+	default:
+		return tRel && eRel, false
+	}
+}
+
+// simClauses simulates switch/select clause bodies. The merged state is
+// released only when every clause releases or terminates and a default
+// clause exists (otherwise fall-through keeps the incoming state).
+func (s *simulator) simClauses(body *ast.BlockStmt, st bool, exhaustive bool) (bool, bool) {
+	all := true
+	for _, cl := range body.List {
+		var list []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			list = cl.Body
+		case *ast.CommClause:
+			list = cl.Body
+		}
+		rel, term := s.simList(list, st)
+		if !rel && !term {
+			all = false
+		}
+		_ = term
+	}
+	if exhaustive && all {
+		return true, false
+	}
+	return st, false
+}
+
+// hasDefault reports whether a switch body carries a default clause.
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+type errGuardKind int
+
+const (
+	guardNone errGuardKind = iota
+	guardErrNonNil
+	guardErrNil
+)
+
+// errGuard classifies `err != nil` / `err == nil` conditions over the
+// acquisition's own error variable.
+func (s *simulator) errGuard(cond ast.Expr) errGuardKind {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || s.a.errObj == nil {
+		return guardNone
+	}
+	var other ast.Expr
+	switch {
+	case isObj(s.pass, bin.X, s.a.errObj):
+		other = bin.Y
+	case isObj(s.pass, bin.Y, s.a.errObj):
+		other = bin.X
+	default:
+		return guardNone
+	}
+	id, ok := other.(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return guardNone
+	}
+	switch bin.Op {
+	case token.NEQ:
+		return guardErrNonNil
+	case token.EQL:
+		return guardErrNil
+	}
+	return guardNone
+}
+
+// isRelease matches `x.Release()` for the pinned variable.
+func (s *simulator) isRelease(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != releaseMethod {
+		return false
+	}
+	return isObj(s.pass, sel.X, s.a.obj)
+}
+
+// deferReleases matches `defer x.Release()` and
+// `defer func() { ...x.Release()... }()`.
+func (s *simulator) deferReleases(d *ast.DeferStmt) bool {
+	if sel, ok := d.Call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name == releaseMethod && isObj(s.pass, sel.X, s.a.obj)
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if e, ok := n.(*ast.ExprStmt); ok && s.isRelease(e.X) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// returnsPin reports whether the return hands the pinned variable to the
+// caller (ownership transfer).
+func (s *simulator) returnsPin(n *ast.ReturnStmt) bool {
+	for _, r := range n.Results {
+		if isObj(s.pass, r, s.a.obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// objName renders the pinned variable's name for messages.
+func objName(obj any) string {
+	type named interface{ Name() string }
+	if n, ok := obj.(named); ok {
+		return n.Name()
+	}
+	return "value"
+}

@@ -1,0 +1,13 @@
+package pinrelease_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pinrelease"
+)
+
+func TestPinrelease(t *testing.T) {
+	analysistest.Run(t, "testdata", pinrelease.Analyzer,
+		"pinrelease/dirty", "pinrelease/clean")
+}

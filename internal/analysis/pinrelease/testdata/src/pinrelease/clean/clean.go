@@ -1,0 +1,90 @@
+// Package clean is pinrelease's negative fixture: every sanctioned
+// release idiom from the real call sites, none of which may be flagged.
+package clean
+
+import "pinrelease/lib"
+
+// DeferRelease is the canonical acquire-check-defer shape.
+func DeferRelease(op *lib.Op) error {
+	so, err := op.ShiftInvert(1i)
+	if err != nil {
+		return err
+	}
+	defer so.Release()
+	return so.Apply(nil, nil)
+}
+
+// RetryReacquire mirrors runShift: on error, retry once with a nudged
+// shift before giving up. The reacquire happens only on the arm where
+// the first pin never existed.
+func RetryReacquire(op *lib.Op) error {
+	so, err := op.ShiftInvert(1i)
+	if err != nil {
+		so, err = op.ShiftInvert(1.0001i)
+		if err != nil {
+			return err
+		}
+	}
+	defer so.Release()
+	return so.Apply(nil, nil)
+}
+
+// IfInitAcquire mirrors the refinement probe: acquisition in the
+// if-init, released before every exit of the then arm.
+func IfInitAcquire(op *lib.Op) error {
+	if so, err := op.ShiftInvert(2i); err == nil {
+		e := so.Apply(nil, nil)
+		so.Release()
+		return e
+	}
+	return nil
+}
+
+// OwnershipTransfer returns the pin: the caller releases.
+func OwnershipTransfer(op *lib.Op) (*lib.ShiftOp, error) {
+	so, err := op.ShiftInvert(3i)
+	if err != nil {
+		return nil, err
+	}
+	return so, nil
+}
+
+// DeferClosure releases through a deferred cleanup closure.
+func DeferClosure(op *lib.Op) error {
+	so, err := op.ShiftInvert(4i)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		so.Release()
+	}()
+	return so.Apply(nil, nil)
+}
+
+// PerIterationRelease releases on every path out of each loop pass.
+func PerIterationRelease(op *lib.Op, thetas []complex128) error {
+	for _, th := range thetas {
+		so, err := op.ShiftInvert(th)
+		if err != nil {
+			return err
+		}
+		if err := so.Apply(nil, nil); err != nil {
+			so.Release()
+			return err
+		}
+		so.Release()
+	}
+	return nil
+}
+
+// Handoff hands the pin to a registry that releases it after the batch;
+// the finding is suppressed with a documented directive.
+func Handoff(op *lib.Op, sink func(*lib.ShiftOp)) error {
+	so, err := op.ShiftInvert(6i)
+	if err != nil {
+		return err
+	}
+	sink(so)
+	//lint:ignore pinrelease the sink owns the pin and releases it after the batch drains
+	return nil
+}

@@ -1,0 +1,82 @@
+// Package dirty is pinrelease's positive fixture: call sites that leak
+// a pinned ShiftOp on at least one path.
+package dirty
+
+import (
+	"errors"
+
+	"pinrelease/lib"
+)
+
+func cond() bool { return false }
+
+// LeakOnErrorPath releases on the happy path but leaks when the early
+// error return fires — the exact hazard of hand-rolled cleanup.
+func LeakOnErrorPath(op *lib.Op) error {
+	so, err := op.ShiftInvert(1i)
+	if err != nil {
+		return err
+	}
+	if cond() {
+		return errors.New("mid-run failure") // want `return without releasing the ShiftOp pinned at line 16`
+	}
+	so.Release()
+	return nil
+}
+
+// LeakEverywhere never releases at all.
+func LeakEverywhere(op *lib.Op) error {
+	so, err := op.ShiftInvert(2i)
+	if err != nil {
+		return err
+	}
+	return so.Apply(nil, nil) // want `return without releasing the ShiftOp pinned at line 29`
+}
+
+// LeakAtEnd falls off the end of the function with the pin live.
+func LeakAtEnd(op *lib.Op) {
+	so, err := op.ShiftInvert(3i)
+	if err != nil {
+		return
+	}
+	_ = so
+} // want `function ends without releasing the ShiftOp pinned at line 38`
+
+// Reacquire overwrites a live pin, orphaning the first entry.
+func Reacquire(op *lib.Op) {
+	so, err := op.ShiftInvert(4i)
+	if err != nil {
+		return
+	}
+	so, err = op.ShiftInvert(5i) // want `so reassigned by a new ShiftInvert before the previous pin was released`
+	if err == nil {
+		so.Release()
+	}
+}
+
+// LeakPerIteration pins each loop pass and never releases: the pin
+// falls off the end of every iteration.
+func LeakPerIteration(op *lib.Op, thetas []complex128) {
+	for _, th := range thetas {
+		so, err := op.ShiftInvert(th)
+		if err != nil {
+			continue
+		}
+		_ = so
+	} // want `loop iteration ends without releasing the ShiftOp pinned at line 61`
+}
+
+// LeakOnContinue releases on the fall-through path but skips the
+// release when the iteration bails early.
+func LeakOnContinue(op *lib.Op, thetas []complex128) {
+	for _, th := range thetas {
+		so, err := op.ShiftInvert(th)
+		if err != nil {
+			continue
+		}
+		if cond() {
+			continue // want `loop iteration ends without releasing the ShiftOp pinned at line 73`
+		}
+		so.Release()
+	}
+}

@@ -1,0 +1,26 @@
+// Package lib is the fixture stand-in for the hamiltonian operator API:
+// ShiftInvert pins a cache entry, Release unpins it.
+package lib
+
+import "errors"
+
+// Op mimics hamiltonian.Op.
+type Op struct{ bad bool }
+
+// ShiftOp mimics a pinned hamiltonian.ShiftOp.
+type ShiftOp struct{}
+
+// ShiftInvert pins and returns a shift-invert operator, or an error when
+// the shift collides with an eigenvalue.
+func (o *Op) ShiftInvert(theta complex128) (*ShiftOp, error) {
+	if o.bad {
+		return nil, errors.New("singular")
+	}
+	return &ShiftOp{}, nil
+}
+
+// Release unpins. Safe on nil.
+func (s *ShiftOp) Release() {}
+
+// Apply stands in for the Arnoldi hot path.
+func (s *ShiftOp) Apply(y, x []complex128) error { return nil }

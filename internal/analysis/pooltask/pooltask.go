@@ -1,0 +1,286 @@
+// Package pooltask enforces scheduler task hygiene at RunBatch call
+// sites. Task closures handed to the worker pool run concurrently and
+// are joined inside RunBatch, which makes two shapes reliably wrong:
+//
+//   - capturing a variable that is declared before the enclosing loop
+//     and reassigned inside it: every task observes the variable's
+//     final value, silently corrupting the batch (the pre-Go-1.22 loop
+//     variable bug, still reproducible with a hand-hoisted variable);
+//   - sending on an unbuffered channel made in the submitting function:
+//     the submitter is blocked joining the batch and cannot receive, so
+//     the worker parks forever and the pool deadlocks.
+//
+// The sanctioned result path is the result-slot idiom the scheduler
+// documents: each task writes only its own pre-allocated slot, which is
+// quiescent once RunBatch returns. Buffered channels sized to the batch
+// are also fine and are not flagged.
+package pooltask
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the pooltask instance registered with cmd/repolint.
+var Analyzer = &analysis.Analyzer{
+	Name: "pooltask",
+	Doc: "RunBatch task closures must not capture loop-carried variables by reference " +
+		"or send on unbuffered channels made in the submitting function",
+	Run: run,
+}
+
+// batchMethod names the pool fan-out entry point.
+const batchMethod = "RunBatch"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+// checkFile collects every task closure reaching a RunBatch call in f —
+// literals inline in the call's arguments, and literals assigned or
+// appended into a slice variable that the call submits — then checks
+// each one once.
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	tasks := map[*ast.FuncLit][]ast.Node{}
+	analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBatchCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			switch a := arg.(type) {
+			case *ast.CompositeLit:
+				for _, el := range a.Elts {
+					if lit, ok := el.(*ast.FuncLit); ok {
+						if _, seen := tasks[lit]; !seen {
+							tasks[lit] = append([]ast.Node(nil), stack...)
+						}
+					}
+				}
+			case *ast.Ident:
+				obj := pass.TypesInfo.ObjectOf(a)
+				fn := enclosingFunc(stack)
+				if obj != nil && fn != nil {
+					collectSliceTasks(pass, fn, obj, tasks)
+				}
+			}
+		}
+		return true
+	})
+	for lit, stack := range tasks {
+		checkTask(pass, lit, stack)
+	}
+}
+
+// isBatchCall matches `recv.RunBatch(...)`.
+func isBatchCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == batchMethod
+}
+
+// enclosingFunc returns the innermost function node on the stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// collectSliceTasks finds, inside function node fn, every closure stored
+// into the task slice obj — `fns[i] = func...` or
+// `fns = append(fns, func...)` — and records it with its ancestor stack.
+func collectSliceTasks(pass *analysis.Pass, fn ast.Node, obj types.Object, tasks map[*ast.FuncLit][]ast.Node) {
+	analysis.WalkStack(fn, func(n ast.Node, stack []ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		record := func(lit *ast.FuncLit) {
+			if _, seen := tasks[lit]; !seen {
+				tasks[lit] = append([]ast.Node(nil), stack...)
+			}
+		}
+		for i, rhs := range n.(*ast.AssignStmt).Rhs {
+			switch r := rhs.(type) {
+			case *ast.FuncLit:
+				if i < len(asg.Lhs) && indexesObj(pass, asg.Lhs[i], obj) {
+					record(r)
+				}
+			case *ast.CallExpr:
+				// fns = append(fns, func..., func...)
+				if id, ok := r.Fun.(*ast.Ident); ok && id.Name == "append" &&
+					len(r.Args) > 0 && identIsObj(pass, r.Args[0], obj) {
+					for _, a := range r.Args[1:] {
+						if lit, ok := a.(*ast.FuncLit); ok {
+							record(lit)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// indexesObj reports whether e is `obj[...]`.
+func indexesObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	ix, ok := e.(*ast.IndexExpr)
+	return ok && identIsObj(pass, ix.X, obj)
+}
+
+// identIsObj reports whether e is an identifier resolving to obj.
+func identIsObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(id) == obj
+}
+
+// checkTask runs both hygiene checks on one task closure. stack is the
+// closure's ancestor chain (outermost first).
+func checkTask(pass *analysis.Pass, lit *ast.FuncLit, stack []ast.Node) {
+	fn := enclosingFunc(stack)
+	if fn != nil {
+		reportUnbufferedSends(pass, lit, fn)
+	}
+	reportStaleCaptures(pass, lit, stack, fn)
+}
+
+// reportUnbufferedSends flags `ch <- v` inside the task when ch is made
+// without a capacity in the submitting function.
+func reportUnbufferedSends(pass *analysis.Pass, lit *ast.FuncLit, fn ast.Node) {
+	unbuffered := unbufferedChans(pass, fn)
+	if len(unbuffered) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		id, ok := send.Chan.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil && unbuffered[obj] {
+			pass.Reportf(send.Pos(),
+				"task closure sends on unbuffered channel %s: the submitter is blocked joining the batch and cannot receive, deadlocking a pool worker (buffer it to the batch size or write to a per-task result slot)",
+				id.Name)
+		}
+		return true
+	})
+}
+
+// unbufferedChans collects local variables bound to `make(chan T)` with
+// no capacity argument inside fn.
+func unbufferedChans(pass *analysis.Pass, fn ast.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
+				continue
+			}
+			if _, ok := call.Args[0].(*ast.ChanType); !ok {
+				continue
+			}
+			if i < len(asg.Lhs) {
+				if id, ok := asg.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// reportStaleCaptures flags captures of variables that are declared
+// before an enclosing loop and reassigned inside it: all tasks of the
+// batch share the final value.
+func reportStaleCaptures(pass *analysis.Pass, lit *ast.FuncLit, stack []ast.Node, fn ast.Node) {
+	if fn == nil {
+		return
+	}
+	reported := map[types.Object]bool{}
+	for _, anc := range stack {
+		var loopPos token.Pos
+		var body *ast.BlockStmt
+		switch l := anc.(type) {
+		case *ast.ForStmt:
+			loopPos, body = l.Pos(), l.Body
+		case *ast.RangeStmt:
+			loopPos, body = l.Pos(), l.Body
+		default:
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+			if !ok || v.IsField() || reported[v] {
+				return true
+			}
+			// Function-local, declared before the loop, mutated inside it.
+			if v.Pos() < fn.Pos() || v.Pos() >= loopPos {
+				return true
+			}
+			if assignedIn(pass, body, v, lit) {
+				reported[v] = true
+				pass.Reportf(lit.Pos(),
+					"task closure captures %s, which is reassigned inside the loop: every task in the batch observes its final value; bind it per iteration (e.g. %s := %s) or index a slice instead",
+					v.Name(), v.Name(), v.Name())
+			}
+			return true
+		})
+	}
+}
+
+// assignedIn reports whether v is reassigned (plain identifier on an
+// assignment LHS, or ++/--) inside body, outside the task closure skip.
+func assignedIn(pass *analysis.Pass, body *ast.BlockStmt, v *types.Var, skip *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == ast.Node(skip) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if identIsObj(pass, lhs, v) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if identIsObj(pass, n.X, v) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

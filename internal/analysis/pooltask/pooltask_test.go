@@ -1,0 +1,13 @@
+package pooltask_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pooltask"
+)
+
+func TestPooltask(t *testing.T) {
+	analysistest.Run(t, "testdata", pooltask.Analyzer,
+		"pooltask/dirty", "pooltask/clean")
+}

@@ -1,0 +1,76 @@
+// Package clean is pooltask's negative fixture: the sanctioned batch
+// shapes — result slots, per-iteration bindings, buffered fan-in, and a
+// documented rendezvous suppression.
+package clean
+
+import (
+	"context"
+
+	"pooltask/lib"
+)
+
+// PerIterationBinding rebinds the captured value every pass and writes
+// results to pre-allocated slots: the canonical RunBatch shape.
+func PerIterationBinding(c *lib.Client, items []float64) ([]float64, error) {
+	out := make([]float64, len(items))
+	fns := make([]func(int) error, len(items))
+	for i := range items {
+		v := items[i]
+		fns[i] = func(int) error {
+			out[i] = v * v
+			return nil
+		}
+	}
+	if err := c.RunBatch(context.Background(), "sweep", fns); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BufferedFanIn sizes the channel to the batch: sends never block.
+func BufferedFanIn(c *lib.Client, items []float64) (float64, error) {
+	res := make(chan float64, len(items))
+	fns := make([]func(int) error, len(items))
+	for i := range items {
+		v := items[i]
+		fns[i] = func(int) error {
+			res <- v
+			return nil
+		}
+	}
+	if err := c.RunBatch(context.Background(), "sweep", fns); err != nil {
+		return 0, err
+	}
+	close(res)
+	var sum float64
+	for v := range res {
+		sum += v
+	}
+	return sum, nil
+}
+
+// Coordinated rendezvouses on an unbuffered channel on purpose: a
+// dedicated drainer receives while the batch runs, so the send cannot
+// park a worker. The deliberate exception carries a directive.
+func Coordinated(c *lib.Client, items []float64) error {
+	res := make(chan float64)
+	done := make(chan struct{}, 1)
+	go func() {
+		for range res {
+		}
+		done <- struct{}{}
+	}()
+	fns := make([]func(int) error, len(items))
+	for i := range items {
+		v := items[i]
+		fns[i] = func(int) error {
+			//lint:ignore pooltask a dedicated drainer goroutine receives while the batch runs
+			res <- v
+			return nil
+		}
+	}
+	err := c.RunBatch(context.Background(), "sweep", fns)
+	close(res)
+	<-done
+	return err
+}

@@ -1,0 +1,67 @@
+// Package dirty is pooltask's positive fixture: batch submissions that
+// corrupt results through shared captures or deadlock on channel sends.
+package dirty
+
+import (
+	"context"
+
+	"pooltask/lib"
+)
+
+func sink(float64) {}
+
+// StaleCapture hoists the per-item value out of the loop: every task
+// sees the last item.
+func StaleCapture(c *lib.Client, items []float64) error {
+	var cur float64
+	fns := make([]func(int) error, len(items))
+	for i := range items {
+		cur = items[i]
+		fns[i] = func(int) error { // want `task closure captures cur, which is reassigned inside the loop`
+			sink(cur)
+			return nil
+		}
+	}
+	return c.RunBatch(context.Background(), "sweep", fns)
+}
+
+// AppendStale appends tasks that all share a hand-advanced index.
+func AppendStale(c *lib.Client, items []float64) error {
+	var fns []func(int) error
+	idx := 0
+	for range items {
+		fns = append(fns, func(int) error { // want `task closure captures idx, which is reassigned inside the loop`
+			sink(items[idx])
+			return nil
+		})
+		idx++
+	}
+	return c.RunBatch(context.Background(), "sweep", fns)
+}
+
+// UnbufferedResults streams task results through an unbuffered channel
+// nobody can drain while RunBatch joins.
+func UnbufferedResults(c *lib.Client, items []float64) error {
+	res := make(chan float64)
+	fns := make([]func(int) error, len(items))
+	for i := range items {
+		v := items[i]
+		fns[i] = func(int) error {
+			res <- v * v // want `task closure sends on unbuffered channel res`
+			return nil
+		}
+	}
+	err := c.RunBatch(context.Background(), "sweep", fns)
+	close(res)
+	return err
+}
+
+// InlineSend signals completion from a single inline task over an
+// unbuffered channel.
+func InlineSend(c *lib.Client) error {
+	done := make(chan struct{})
+	return c.RunBatch(context.Background(), "probe", []func(int) error{func(int) error {
+		done <- struct{}{} // want `task closure sends on unbuffered channel done`
+		return nil
+	}})
+}

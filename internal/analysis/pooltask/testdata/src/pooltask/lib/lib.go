@@ -1,0 +1,18 @@
+// Package lib is the fixture stand-in for the scheduler client:
+// RunBatch fans closures out to pool workers and joins them.
+package lib
+
+import "context"
+
+// Client mimics core.Client.
+type Client struct{}
+
+// RunBatch runs every task and returns the first error.
+func (c *Client) RunBatch(ctx context.Context, phase string, fns []func(worker int) error) error {
+	for _, fn := range fns {
+		if err := fn(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

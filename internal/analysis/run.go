@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Directive is one parsed //lint:ignore suppression: the analyzers it
+// silences, the reason the author gave, and the lines it covers.
+type Directive struct {
+	// Analyzers are the names the directive silences ("*" silences all).
+	Analyzers []string
+	// Reason is the mandatory justification text.
+	Reason string
+	// File and Lines locate the directive's coverage: the directive's own
+	// line and, for a comment on a line of its own, the line below it.
+	File  string
+	Lines []int
+}
+
+// matches reports whether the directive silences analyzer name at
+// (file, line).
+func (d *Directive) matches(name, file string, line int) bool {
+	if d.File != file {
+		return false
+	}
+	covered := false
+	for _, l := range d.Lines {
+		if l == line {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return false
+	}
+	for _, a := range d.Analyzers {
+		if a == name || a == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//lint:ignore detfloat reason text...
+//	//lint:ignore detfloat,ctxflow reason text...
+//
+// The directive covers its own source line; a directive on a line of its
+// own additionally covers the next line. A reason is mandatory —
+// directives without one are themselves reported as findings, so every
+// suppression stays documented.
+const ignorePrefix = "//lint:ignore "
+
+// directives extracts every suppression directive from the package,
+// reporting malformed ones (missing reason) through report.
+func directives(fset *token.FileSet, pkg *Package, report func(Finding)) []Directive {
+	var out []Directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					report(Finding{
+						Analyzer: "directive",
+						Position: pos,
+						Message:  "lint:ignore needs an analyzer list and a reason: //lint:ignore <name>[,<name>] <reason>",
+					})
+					continue
+				}
+				d := Directive{
+					Analyzers: strings.Split(fields[0], ","),
+					Reason:    strings.Join(fields[1:], " "),
+					File:      pos.Filename,
+					Lines:     []int{pos.Line},
+				}
+				if standaloneComment(fset, f, c) {
+					d.Lines = append(d.Lines, pos.Line+1)
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// standaloneComment reports whether c has a source line of its own (no
+// code token starts on the line before it), in which case the suppression
+// also covers the following line. A trailing comment after code covers
+// only its own line.
+func standaloneComment(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	standalone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !standalone {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		np := fset.Position(n.Pos())
+		if np.Line == pos.Line && np.Column < pos.Column {
+			standalone = false
+			return false
+		}
+		return true
+	})
+	return standalone
+}
+
+// RunAnalyzers executes the given analyzers over one loaded package and
+// returns the surviving findings: suppressed diagnostics are dropped,
+// malformed suppressions are themselves findings, and the result is
+// sorted by position then analyzer name.
+func RunAnalyzers(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	dirs := directives(fset, pkg, func(f Finding) { findings = append(findings, f) })
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			p := fset.Position(d.Pos)
+			for i := range dirs {
+				if dirs[i].matches(name, p.Filename, p.Line) {
+					return
+				}
+			}
+			findings = append(findings, Finding{Analyzer: name, Position: p, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -54,6 +54,7 @@ func (p *Pool) Submit(ctx context.Context, op *hamiltonian.Op, opts Options) (*J
 	} else {
 		op.EnsureShiftCache(opts.ShiftCacheSize)
 	}
+	//lint:ignore detfloat elapsed-time telemetry only; it never feeds numeric state
 	start := time.Now()
 
 	omegaMax := opts.OmegaMax
@@ -269,6 +270,7 @@ func (j *Job) maybeFinishLocked() {
 		return
 	}
 	j.finished = true
+	//lint:ignore detfloat elapsed-time telemetry only; it never feeds numeric state
 	j.elapsed = time.Since(j.start)
 	close(j.done)
 }

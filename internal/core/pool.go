@@ -201,6 +201,7 @@ func (p *Pool) PhaseStats() map[string]PhaseStat {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := make(map[string]PhaseStat, len(p.phase))
+	//lint:ignore detfloat map-to-map snapshot copy; iteration order cannot affect the result
 	for k, v := range p.phase {
 		out[k] = v
 	}
@@ -231,6 +232,7 @@ func (p *Pool) Close() {
 			}
 			p.rings[class] = nil
 		}
+		//lint:ignore detfloat order-free drain of the orphaned-job set; each job is finalized independently
 		for j := range orphaned {
 			if j.err == nil {
 				j.err = ErrPoolClosed
@@ -278,12 +280,14 @@ func (p *Pool) worker(id int) {
 		if t == nil {
 			return
 		}
+		//lint:ignore detfloat worker busy-time telemetry only; it never feeds numeric state
 		start := time.Now()
 		if t.iv != nil {
 			t.job.runInterval(p, id, t.iv)
 		} else {
 			t.run(id)
 		}
+		//lint:ignore detfloat worker busy-time telemetry only; it never feeds numeric state
 		busy := time.Since(start)
 		p.mu.Lock()
 		s := p.phase[t.phase]

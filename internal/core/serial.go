@@ -19,6 +19,7 @@ func SolveSerialBisection(op *hamiltonian.Op, opts Options) (*Result, error) {
 		return nil, err
 	}
 	opts.setDefaults()
+	//lint:ignore detfloat elapsed-time telemetry only; it never feeds numeric state
 	start := time.Now()
 	res := &Result{}
 
@@ -88,6 +89,7 @@ func SolveSerialBisection(op *hamiltonian.Op, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
+	//lint:ignore detfloat elapsed-time telemetry only; it never feeds numeric state
 	res.Stats.Elapsed = time.Since(start)
 	if err := collectStandalone(res, op, opts.AxisTol, opts.Threads); err != nil {
 		return nil, err

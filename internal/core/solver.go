@@ -136,6 +136,7 @@ func collect(client *Client, res *Result, op *hamiltonian.Op, axisTol float64) e
 			return nil
 		}
 	}
+	//lint:ignore ctxflow the refinement tail is deliberately detached: a cancellation racing completion must not discard a finished result (see collect's contract)
 	if err := client.RunBatch(context.Background(), PhaseRefine, fns); err != nil {
 		return err
 	}
@@ -164,6 +165,7 @@ func collect(client *Client, res *Result, op *hamiltonian.Op, axisTol float64) e
 			return nil
 		})
 	}
+	//lint:ignore ctxflow same detached-tail contract as the refinement batch above
 	if err := client.RunBatch(context.Background(), PhaseRefine, arbiter); err != nil {
 		return err
 	}
@@ -277,6 +279,7 @@ func canonicalPolish(client *Client, crossings []float64, op *hamiltonian.Op, sc
 			return nil
 		})
 	}
+	//lint:ignore ctxflow canonical polish is part of the detached refinement tail: it must finish once collect has committed to reporting
 	if err := client.RunBatch(context.Background(), PhaseRefine, multiplicity); err != nil {
 		return err
 	}
@@ -306,6 +309,7 @@ func canonicalPolish(client *Client, crossings []float64, op *hamiltonian.Op, sc
 			return nil
 		}
 	}
+	//lint:ignore ctxflow canonical polish is part of the detached refinement tail: it must finish once collect has committed to reporting
 	return client.RunBatch(context.Background(), PhaseRefine, fns)
 }
 

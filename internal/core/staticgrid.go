@@ -20,6 +20,7 @@ func SolveStaticGrid(op *hamiltonian.Op, opts Options) (*Result, error) {
 		return nil, err
 	}
 	opts.setDefaults()
+	//lint:ignore detfloat elapsed-time telemetry only; it never feeds numeric state
 	start := time.Now()
 	res := &Result{}
 
@@ -159,6 +160,7 @@ func SolveStaticGrid(op *hamiltonian.Op, opts Options) (*Result, error) {
 		}
 		gaps = next
 	}
+	//lint:ignore detfloat elapsed-time telemetry only; it never feeds numeric state
 	res.Stats.Elapsed = time.Since(start)
 	if err := collectStandalone(res, op, opts.AxisTol, opts.Threads); err != nil {
 		return nil, err

@@ -1,0 +1,41 @@
+package sampling
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestCharacterizeContextPreCanceled: a canceled context aborts the
+// sequential sweep before any refinement and surfaces context.Canceled
+// (the ctxflow contract: the sweep is cancelable end to end).
+func TestCharacterizeContextPreCanceled(t *testing.T) {
+	m := genModel(t, 71, 20, 1.06)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CharacterizeContext(ctx, m, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential sweep err = %v, want context.Canceled", err)
+	}
+	if _, err := CharacterizeContext(ctx, m, Options{Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("worker sweep err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCharacterizeContextNilAndBackgroundAgree: a nil ctx defaults to
+// context.Background(), and the context-free wrapper is byte-identical
+// to it.
+func TestCharacterizeContextNilAndBackgroundAgree(t *testing.T) {
+	m := genModel(t, 71, 20, 1.06)
+	plain, err := Characterize(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaNil, err := CharacterizeContext(nil, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, viaNil) {
+		t.Fatalf("nil-ctx sweep diverged from wrapper: %+v vs %+v", viaNil, plain)
+	}
+}

@@ -136,6 +136,17 @@ func (s *sampler) sigma(w float64) (float64, error) {
 
 // Characterize runs the adaptive sweep and returns the detected crossings.
 func Characterize(m *statespace.Model, opts Options) (*Result, error) {
+	return CharacterizeContext(context.Background(), m, opts)
+}
+
+// CharacterizeContext is Characterize with cancellation: ctx aborts the
+// bootstrap batch between tasks, the refinement loop between
+// subdivisions, and the bisection loop between evaluations. A nil ctx
+// behaves like context.Background().
+func CharacterizeContext(ctx context.Context, m *statespace.Model, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts.setDefaults(m)
 	if opts.OmegaMax <= opts.OmegaMin {
 		return nil, errors.New("sampling: empty band")
@@ -179,7 +190,7 @@ func Characterize(m *statespace.Model, opts Options) (*Result, error) {
 				return err
 			}
 		}
-		if err := client.RunBatch(context.Background(), core.PhaseSample, fns); err != nil {
+		if err := client.RunBatch(ctx, core.PhaseSample, fns); err != nil {
 			return nil, err
 		}
 	case opts.Workers > 1:
@@ -188,6 +199,9 @@ func Characterize(m *statespace.Model, opts Options) (*Result, error) {
 		var firstErr error
 		var errMu sync.Mutex
 		for _, w := range pts {
+			if ctx.Err() != nil {
+				break
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(w float64) {
@@ -206,6 +220,9 @@ func Characterize(m *statespace.Model, opts Options) (*Result, error) {
 		if firstErr != nil {
 			return nil, firstErr
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Refinement queue: intervals whose endpoints disagree about the
@@ -220,6 +237,9 @@ func Characterize(m *statespace.Model, opts Options) (*Result, error) {
 	var brackets []iv
 	refines := 0
 	for len(queue) > 0 && refines < opts.MaxRefinements {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		g := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		w := g.hi - g.lo
@@ -269,6 +289,9 @@ func Characterize(m *statespace.Model, opts Options) (*Result, error) {
 			return nil, err
 		}
 		for hi-lo > minWidth/16 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			mid := 0.5 * (lo + hi)
 			smid, err := s.sigma(mid)
 			if err != nil {

@@ -468,5 +468,12 @@ type SamplingResult = sampling.Result
 // certify passivity up to its frequency resolution — the weakness the
 // Hamiltonian eigensolver removes.
 func CharacterizeBySampling(m *Model, opts SamplingOptions) (*SamplingResult, error) {
-	return sampling.Characterize(m, opts)
+	return CharacterizeBySamplingContext(context.Background(), m, opts)
+}
+
+// CharacterizeBySamplingContext is CharacterizeBySampling with
+// cancellation: ctx aborts the sweep between σ evaluations and drops any
+// queued pool tasks of its bootstrap batch.
+func CharacterizeBySamplingContext(ctx context.Context, m *Model, opts SamplingOptions) (*SamplingResult, error) {
+	return sampling.CharacterizeContext(ctx, m, opts)
 }
