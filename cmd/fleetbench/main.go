@@ -23,6 +23,14 @@
 //     worker vs the full pool (pool-routed PhaseFit column batches),
 //     asserting the fitted models are bit-identical and reporting the
 //     wall-time win (the BenchmarkSnpcheckFit scenario).
+//  7. Half-path A/B — reciprocal Table-I variants characterized with the
+//     full 2n×2n Hamiltonian (HalfOff) vs the half-size squared
+//     eigenproblem (HalfAuto), asserting crossing agreement within
+//     1e-9·ω_max and reporting the per-case speedup.
+//  8. Sparse-backend A/B — a synthetic n≥10⁴ model with port-local
+//     residues characterized with the packed-dense vs the CSR sparse
+//     kernels, asserting crossing agreement within 1e-9·ω_max and that
+//     BackendAuto resolves to sparse for this structure.
 //
 // The fleet phase also reports per-phase pool utilization (eig / probe /
 // constraint / refine task counts and worker-busy share), so the
@@ -49,7 +57,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"repro"
@@ -93,22 +100,28 @@ func sameFit(a, b *repro.VFResult) bool {
 }
 
 type caseRow struct {
-	Case         int     `json:"case"`
-	N            int     `json:"n"`
-	P            int     `json:"p"`
-	Nlambda      int     `json:"nlambda"`
-	NlambdaSolo  int     `json:"nlambda_solo"`
-	PaperNlambda int     `json:"nlambda_paper"`
-	BitIdentical bool    `json:"crossings_bit_identical"`
-	SoloNS       int64   `json:"solo_ns"`
-	FleetNS      int64   `json:"fleet_ns"` // per-job latency inside the fleet run
-	Shifts       int     `json:"shifts"`
-	ShiftsSolo   int     `json:"shifts_solo"`
-	ShiftsPerSec float64 `json:"shifts_per_sec"` // fleet-leg shift throughput
-	CacheHits    uint64  `json:"cache_hits"`     // this case's traffic on the engine-wide shift cache
-	CacheMisses  uint64  `json:"cache_misses"`
-	Passive      bool    `json:"passive"`
-	WorstSigma   float64 `json:"worst_sigma"`
+	Case         int   `json:"case"`
+	N            int   `json:"n"`
+	P            int   `json:"p"`
+	Nlambda      int   `json:"nlambda"`
+	NlambdaSolo  int   `json:"nlambda_solo"`
+	PaperNlambda int   `json:"nlambda_paper"`
+	BitIdentical bool  `json:"crossings_bit_identical"`
+	SoloNS       int64 `json:"solo_ns"`
+	// FleetBusyNS is the pool-worker time actually spent computing this
+	// job (fleet.Job.BusyTime); FleetLatencyNS is the job's submit-to-done
+	// wall time inside the concurrent fleet run, which also counts time
+	// queued behind the other jobs. The old single "fleet_ns" conflated
+	// the two (it was latency, easily misread as per-job cost).
+	FleetBusyNS    int64   `json:"fleet_busy_ns"`
+	FleetLatencyNS int64   `json:"fleet_latency_ns"`
+	Shifts         int     `json:"shifts"`
+	ShiftsSolo     int     `json:"shifts_solo"`
+	ShiftsPerSec   float64 `json:"shifts_per_sec"` // fleet-leg shifts per busy second
+	CacheHits      uint64  `json:"cache_hits"`     // this case's traffic on the engine-wide shift cache
+	CacheMisses    uint64  `json:"cache_misses"`
+	Passive        bool    `json:"passive"`
+	WorstSigma     float64 `json:"worst_sigma"`
 }
 
 type warmRow struct {
@@ -165,6 +178,34 @@ type cacheRow struct {
 	BitIdentical bool    `json:"crossings_bit_identical"`
 }
 
+type halfRow struct {
+	Case        int     `json:"case"`
+	N           int     `json:"n"`
+	P           int     `json:"p"`
+	FullNS      int64   `json:"full_ns"`
+	HalfNS      int64   `json:"half_ns"`
+	Speedup     float64 `json:"speedup"`
+	Nlambda     int     `json:"nlambda"`
+	NlambdaFull int     `json:"nlambda_full"`
+	Agree       bool    `json:"crossings_agree"` // within 1e-9·ω_max
+	HalfPath    bool    `json:"half_path"`       // Report.HalfPath of the half leg
+}
+
+type sparseRow struct {
+	N             int     `json:"n"`
+	P             int     `json:"p"`
+	SparsePorts   int     `json:"sparse_ports"`
+	DenseNS       int64   `json:"packed_dense_ns"`
+	SparseNS      int64   `json:"sparse_ns"`
+	Speedup       float64 `json:"speedup"`
+	DenseBackend  string  `json:"packed_dense_backend"`
+	SparseBackend string  `json:"sparse_backend"`
+	AutoBackend   string  `json:"auto_backend"` // what BackendAuto resolves to
+	Nlambda       int     `json:"nlambda"`
+	NlambdaDense  int     `json:"nlambda_dense"`
+	Agree         bool    `json:"crossings_agree"` // within 1e-9·ω_max
+}
+
 type benchOut struct {
 	Workers          int          `json:"workers"`
 	HostCores        int          `json:"host_cores"`
@@ -181,6 +222,8 @@ type benchOut struct {
 	Cache            *cacheRow    `json:"cache,omitempty"`
 	Priority         *priorityRow `json:"priority,omitempty"`
 	VectFit          *vfRow       `json:"vectfit,omitempty"`
+	HalfPath         []halfRow    `json:"halfpath,omitempty"`
+	Sparse           *sparseRow   `json:"sparse,omitempty"`
 }
 
 func main() {
@@ -192,6 +235,8 @@ func main() {
 	cacheCase := flag.Int("cachecase", 2, "violating Table-I case for the shift-cache on/off enforcement A/B (0 to skip)")
 	prioCase := flag.Int("priocase", 2, "violating Table-I case for the batch jobs of the priority/admission demo (0 to skip)")
 	vfPorts := flag.Int("vfports", 8, "port count of the synthetic sweep for the Vector Fitting A/B (0 to skip)")
+	halfAB := flag.Bool("half", true, "run the half-path A/B on the reciprocal Table-I variants")
+	sparseOrder := flag.Int("sparseorder", 10000, "dynamic order of the synthetic large-n case for the sparse-backend A/B (0 to skip)")
 	flag.Parse()
 
 	specs := repro.TableICases()
@@ -246,8 +291,6 @@ func main() {
 	// Phase 2: the same characterizations, all at once, on one shared pool.
 	engine := repro.NewFleet(*workers)
 	jobs := make([]*repro.FleetJob, len(specs))
-	fleetNS := make([]int64, len(specs))
-	var latencyWG sync.WaitGroup
 	fleetStart := time.Now()
 	for i := range specs {
 		j, err := engine.Submit(context.Background(), repro.FleetRequest{
@@ -258,23 +301,20 @@ func main() {
 			log.Fatalf("submit case %d: %v", specs[i].ID, err)
 		}
 		jobs[i] = j
-		latencyWG.Add(1)
-		go func(i int) {
-			defer latencyWG.Done()
-			<-jobs[i].Done()
-			fleetNS[i] = time.Since(fleetStart).Nanoseconds()
-		}(i)
 	}
 	fleetReps := make([]*repro.Report, len(specs))
+	fleetBusyNS := make([]int64, len(specs))
+	fleetLatencyNS := make([]int64, len(specs))
 	for i, j := range jobs {
 		res, err := j.Wait()
 		if err != nil {
 			log.Fatalf("fleet case %d: %v", specs[i].ID, err)
 		}
 		fleetReps[i] = res.Report
+		fleetBusyNS[i] = j.BusyTime().Nanoseconds()
+		fleetLatencyNS[i] = j.WallTime().Nanoseconds()
 	}
 	out.FleetWallNS = time.Since(fleetStart).Nanoseconds()
-	latencyWG.Wait()
 	// Per-case traffic on the engine-wide shift-factorization cache, plus
 	// the cache-wide totals (read before Close while the ops are alive).
 	caseCache := make([]repro.CacheStats, len(specs))
@@ -305,8 +345,8 @@ func main() {
 	}
 	engine.Close()
 
-	fmt.Printf("%-7s %5s %4s %8s %4s %6s %8s %5s %5s | %9s %9s | %4s\n",
-		"Case", "n", "p", "Nλ(pap)", "Nλ", "shifts", "sh/s", "hits", "miss", "solo[s]", "fleet[s]", "bit=")
+	fmt.Printf("%-7s %5s %4s %8s %4s %6s %8s %5s %5s | %9s %9s %9s | %4s\n",
+		"Case", "n", "p", "Nλ(pap)", "Nλ", "shifts", "sh/s", "hits", "miss", "solo[s]", "busy[s]", "lat[s]", "bit=")
 	for i, spec := range specs {
 		solo, fl := soloReps[i], fleetReps[i]
 		bit := len(solo.Crossings) == len(fl.Crossings)
@@ -325,19 +365,19 @@ func main() {
 			Case: spec.ID, N: spec.N, P: spec.P,
 			Nlambda: len(fl.Crossings), NlambdaSolo: len(solo.Crossings),
 			PaperNlambda: spec.PaperNlambda, BitIdentical: bit,
-			SoloNS: soloNS[i], FleetNS: fleetNS[i],
+			SoloNS: soloNS[i], FleetBusyNS: fleetBusyNS[i], FleetLatencyNS: fleetLatencyNS[i],
 			Shifts: fl.Solver.ShiftsProcessed, ShiftsSolo: solo.Solver.ShiftsProcessed,
 			CacheHits: caseCache[i].Hits, CacheMisses: caseCache[i].Misses,
 			Passive: fl.Passive, WorstSigma: fl.WorstViolation(),
 		}
-		if fleetNS[i] > 0 {
-			row.ShiftsPerSec = float64(row.Shifts) / (float64(fleetNS[i]) / 1e9)
+		if fleetBusyNS[i] > 0 {
+			row.ShiftsPerSec = float64(row.Shifts) / (float64(fleetBusyNS[i]) / 1e9)
 		}
 		out.Cases = append(out.Cases, row)
-		fmt.Printf("Case %-2d %5d %4d %8d %4d %6d %8.1f %5d %5d | %9.3f %9.3f | %v\n",
+		fmt.Printf("Case %-2d %5d %4d %8d %4d %6d %8.1f %5d %5d | %9.3f %9.3f %9.3f | %v\n",
 			spec.ID, spec.N, spec.P, spec.PaperNlambda, row.Nlambda, row.Shifts,
 			row.ShiftsPerSec, row.CacheHits, row.CacheMisses,
-			float64(row.SoloNS)/1e9, float64(row.FleetNS)/1e9, bit)
+			float64(row.SoloNS)/1e9, float64(row.FleetBusyNS)/1e9, float64(row.FleetLatencyNS)/1e9, bit)
 	}
 	out.Speedup = float64(out.SoloWallNS) / float64(out.FleetWallNS)
 	out.ThroughputJobsS = float64(len(specs)) / (float64(out.FleetWallNS) / 1e9)
@@ -546,6 +586,103 @@ func main() {
 		fmt.Printf("vectfit A/B (%d ports, order %d, %d samples): %.3fs @1 thread → %.3fs @%d (%.2fx), bit-identical: %v\n",
 			vf.Ports, vf.OrderPerCol, vf.Samples, float64(ns1)/1e9, float64(nsN)/1e9,
 			vf.FitThreads, vf.Speedup, vf.BitIdentical)
+	}
+
+	// crossingsAgree checks two crossing lists pairwise against the
+	// cross-backend/cross-path tolerance 1e-9·ω_max: the two legs solve
+	// different eigenproblems (full vs squared; dense vs sparse kernels),
+	// so agreement is to round-off, not bit-exact.
+	crossingsAgree := func(a, b *repro.Report) bool {
+		if len(a.Crossings) != len(b.Crossings) {
+			return false
+		}
+		tol := 1e-9 * a.OmegaMax
+		for i := range a.Crossings {
+			if d := a.Crossings[i] - b.Crossings[i]; d > tol || d < -tol {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Phase 7: half-path A/B — the reciprocal Table-I variants characterized
+	// with the half-size squared eigenproblem (HalfAuto engages on detected
+	// reciprocity) vs the full 2n×2n path forced with HalfOff. Crossings
+	// must agree within 1e-9·ω_max; the half leg should win ≥1.5× on the
+	// eigensolver-dominated cases.
+	if *halfAB {
+		for _, spec := range repro.ReciprocalTableICases() {
+			m, err := statespace.CachedCase(spec, *cacheDir)
+			if err != nil {
+				log.Fatalf("reciprocal case %d: %v", spec.ID, err)
+			}
+			leg := func(half repro.HalfMode) (*repro.Report, int64) {
+				opts := charOpts()
+				opts.Half = half
+				start := time.Now()
+				rep, err := repro.Characterize(m, opts)
+				if err != nil {
+					log.Fatalf("half A/B case %d (mode %v): %v", spec.ID, half, err)
+				}
+				return rep, time.Since(start).Nanoseconds()
+			}
+			fullRep, fullNS := leg(repro.HalfOff)
+			halfRep, halfNS := leg(repro.HalfAuto)
+			hr := halfRow{
+				Case: spec.ID, N: m.Order(), P: spec.P,
+				FullNS: fullNS, HalfNS: halfNS,
+				Speedup: float64(fullNS) / float64(halfNS),
+				Nlambda: len(halfRep.Crossings), NlambdaFull: len(fullRep.Crossings),
+				Agree:    crossingsAgree(fullRep, halfRep),
+				HalfPath: halfRep.HalfPath,
+			}
+			out.HalfPath = append(out.HalfPath, hr)
+			fmt.Printf("half A/B (case %d, n=%d p=%d): %.3fs full → %.3fs half (%.2fx), Nλ %d vs %d, agree@1e-9ωmax: %v, half path: %v\n",
+				hr.Case, hr.N, hr.P, float64(fullNS)/1e9, float64(halfNS)/1e9, hr.Speedup,
+				hr.NlambdaFull, hr.Nlambda, hr.Agree, hr.HalfPath)
+		}
+	}
+
+	// Phase 8: sparse-backend A/B — a synthetic n≥10⁴ model with port-local
+	// residues (banded C), characterized with the packed-dense kernels vs
+	// the CSR sparse kernels. BackendAuto resolves to sparse for this
+	// structure; crossings must agree within 1e-9·ω_max.
+	if *sparseOrder > 0 {
+		const sparsePorts, portsPerCol = 40, 2
+		spec := repro.CaseSpec{
+			ID: 200, N: *sparseOrder, P: sparsePorts, TargetPeak: 1.02,
+			Seed: 200, SparsePorts: portsPerCol,
+		}
+		m, err := statespace.CachedCase(spec, *cacheDir)
+		if err != nil {
+			log.Fatalf("sparse case: %v", err)
+		}
+		leg := func(b repro.Backend) (*repro.Report, int64) {
+			opts := charOpts()
+			opts.Backend = b
+			start := time.Now()
+			rep, err := repro.Characterize(m, opts)
+			if err != nil {
+				log.Fatalf("sparse A/B (backend %v): %v", b, err)
+			}
+			return rep, time.Since(start).Nanoseconds()
+		}
+		denseRep, denseNS := leg(repro.BackendPackedDense)
+		sparseRep, sparseNS := leg(repro.BackendSparse)
+		m.SetBackend(repro.BackendAuto)
+		sr := sparseRow{
+			N: m.Order(), P: sparsePorts, SparsePorts: portsPerCol,
+			DenseNS: denseNS, SparseNS: sparseNS,
+			Speedup:      float64(denseNS) / float64(sparseNS),
+			DenseBackend: denseRep.Backend.String(), SparseBackend: sparseRep.Backend.String(),
+			AutoBackend: m.ActiveBackend().String(),
+			Nlambda:     len(sparseRep.Crossings), NlambdaDense: len(denseRep.Crossings),
+			Agree: crossingsAgree(denseRep, sparseRep),
+		}
+		out.Sparse = &sr
+		fmt.Printf("sparse A/B (n=%d, p=%d, %d ports/col): %.3fs packed-dense → %.3fs sparse (%.2fx), auto resolves to %s, Nλ %d vs %d, agree@1e-9ωmax: %v\n",
+			sr.N, sr.P, portsPerCol, float64(denseNS)/1e9, float64(sparseNS)/1e9, sr.Speedup,
+			sr.AutoBackend, sr.NlambdaDense, sr.Nlambda, sr.Agree)
 	}
 
 	if *jsonOut != "" {

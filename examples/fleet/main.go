@@ -38,6 +38,7 @@ func main() {
 
 	fmt.Printf("fleet: %d batch jobs on a shared pool of %d workers (admission cap %d)\n",
 		*jobs, engine.Workers(), *maxQueued)
+	//lint:ignore detfloat demo wall-clock display only; it never feeds numeric state
 	start := time.Now()
 	handles := make([]*repro.FleetJob, *jobs)
 	for i := range handles {
@@ -78,8 +79,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//lint:ignore detfloat demo wall-clock display only; it never feeds numeric state
+	elapsed := time.Since(start)
 	fmt.Printf("interactive job done in %.2fs (passive=%v) while the batch keeps running\n",
-		time.Since(start).Seconds(), ires.Report.Passive)
+		elapsed.Seconds(), ires.Report.Passive)
 
 	// Ingest path on the same pool: tabulated data fitted with Vector
 	// Fitting whose per-column LS solves run as PhaseFit tasks of the
@@ -124,7 +127,9 @@ func main() {
 				res.EnforceReport.ResidueChange)
 		}
 	}
+	//lint:ignore detfloat demo wall-clock display only; it never feeds numeric state
 	fmt.Printf("batch done in %.2fs; per-phase pool work:\n", time.Since(start).Seconds())
+	//lint:ignore detfloat demo display of a stats snapshot; print order does not feed results
 	for ph, st := range engine.PhaseStats() {
 		fmt.Printf("  %-10s %6d tasks %10.3fs busy\n", ph, st.Tasks, st.Busy.Seconds())
 	}

@@ -2,8 +2,8 @@
 // core: reports must be bit-identical to the paper's Table-I results
 // under any worker count, cache state, or fleet scheduling. Inside the
 // bit-identity packages (statespace, hamiltonian, arnoldi, core,
-// passivity) it rejects the constructs that can silently break that
-// guarantee:
+// passivity, fleet) it rejects the constructs that can silently break
+// that guarantee:
 //
 //   - ranging over a map (iteration order is randomized per run);
 //   - math.FMA (fused rounding differs from the a*b+c code path and from
@@ -29,7 +29,7 @@ import (
 
 // bitIdentityPkgs are the package-path segments whose code must be
 // schedule-independent down to the last float bit.
-var bitIdentityPkgs = []string{"statespace", "hamiltonian", "arnoldi", "core", "passivity"}
+var bitIdentityPkgs = []string{"statespace", "hamiltonian", "arnoldi", "core", "passivity", "fleet"}
 
 // randAllowed lists math/rand constructors that produce explicitly seeded
 // deterministic streams and are therefore permitted.
@@ -39,7 +39,7 @@ var randAllowed = map[string]bool{"New": true, "NewSource": true}
 var Analyzer = &analysis.Analyzer{
 	Name: "detfloat",
 	Doc: "forbid map iteration, math.FMA, wall-clock reads, and global math/rand " +
-		"in the bit-identity packages (statespace, hamiltonian, arnoldi, core, passivity)",
+		"in the bit-identity packages (statespace, hamiltonian, arnoldi, core, passivity, fleet)",
 	Run: run,
 }
 

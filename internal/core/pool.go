@@ -100,9 +100,10 @@ type Client struct {
 	weight    int
 	maxQueued int // RunBatch enqueue window, 0 = unbounded
 
-	queue  []*task // this client's pending tasks, FIFO
-	credit int     // WRR pops left before the client rotates to the back
-	queued bool    // client is in its class ring
+	queue  []*task       // this client's pending tasks, FIFO
+	credit int           // WRR pops left before the client rotates to the back
+	queued bool          // client is in its class ring
+	busy   time.Duration // cumulative worker time spent on this client's tasks
 }
 
 // ClientOptions configures a pool client.
@@ -140,6 +141,17 @@ func (p *Pool) NewClient(o ClientOptions) *Client {
 
 // Pool returns the pool the client is registered with.
 func (c *Client) Pool() *Pool { return c.pool }
+
+// BusyTime returns the cumulative worker time spent executing this
+// client's tasks — the job's actual compute cost on the pool, as opposed
+// to its wall-clock latency, which on a contended pool also counts time
+// spent queued behind other clients' work. Telemetry only; it never feeds
+// numeric state.
+func (c *Client) BusyTime() time.Duration {
+	c.pool.mu.Lock()
+	defer c.pool.mu.Unlock()
+	return c.busy
+}
 
 // Pool is a fixed set of worker goroutines shared by any number of
 // concurrent jobs. It is a phase-agnostic task executor: multi-shift
@@ -294,6 +306,7 @@ func (p *Pool) worker(id int) {
 		s.Tasks++
 		s.Busy += busy
 		p.phase[t.phase] = s
+		t.client.busy += busy
 		p.mu.Unlock()
 	}
 }

@@ -37,7 +37,15 @@ func EstimateOmegaMax(op *hamiltonian.Op, seed int64) (float64, error) {
 // runShift executes one single-shift iteration S(jω, ρ₀) on a factored
 // shift-invert operator — freshly factored, or pinned from the operator's
 // shift cache when the interval was prefactored (Job.prefactorShifts).
+// When the operator carries the half-size reciprocal path, the iteration
+// runs in the squared spectral space μ = λ² at shift τ = −ω² and the
+// result is mapped back to λ-space (see runShiftHalf); the returned
+// eigenvalue estimates feed the same full-size refinement pipeline either
+// way.
 func runShift(op *hamiltonian.Op, omega, rho0 float64, params arnoldi.SingleShiftParams) (*arnoldi.SingleShiftResult, error) {
+	if op.HalfRouted(omega, rho0) {
+		return runShiftHalf(op, op.Half(), omega, rho0, params)
+	}
 	so, err := op.ShiftInvert(complex(0, omega))
 	if err != nil {
 		// The shift collided with an eigenvalue (a crossing sits exactly at
@@ -53,6 +61,83 @@ func runShift(op *hamiltonian.Op, omega, rho0 float64, params arnoldi.SingleShif
 	}
 	defer so.Release()
 	return arnoldi.SingleShift(so, rho0, params)
+}
+
+// runShiftHalf is the half-size sweep iteration for reciprocal models.
+// The λ-disk |λ − jω| ≤ ρ maps into the μ-disk |μ + ω²| ≤ ρ·(ρ + 2ω)
+// (since μ − τ = (λ − jω)(λ + jω) and |λ + jω| ≤ |λ − jω| + 2ω), so
+// running the same certified-disk iteration at τ = −ω² with the enlarged
+// radius covers every Hamiltonian eigenvalue the full-size shift would
+// certify. Found eigenvalues map back through the canonical square root
+// (Im λ ≥ 0 — a genuine eigenvalue of M, which is symmetric under λ ↦ −λ,
+// and the representative the crossing pipeline wants).
+func runShiftHalf(op *hamiltonian.Op, h *hamiltonian.HalfOp, omega, rho0 float64, params arnoldi.SingleShiftParams) (*arnoldi.SingleShiftResult, error) {
+	so, err := h.ShiftInvert(op.SweepTheta(omega, rho0))
+	if err != nil {
+		// τ collided with an eigenvalue of N; nudge ω exactly like the
+		// full path and re-square.
+		nudge := omega * 1e-9
+		if nudge == 0 {
+			nudge = rho0 * 1e-9
+		}
+		so, err = h.ShiftInvert(op.SweepTheta(omega+nudge, rho0))
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer so.Release()
+	rhoMu := rho0 * (rho0 + 2*omega)
+	// τ = −ω² is real and N is a real operator, so the μ-space iteration
+	// runs in real arithmetic end to end.
+	mres, err := arnoldi.SingleShiftReal(so, rhoMu, params)
+	if err != nil {
+		return nil, err
+	}
+	return mapHalfResult(mres, omega), nil
+}
+
+// mapHalfResult converts a μ-space (μ = λ²) single-shift result to
+// λ-space. Radius: inverting ρ_μ = ρ_λ·(ρ_λ + 2ω) gives exactly
+// ρ_λ = ρ_μ / (√(ω² + ρ_μ) + ω), additionally capped at
+// HalfSafeFraction·ω — a grown μ-certification must never claim the
+// near-origin region where the squared spectrum cannot resolve pairs
+// (shrinking a certified disk is always sound). Residuals: a backward
+// error δμ on μ perturbs λ = √μ by ≈ δμ/(2|λ|); at λ ≈ 0 the map
+// degenerates to √δμ.
+func mapHalfResult(mres *arnoldi.SingleShiftResult, omega float64) *arnoldi.SingleShiftResult {
+	out := &arnoldi.SingleShiftResult{
+		Theta:     complex(0, omega),
+		Restarts:  mres.Restarts,
+		OpApplies: mres.OpApplies,
+		Exhausted: mres.Exhausted,
+	}
+	rhoMu := mres.Radius
+	out.Radius = rhoMu / (math.Sqrt(omega*omega+rhoMu) + omega)
+	if lim := hamiltonian.HalfSafeFraction * omega; out.Radius > lim {
+		out.Radius = lim
+	}
+	if len(mres.Eigenvalues) == 0 {
+		return out
+	}
+	out.Eigenvalues = make([]complex128, len(mres.Eigenvalues))
+	out.ResidualsM = make([]float64, len(mres.Eigenvalues))
+	for i, mu := range mres.Eigenvalues {
+		lam := cmplx.Sqrt(mu)
+		if imag(lam) < 0 {
+			lam = -lam
+		}
+		out.Eigenvalues[i] = lam
+		resid := 0.0
+		if i < len(mres.ResidualsM) {
+			if a := 2 * cmplx.Abs(lam); a > 0 {
+				resid = mres.ResidualsM[i] / a
+			} else {
+				resid = math.Sqrt(mres.ResidualsM[i])
+			}
+		}
+		out.ResidualsM[i] = resid
+	}
+	return out
 }
 
 // collect turns the per-shift eigenvalue sets into the final Result fields:
@@ -284,8 +369,8 @@ func canonicalPolish(client *Client, crossings []float64, op *hamiltonian.Op, sc
 		return err
 	}
 	fns := make([]func(int) error, len(crossings))
-	for i, w := range crossings {
-		i, w := i, w
+	for i := range crossings {
+		i := i
 		fns[i] = func(int) error {
 			wq := seeds[i]
 			if math.IsNaN(wq) {
@@ -296,13 +381,20 @@ func canonicalPolish(client *Client, crossings []float64, op *hamiltonian.Op, sc
 				return nil // keep the original refined value
 			}
 			pw := math.Abs(imag(r))
-			// A legitimate polish moves w by far less than a seed cell; a
-			// larger jump means the iteration converged to a different
-			// (neighboring) eigenvalue — keep the original refined value.
-			// For in-cell pairs the guard is 2·fineQuantum, below the
-			// 3e-9·scale minimum true separation, so a polish that slides
-			// onto the pair's other member is rejected.
-			if math.Abs(pw-w) > guards[i] {
+			// A legitimate polish lands within a seed cell of where it
+			// started; a larger jump means the iteration converged to a
+			// different (neighboring) eigenvalue — keep the original refined
+			// value. The jump is measured from the SEED, not the member's
+			// original value: in a multi-member cell the seed is the
+			// multiplicity-resolved position, and a member that entered as a
+			// schedule-dependent phantom of its cell-mate sits a whole
+			// phantom-offset away from its own resolved seed. Guarding on
+			// the original value would veto exactly the polish that collapses
+			// the phantom onto the true eigenvalue (where the final dedup
+			// merges it). For in-cell pairs the guard is 2·fineQuantum, below
+			// the 3e-9·scale minimum true separation, so a polish that slides
+			// onto the pair's other member is still rejected.
+			if math.Abs(pw-wq) > guards[i] {
 				return nil
 			}
 			crossings[i] = pw

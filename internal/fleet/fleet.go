@@ -46,6 +46,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hamiltonian"
@@ -219,13 +220,31 @@ type Result struct {
 
 // Job is a handle to one submitted request.
 type Job struct {
-	done chan struct{}
-	res  Result
-	err  error
+	done   chan struct{}
+	res    Result
+	err    error
+	client *core.Client
+	wall   time.Duration // submit-to-finish latency, set before done closes
 }
 
 // Done returns a channel closed when the job has finished.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// BusyTime returns the cumulative pool-worker time spent on this job's
+// tasks — its actual compute cost. On a contended pool this is far below
+// WallTime, which also counts time queued behind other jobs.
+func (j *Job) BusyTime() time.Duration { return j.client.BusyTime() }
+
+// WallTime returns the submit-to-finish latency of the job. Zero until
+// the job finishes.
+func (j *Job) WallTime() time.Duration {
+	select {
+	case <-j.done:
+		return j.wall
+	default:
+		return 0
+	}
+}
 
 // Wait blocks until the job finishes. On error the Result may still be
 // partially populated (notably passivity.ErrEnforcementFailed, which
@@ -287,11 +306,17 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 
 	// One scheduling identity spans every compute phase of the job.
 	client := e.pool.NewClient(core.ClientOptions{Priority: req.Priority, Weight: req.Weight})
-	j := &Job{done: make(chan struct{})}
+	j := &Job{done: make(chan struct{}), client: client}
+	//lint:ignore detfloat job wall-time telemetry only; it never feeds numeric state
+	start := time.Now()
 	go func() {
 		defer e.wg.Done()
 		defer release()
 		defer close(j.done)
+		defer func() {
+			//lint:ignore detfloat job wall-time telemetry only; it never feeds numeric state
+			j.wall = time.Since(start)
+		}()
 		if req.Enforce != nil {
 			opts := *req.Enforce
 			opts.Char.Core.Pool = e.pool

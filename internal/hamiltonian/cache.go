@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/statespace"
 )
 
 // ShiftCache memoizes factored shift-invert state (shiftFactor) across
@@ -45,11 +47,17 @@ type ShiftCache struct {
 }
 
 // shiftKey identifies one factorization: which operator, which kernel
-// generation, which exact shift.
+// generation, which compute backend, which exact shift. The backend
+// component is belt-and-braces — SetBackend also bumps the kernel epoch —
+// but makes the invariant local: a factor built against one backend's
+// floating-point stream can never be served to another. HalfOps key with
+// their own opID, so half- and full-path factors of the same model never
+// collide either.
 type shiftKey struct {
-	opID   uint64
-	epoch  uint64
-	re, im uint64 // math.Float64bits of the shift
+	opID    uint64
+	epoch   uint64
+	backend statespace.Backend
+	re, im  uint64 // math.Float64bits of the shift
 }
 
 type cacheEntry struct {
@@ -104,10 +112,11 @@ func (c *ShiftCache) Len() int {
 
 func shiftKeyFor(op *Op, theta complex128) shiftKey {
 	return shiftKey{
-		opID:  op.id,
-		epoch: op.Model.KernelEpoch(),
-		re:    math.Float64bits(real(theta)),
-		im:    math.Float64bits(imag(theta)),
+		opID:    op.id,
+		epoch:   op.Model.KernelEpoch(),
+		backend: op.Model.ActiveBackend(),
+		re:      math.Float64bits(real(theta)),
+		im:      math.Float64bits(imag(theta)),
 	}
 }
 
@@ -199,6 +208,28 @@ func (c *ShiftCache) shiftInvert(op *Op, theta complex128) (*ShiftOp, error) {
 		return nil, err
 	}
 	return op.newShiftOp(e.fac, e), nil
+}
+
+// shiftInvertHalf is the cached ShiftInvert path for the half-size
+// operator, mirroring shiftInvert. Half-path traffic is attributed to the
+// parent Op's counters — callers see one characterization's cache story
+// regardless of which path served it.
+func (c *ShiftCache) shiftInvertHalf(h *HalfOp, tau complex128) (*HalfShiftOp, error) {
+	e, mustFactor := c.acquire(h.shiftKeyFor(tau))
+	if mustFactor {
+		e.fac, e.err = h.factorShift(tau)
+		close(e.ready)
+		h.op.cacheMisses.Add(1)
+	} else {
+		<-e.ready
+		h.op.cacheHits.Add(1)
+	}
+	if e.err != nil {
+		err := e.err
+		c.discard(e)
+		return nil, err
+	}
+	return h.newShiftOp(e.fac, e), nil
 }
 
 // publish installs an externally built factor (the batched prefactor

@@ -77,6 +77,12 @@ type Op struct {
 	// epoch alone cannot distinguish two different models.
 	id uint64
 
+	// half, when non-nil, is the half-size reciprocal sweep operator
+	// (spec(M)² on n states instead of spec(M) on 2n). Built by NewWith
+	// when the model is reciprocal and the half path is enabled; shares
+	// this Op's model, cache and traffic counters.
+	half *HalfOp
+
 	// cache, when set, memoizes factored shift state across ShiftInvert
 	// calls (see ShiftCache). Atomic so fleet wiring and in-flight solves
 	// never race; nil means every ShiftInvert factors from scratch.
@@ -131,8 +137,27 @@ func (op *Op) getPanels() *smwPanels {
 // would otherwise make projected eigenproblems hopelessly ill conditioned,
 // is removed.
 func New(m *statespace.Model, rep Representation) (*Op, error) {
+	return NewWith(m, rep, NewOptions{})
+}
+
+// NewWith builds the Hamiltonian operator with explicit path options. With
+// Half == HalfAuto (the default) reciprocity is detected on the source
+// model — before balancing, so bit-exact symmetry of as-built models is
+// seen — and, when it holds, the half-size sweep operator is attached
+// (see HalfOp). HalfForce skips detection; HalfOff never attaches it.
+// Under HalfAuto a half-path construction failure (e.g. a singular
+// coupling) silently falls back to the full path; under HalfForce it is
+// an error.
+func NewWith(m *statespace.Model, rep Representation, opts NewOptions) (*Op, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
+	}
+	useHalf := false
+	switch opts.Half {
+	case HalfForce:
+		useHalf = true
+	case HalfAuto:
+		useHalf = m.Reciprocal(opts.HalfTol)
 	}
 	m = m.Balanced()
 	p := m.P
@@ -182,7 +207,79 @@ func New(m *statespace.Model, rep Representation) (*Op, error) {
 	default:
 		return nil, fmt.Errorf("hamiltonian: unknown representation %v", rep)
 	}
-	return &Op{Model: m, Rep: rep, N: m.Order(), P: p, w: w, id: opIDs.Add(1)}, nil
+	op := &Op{Model: m, Rep: rep, N: m.Order(), P: p, w: w, id: opIDs.Add(1)}
+	if useHalf {
+		h, err := newHalfOp(op)
+		if err != nil {
+			if opts.Half == HalfForce {
+				return nil, err
+			}
+		} else {
+			op.half = h
+		}
+	}
+	return op, nil
+}
+
+// Half returns the half-size reciprocal sweep operator, or nil when the
+// full-size path is active.
+func (op *Op) Half() *HalfOp { return op.half }
+
+// HalfSafeFraction bounds how close (relative to ω) a half-path certified
+// disk may approach the origin. Squaring the spectrum costs relative
+// resolution near λ = 0: for an eigenvalue at distance d from the shift
+// jω, a λ-separation Δ maps to a μ-separation Δ·|λ₁+λ₂| against a μ-scale
+// of d·|λ+jω| — a loss factor of roughly 2|λ|/ω when |λ| ≪ ω, which lets
+// near-origin eigenvalue pairs collapse into one Ritz ghost while the
+// disk still certifies completeness. Keeping the disk radius below this
+// fraction of ω bounds the loss factor at 2·(1 − HalfSafeFraction), so
+// sweep shifts whose disk would reach closer to the origin run on the
+// full-size path instead (they are the O(log) near-origin tail of a
+// sweep; the bulk keeps the half-size speedup).
+const HalfSafeFraction = 0.75
+
+// HalfRouted reports whether the sweep shift (ω, ρ₀) runs on the
+// half-size path: the operator must carry one and the requested disk must
+// respect HalfSafeFraction.
+func (op *Op) HalfRouted(omega, rho0 float64) bool {
+	return op.half != nil && rho0 < HalfSafeFraction*omega
+}
+
+// SweepTheta maps a sweep shift (ω, ρ₀) to the shift the routed path
+// factors at: jω on the full path, τ = −ω² (the squared eigenvalue) on
+// the half path. Core must obtain sweep shifts through this method so
+// lazily factored and prefactored shifts agree to the bit.
+func (op *Op) SweepTheta(omega, rho0 float64) complex128 {
+	if op.HalfRouted(omega, rho0) {
+		return complex(-(omega * omega), 0)
+	}
+	return complex(0, omega)
+}
+
+// PrefactorSweep batch-prefactors sweep shifts (as produced by
+// SweepTheta) on the path each belongs to. Half-path shifts are exactly
+// the ones with a nonzero real part: full-path sweep shifts are purely
+// imaginary by construction and half-path shifts are −ω² < 0 (ω = 0
+// always routes full).
+func (op *Op) PrefactorSweep(thetas []complex128) {
+	if op.half == nil {
+		op.PrefactorShifts(thetas)
+		return
+	}
+	var full, half []complex128
+	for _, th := range thetas {
+		if real(th) != 0 {
+			half = append(half, th)
+		} else {
+			full = append(full, th)
+		}
+	}
+	if len(full) > 0 {
+		op.PrefactorShifts(full)
+	}
+	if len(half) > 0 {
+		op.half.PrefactorShifts(half)
+	}
 }
 
 func setBlock(dst *mat.Dense, i0, j0 int, b *mat.Dense) {
@@ -257,7 +354,12 @@ func (op *Op) Apply(y, x []complex128) {
 // caller scratch). This is the unit the ShiftCache stores.
 type shiftFactor struct {
 	theta complex128
-	cap   *mat.CLU // factored (I + W·V·G·U), 2p×2p
+	cap   *mat.CLU // factored (I + W·V·G·U), 2p×2p (full path)
+	// rcap is the half path's capacitance: for the real shift τ = −ω² the
+	// squared operator's SMW capacitance I + V·Gτ·U is real, so half-path
+	// factors carry a real LU (cap stays nil) and applies run entirely in
+	// real arithmetic.
+	rcap *mat.LU
 }
 
 // ShiftOp is a shift-invert operator (M − ϑI)⁻¹ for one shift ϑ: a shared

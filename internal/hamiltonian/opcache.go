@@ -1,6 +1,7 @@
 package hamiltonian
 
 import (
+	"math"
 	"sync"
 
 	"repro/internal/statespace"
@@ -32,9 +33,14 @@ type OpCache struct {
 	ops    map[opCacheKey]opCacheEntry
 }
 
+// opCacheKey includes the half-path options: two jobs asking for the same
+// model with different path settings (e.g. an A/B benchmark forcing the
+// full path against an auto half path) must get distinct operators.
 type opCacheKey struct {
-	model *statespace.Model
-	rep   Representation
+	model   *statespace.Model
+	rep     Representation
+	half    HalfMode
+	halfTol uint64 // math.Float64bits of NewOptions.HalfTol
 }
 
 type opCacheEntry struct {
@@ -60,8 +66,14 @@ func (oc *OpCache) ShiftCache() *ShiftCache { return oc.shifts }
 // pure peek — it never builds an operator — returning zeros when the cache
 // holds none (never characterized, or rebuilt after an epoch move).
 func (oc *OpCache) StatsFor(m *statespace.Model, rep Representation) CacheStats {
+	return oc.StatsForWith(m, rep, NewOptions{})
+}
+
+// StatsForWith is StatsFor for an operator requested with explicit path
+// options.
+func (oc *OpCache) StatsForWith(m *statespace.Model, rep Representation, opts NewOptions) CacheStats {
 	oc.mu.Lock()
-	e, ok := oc.ops[opCacheKey{model: m, rep: rep}]
+	e, ok := oc.ops[opKeyFor(m, rep, opts)]
 	oc.mu.Unlock()
 	if !ok {
 		return CacheStats{}
@@ -69,11 +81,25 @@ func (oc *OpCache) StatsFor(m *statespace.Model, rep Representation) CacheStats 
 	return e.op.OpCacheStats()
 }
 
-// Get returns the shared operator for (m, rep), building it on first use
-// or after m's kernel epoch has moved. Errors are those of New and are not
-// memoized.
+func opKeyFor(m *statespace.Model, rep Representation, opts NewOptions) opCacheKey {
+	return opCacheKey{
+		model:   m,
+		rep:     rep,
+		half:    opts.Half,
+		halfTol: math.Float64bits(opts.HalfTol),
+	}
+}
+
+// Get returns the shared operator for (m, rep) with default path options,
+// building it on first use or after m's kernel epoch has moved. Errors are
+// those of New and are not memoized.
 func (oc *OpCache) Get(m *statespace.Model, rep Representation) (*Op, error) {
-	k := opCacheKey{model: m, rep: rep}
+	return oc.GetWith(m, rep, NewOptions{})
+}
+
+// GetWith is Get for an operator built with explicit path options.
+func (oc *OpCache) GetWith(m *statespace.Model, rep Representation, opts NewOptions) (*Op, error) {
+	k := opKeyFor(m, rep, opts)
 	epoch := m.KernelEpoch()
 	oc.mu.Lock()
 	if e, ok := oc.ops[k]; ok && e.epoch == epoch {
@@ -85,7 +111,7 @@ func (oc *OpCache) Get(m *statespace.Model, rep Representation) (*Op, error) {
 	// inversion) and must not serialize unrelated models. A racing build of
 	// the same key wastes one setup; last writer wins and both Ops are
 	// valid.
-	op, err := New(m, rep)
+	op, err := NewWith(m, rep, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -21,11 +21,22 @@ type LU struct {
 // LUFactor computes the LU factorization of the square matrix a with
 // partial pivoting. The input is not modified.
 func LUFactor(a *Dense) (*LU, error) {
-	if a.Rows != a.Cols {
-		panic(fmt.Sprintf("mat: LU of non-square %d×%d matrix", a.Rows, a.Cols))
+	return luFactor(a.Clone())
+}
+
+// LUFactorInPlace is LUFactor without the defensive copy: the input is
+// overwritten with the factors and owned by the returned LU. Use it when a
+// is a freshly built scratch matrix (e.g. the half path's real per-shift
+// SMW capacitance).
+func LUFactorInPlace(a *Dense) (*LU, error) {
+	return luFactor(a)
+}
+
+func luFactor(lu *Dense) (*LU, error) {
+	if lu.Rows != lu.Cols {
+		panic(fmt.Sprintf("mat: LU of non-square %d×%d matrix", lu.Rows, lu.Cols))
 	}
-	n := a.Rows
-	lu := a.Clone()
+	n := lu.Rows
 	piv := make([]int, n)
 	for i := range piv {
 		piv[i] = i
@@ -99,6 +110,41 @@ func (f *LU) Solve(b []float64) []float64 {
 		x[i] = (x[i] - s) / ri[i]
 	}
 	return x
+}
+
+// SolveIntoScratch solves A·x = b, writing the solution into dst (len n)
+// with a caller-provided permutation gather buffer (len ≥ n). dst and b may
+// alias. It only reads the factorization, so any number of goroutines may
+// solve against the same LU concurrently as long as each brings its own
+// scratch — the property the half path's shift-factorization cache relies
+// on to share one factored real SMW capacitance across in-flight runs.
+func (f *LU) SolveIntoScratch(dst, b, scratch []float64) {
+	n := f.lu.Rows
+	if len(b) != n || len(dst) != n || len(scratch) < n {
+		panic("mat: LU SolveIntoScratch dimension mismatch")
+	}
+	// Gather b through the permutation first so dst may alias b.
+	tmp := scratch
+	for i := 0; i < n; i++ {
+		tmp[i] = b[f.piv[i]]
+	}
+	copy(dst, tmp)
+	for i := 1; i < n; i++ {
+		ri := f.lu.Row(i)
+		var s float64
+		for j := 0; j < i; j++ {
+			s += ri[j] * dst[j]
+		}
+		dst[i] -= s
+	}
+	for i := n - 1; i >= 0; i-- {
+		ri := f.lu.Row(i)
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += ri[j] * dst[j]
+		}
+		dst[i] = (dst[i] - s) / ri[i]
+	}
 }
 
 // SolveMat solves A·X = B column-by-column and returns X.

@@ -1,0 +1,296 @@
+package mat
+
+import "math"
+
+// Targeted σ_max computation. Passivity characterization evaluates
+// σ_max(H(jω)) at hundreds of band-probe frequencies per model, and the
+// full one-sided Jacobi SVD (CSVDecompose) — O(p³) per sweep with several
+// sweeps and per-rotation column dots — is far more machinery than the
+// single extreme singular value needs. σ_max(A)² is the top eigenvalue of
+// the Hermitian PSD Gram matrix G = AᴴA, which Hermitian Lanczos with full
+// reorthogonalization pins down in a few dozen p²-cost matvecs after one
+// p³ pass to form G: ~15–20× cheaper than the Jacobi route at p ≈ 56.
+//
+// Determinism: the start vector comes from a fixed splitmix-style integer
+// recurrence, the iteration has no data-dependent ordering, and the
+// convergence test is a residual bound on the projected problem — repeated
+// calls are bit-identical, which the report bit-identity guarantees
+// require. On the (never observed) chance the iteration fails to certify
+// convergence within the iteration cap, MaxSingularValue falls back to the
+// Jacobi SVD rather than return an uncertified estimate.
+
+// sigmaMaxRelTol is the relative residual bound certifying the Lanczos
+// eigenvalue: ‖G·x − λx‖ ≤ tol·λ gives a σ_max relative error ≤ ~tol/2,
+// far below the 1e-9 agreement contracts built on these probes.
+const sigmaMaxRelTol = 1e-12
+
+// maxSingularValueLanczos returns (σ_max, true) when the Lanczos bound
+// certifies convergence, (0, false) otherwise.
+func maxSingularValueLanczos(a *CDense) (float64, bool) {
+	m, n := a.Rows, a.Cols
+	if m == 0 || n == 0 {
+		return 0, true
+	}
+	if m < n {
+		// Work with the smaller Gram matrix: σ(A) = σ(Aᴴ).
+		return maxSingularValueLanczos(a.H())
+	}
+	// G = AᴴA, Hermitian n×n: G[i][j] = Σ_r conj(A[r][i])·A[r][j].
+	g := NewCDense(n, n)
+	for r := 0; r < m; r++ {
+		row := a.Row(r)
+		for i := 0; i < n; i++ {
+			ci := row[i]
+			cir, cii := real(ci), -imag(ci)
+			if cir == 0 && cii == 0 {
+				continue
+			}
+			gi := g.Row(i)
+			for j := i; j < n; j++ {
+				cj := row[j]
+				gi[j] += complex(cir*real(cj)-cii*imag(cj), cir*imag(cj)+cii*real(cj))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := g.At(i, j)
+			g.Set(j, i, complex(real(v), -imag(v)))
+		}
+	}
+	// Scale guard: λ_max(G) ≤ trace(G); an all-zero matrix is σ_max = 0.
+	var trace float64
+	for i := 0; i < n; i++ {
+		trace += real(g.At(i, i))
+	}
+	if trace == 0 {
+		return 0, true
+	}
+
+	maxIter := n
+	if maxIter > 64 {
+		maxIter = 64
+	}
+	v := make([][]complex128, 0, maxIter+1)
+	v0 := deterministicStart(n)
+	v = append(v, v0)
+	alpha := make([]float64, 0, maxIter)
+	beta := make([]float64, 0, maxIter) // beta[k] couples v[k] to v[k+1]
+	w := make([]complex128, n)
+	for k := 0; k < maxIter; k++ {
+		vk := v[k]
+		for i := 0; i < n; i++ {
+			row := g.Row(i)
+			var sr, si float64
+			for j, x := range vk {
+				r := row[j]
+				sr += real(r)*real(x) - imag(r)*imag(x)
+				si += real(r)*imag(x) + imag(r)*real(x)
+			}
+			w[i] = complex(sr, si)
+		}
+		// Full reorthogonalization keeps the basis orthonormal in floating
+		// point; the subspace is tiny compared to the G matvec.
+		var ak float64
+		for i, u := range v {
+			c := CProjSub(u, w)
+			if i == k {
+				ak = real(c)
+			}
+		}
+		for _, u := range v {
+			CProjSub(u, w)
+		}
+		alpha = append(alpha, ak)
+		bk := CNorm2(w)
+		lam, yLast := lanczosTopEig(alpha, beta)
+		// Residual of the lifted Ritz pair: β_k·|y_k|. An (numerically)
+		// invariant subspace certifies exactly.
+		if resid := bk * math.Abs(yLast); resid <= sigmaMaxRelTol*lam || bk <= 1e-14*trace {
+			if lam < 0 {
+				lam = 0
+			}
+			return math.Sqrt(lam), true
+		}
+		beta = append(beta, bk)
+		next := make([]complex128, n)
+		inv := complex(1/bk, 0)
+		for i, z := range w {
+			next[i] = z * inv
+		}
+		v = append(v, next)
+	}
+	return 0, false
+}
+
+// lanczosTopEig returns the largest eigenvalue of the symmetric tridiagonal
+// T(alpha, beta) and the |last component| of its unit eigenvector — the two
+// quantities the residual bound needs — in O(k) per bisection step: Sturm
+// counts bracket λ_max to machine precision, then two steps of tridiagonal
+// inverse iteration recover the eigenvector. This runs every Lanczos
+// iteration, so it must stay far below the O(n²) matvec (a dense
+// eigensolve here would dominate the whole probe).
+func lanczosTopEig(alpha, beta []float64) (lam, yLast float64) {
+	k := len(alpha)
+	if k == 1 {
+		return alpha[0], 1
+	}
+	// Gershgorin bracket.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < k; i++ {
+		var r float64
+		if i > 0 {
+			r += math.Abs(beta[i-1])
+		}
+		if i < k-1 {
+			r += math.Abs(beta[i])
+		}
+		if alpha[i]-r < lo {
+			lo = alpha[i] - r
+		}
+		if alpha[i]+r > hi {
+			hi = alpha[i] + r
+		}
+	}
+	// Sturm count: the number of eigenvalues below x is the number of
+	// negative terms in the LDLᵀ pivot recurrence of T − xI.
+	countBelow := func(x float64) int {
+		cnt := 0
+		d := alpha[0] - x
+		if d < 0 {
+			cnt++
+		}
+		for i := 1; i < k; i++ {
+			den := d
+			if den == 0 {
+				den = 1e-300
+			}
+			d = alpha[i] - x - beta[i-1]*beta[i-1]/den
+			if d < 0 {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	for it := 0; it < 100 && hi-lo > 1e-15*(math.Abs(lo)+math.Abs(hi)+1e-300); it++ {
+		mid := 0.5 * (lo + hi)
+		if countBelow(mid) >= k {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	lam = 0.5 * (lo + hi)
+	return lam, tridiagEigvecLast(alpha, beta, lam)
+}
+
+// tridiagEigvecLast returns |y_k| for the unit eigenvector y of the
+// symmetric tridiagonal T(alpha, beta) at (converged) eigenvalue lam, via
+// two steps of inverse iteration with a partial-pivoting tridiagonal LU.
+func tridiagEigvecLast(alpha, beta []float64, lam float64) float64 {
+	k := len(alpha)
+	// Factor T − λI = P·L·U once (LAPACK gttrf shape: d diagonal, du first
+	// superdiagonal, du2 second superdiagonal from pivoting, dl holds the
+	// multipliers, piv the interchange flags).
+	d := make([]float64, k)
+	du := make([]float64, k)
+	du2 := make([]float64, k)
+	dl := make([]float64, k)
+	piv := make([]bool, k)
+	var scale float64
+	for i := 0; i < k; i++ {
+		d[i] = alpha[i] - lam
+		if a := math.Abs(alpha[i]); a > scale {
+			scale = a
+		}
+		if i < k-1 {
+			du[i] = beta[i]
+			dl[i] = beta[i]
+			if a := math.Abs(beta[i]); a > scale {
+				scale = a
+			}
+		}
+	}
+	// λ is an eigenvalue to machine precision, so a pivot of T − λI may
+	// vanish; a tiny scale-relative substitute keeps the solve finite while
+	// still blowing the solution up along the eigenvector — exactly what
+	// inverse iteration wants.
+	tiny := 1e-30 * (scale + 1e-300)
+	for i := 0; i < k-1; i++ {
+		if math.Abs(d[i]) >= math.Abs(dl[i]) {
+			if d[i] == 0 {
+				d[i] = tiny
+			}
+			fact := dl[i] / d[i]
+			dl[i] = fact
+			d[i+1] -= fact * du[i]
+			if i < k-2 {
+				du2[i] = 0
+			}
+		} else {
+			fact := d[i] / dl[i]
+			d[i] = dl[i]
+			dl[i] = fact
+			tmp := du[i]
+			du[i] = d[i+1]
+			d[i+1] = tmp - fact*d[i+1]
+			if i < k-2 {
+				du2[i] = du[i+1]
+				du[i+1] = -fact * du[i+1]
+			}
+			piv[i] = true
+		}
+	}
+	if d[k-1] == 0 {
+		d[k-1] = tiny
+	}
+	y := make([]float64, k)
+	for i := range y {
+		y[i] = 1 / math.Sqrt(float64(k))
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < k-1; i++ {
+			if !piv[i] {
+				y[i+1] -= dl[i] * y[i]
+			} else {
+				tmp := y[i]
+				y[i] = y[i+1]
+				y[i+1] = tmp - dl[i]*y[i+1]
+			}
+		}
+		y[k-1] /= d[k-1]
+		y[k-2] = (y[k-2] - du[k-2]*y[k-1]) / d[k-2]
+		for i := k - 3; i >= 0; i-- {
+			y[i] = (y[i] - du[i]*y[i+1] - du2[i]*y[i+2]) / d[i]
+		}
+		nrm := Norm2(y)
+		if nrm == 0 || math.IsInf(nrm, 1) || math.IsNaN(nrm) {
+			// Hopelessly ill-scaled solve: treat the component as O(1) so
+			// the caller keeps iterating instead of certifying spuriously.
+			return 1
+		}
+		ScaleVec(1/nrm, y)
+	}
+	return math.Abs(y[k-1])
+}
+
+// deterministicStart builds a fixed pseudo-random unit start vector from an
+// integer recurrence — no shared state, no runtime randomness.
+func deterministicStart(n int) []complex128 {
+	v := make([]complex128, n)
+	s := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11)/float64(1<<53) - 0.5
+	}
+	for i := range v {
+		re := next()
+		im := next()
+		v[i] = complex(re, im)
+	}
+	nrm := CNorm2(v)
+	if nrm > 0 {
+		CScaleVec(complex(1/nrm, 0), v)
+	}
+	return v
+}

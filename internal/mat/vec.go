@@ -56,6 +56,17 @@ func ScaleVec(a float64, x []float64) {
 	}
 }
 
+// ProjSub removes the component of w along u: it returns h = uᵀ·w and
+// performs w ← w − h·u in one call — the real-arithmetic counterpart of
+// CProjSub for the half-size path's real Arnoldi loop.
+func ProjSub(u, w []float64) float64 {
+	h := Dot(u, w)
+	if h != 0 {
+		Axpy(-h, u, w)
+	}
+	return h
+}
+
 // ---- complex vector helpers ----
 //
 // The complex BLAS-1 kernels below sit inside the Arnoldi MGS loop, which

@@ -46,6 +46,12 @@ type Report struct {
 	Bands     []Band
 	OmegaMax  float64 // searched band upper edge
 	Solver    core.Stats
+	// Backend is the kernel backend that executed the structured-operator
+	// surface (never BackendAuto — the dispatcher's resolution is recorded).
+	Backend statespace.Backend
+	// HalfPath reports whether the half-size (squared, reciprocal-only)
+	// eigenproblem was available to the solver for this characterization.
+	HalfPath bool
 }
 
 // Violations returns only the violating bands.
@@ -74,6 +80,18 @@ type Options struct {
 	// engine wires its engine-wide cache here. Nil (the default) builds a
 	// private operator per characterization — the standalone semantics.
 	Ops *hamiltonian.OpCache
+	// Backend forces a kernel backend on the model before the operator is
+	// built. The zero value (BackendAuto) leaves the model's current
+	// selection untouched, so callers that pre-configured the model via
+	// SetBackend keep their choice.
+	Backend statespace.Backend
+	// Half selects the half-size reciprocal fast path: HalfAuto (default)
+	// engages it when the model is detected reciprocal, HalfOff disables
+	// it, HalfForce errors on non-reciprocal models.
+	Half hamiltonian.HalfMode
+	// HalfTol widens reciprocity detection under HalfAuto/HalfForce from
+	// bit-exact symmetry to a relative tolerance. Zero means exact.
+	HalfTol float64
 }
 
 func (o *Options) setDefaults() {
@@ -112,12 +130,16 @@ func CharacterizeContext(ctx context.Context, m *statespace.Model, opts Options)
 		return nil, err
 	}
 	opts.setDefaults()
+	if opts.Backend != statespace.BackendAuto {
+		m.SetBackend(opts.Backend)
+	}
+	hopts := hamiltonian.NewOptions{Half: opts.Half, HalfTol: opts.HalfTol}
 	var op *hamiltonian.Op
 	var err error
 	if opts.Ops != nil {
-		op, err = opts.Ops.Get(m, hamiltonian.Scattering)
+		op, err = opts.Ops.GetWith(m, hamiltonian.Scattering, hopts)
 	} else {
-		op, err = hamiltonian.New(m, hamiltonian.Scattering)
+		op, err = hamiltonian.NewWith(m, hamiltonian.Scattering, hopts)
 	}
 	if err != nil {
 		return nil, err
@@ -131,6 +153,8 @@ func CharacterizeContext(ctx context.Context, m *statespace.Model, opts Options)
 		Crossings: res.Crossings,
 		OmegaMax:  res.OmegaMax,
 		Solver:    res.Stats,
+		Backend:   m.ActiveBackend(),
+		HalfPath:  op.Half() != nil,
 	}
 	rep.Bands, err = classifyBands(ctx, opts.Core.Client, m, res.Crossings, res.OmegaMax, opts.ProbePoints)
 	if err != nil {

@@ -14,6 +14,15 @@ type CaseSpec struct {
 	PaperNlambda int     // number of imaginary Hamiltonian eigenvalues reported by the paper
 	TargetPeak   float64 // calibrated max singular value of the synthetic model
 	Seed         int64
+	// Reciprocal generates the exactly-reciprocal (symmetric-H) variant of
+	// the case, on which the half-size Hamiltonian path engages. The
+	// generator rounds N to P times the per-column order.
+	Reciprocal bool
+	// SparsePorts, when positive, restricts each column's residues to the
+	// ports within circular distance < SparsePorts of the column index
+	// (GenOptions.PortsPerColumn), producing the banded sparse C the CSR
+	// backend targets. 0 keeps C fully dense.
+	SparsePorts int
 }
 
 // TableICases returns the twelve benchmark specifications of Table I.
@@ -37,12 +46,33 @@ func TableICases() []CaseSpec {
 	}
 }
 
+// ReciprocalTableICases returns reciprocal (symmetric-H) variants of a
+// representative subset of the Table-I cases: same order, port count, and
+// calibrated peak, but generated with the shared-pole symmetric-residue
+// structure of a reciprocal device. These are the inputs on which the
+// half-size Hamiltonian path engages; cmd/fleetbench runs its half-path
+// A/B on them. IDs are offset by 100 to keep model caches distinct.
+func ReciprocalTableICases() []CaseSpec {
+	var out []CaseSpec
+	for _, c := range TableICases() {
+		switch c.ID {
+		case 1, 2, 5, 8:
+			c.ID += 100
+			c.Reciprocal = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // BuildCase generates the synthetic macromodel for a Table-I case.
 func BuildCase(spec CaseSpec) (*Model, error) {
 	m, err := Generate(spec.Seed, GenOptions{
-		Ports:      spec.P,
-		Order:      spec.N,
-		TargetPeak: spec.TargetPeak,
+		Ports:          spec.P,
+		Order:          spec.N,
+		TargetPeak:     spec.TargetPeak,
+		Reciprocal:     spec.Reciprocal,
+		PortsPerColumn: spec.SparsePorts,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("statespace: case %d: %w", spec.ID, err)

@@ -40,6 +40,19 @@ type GenOptions struct {
 	DNorm float64
 	// GridPoints used when calibrating the peak. Default 400.
 	GridPoints int
+	// Reciprocal builds a model that is exactly reciprocal (H = Hᵀ at the
+	// bit level): one shared pole/weight list across all columns, symmetric
+	// per-block residue matrices, and a symmetric D. The total order is
+	// rounded to Ports times the per-column order. Such models take the
+	// half-size Hamiltonian path automatically.
+	Reciprocal bool
+	// PortsPerColumn, when positive, restricts each column's residues to
+	// the ports within circular distance < PortsPerColumn of the column
+	// index, yielding a banded (sparse) C with ~(2·PortsPerColumn−1)
+	// non-zero ports per column — the structure the sparse backend targets.
+	// The mask is symmetric in (port, column), so it composes with
+	// Reciprocal. 0 (default) keeps C fully dense.
+	PortsPerColumn int
 }
 
 func (o *GenOptions) setDefaults() {
@@ -82,15 +95,21 @@ func Generate(seed int64, opts GenOptions) (*Model, error) {
 	m := &Model{P: p, D: randomContraction(rng, p, opts.DNorm)}
 	m.Cols = make([]Column, p)
 
-	// Split the order across columns as evenly as possible.
-	base := opts.Order / p
-	extra := opts.Order % p
-	for k := 0; k < p; k++ {
-		mk := base
-		if k < extra {
-			mk++
+	if opts.Reciprocal {
+		// Symmetrize D (a symmetric contraction of the same norm).
+		m.D = symmetrize(m.D, opts.DNorm)
+		buildReciprocalColumns(rng, m, opts)
+	} else {
+		// Split the order across columns as evenly as possible.
+		base := opts.Order / p
+		extra := opts.Order % p
+		for k := 0; k < p; k++ {
+			mk := base
+			if k < extra {
+				mk++
+			}
+			m.Cols[k] = buildColumn(rng, k, p, mk, opts)
 		}
-		m.Cols[k] = buildColumn(rng, p, mk, opts)
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -101,9 +120,104 @@ func Generate(seed int64, opts GenOptions) (*Model, error) {
 	return m, nil
 }
 
-// buildColumn creates one SIMO column of order mk with random stable poles
-// and residues scaled so each pole's contribution to H stays O(1).
-func buildColumn(rng *rand.Rand, p, mk int, opts GenOptions) Column {
+// symmetrize returns (d + dᵀ)/2 rescaled back to spectral norm `norm`.
+func symmetrize(d *mat.Dense, norm float64) *mat.Dense {
+	p := d.Rows
+	s := mat.NewDense(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j <= i; j++ {
+			v := 0.5 * (d.At(i, j) + d.At(j, i))
+			s.Set(i, j, v)
+			s.Set(j, i, v)
+		}
+	}
+	n2, err := mat.Norm2Mat(s)
+	if err != nil || n2 == 0 {
+		return s
+	}
+	return s.Scale(norm / n2)
+}
+
+// residueMaskAllows reports whether port i may carry residues of column k
+// under the PortsPerColumn banded mask. The circular-distance rule is
+// symmetric in (i, k), so masked models can still be exactly reciprocal.
+func residueMaskAllows(i, k, p, ppc int) bool {
+	if ppc <= 0 || ppc >= p {
+		return true
+	}
+	d := i - k
+	if d < 0 {
+		d = -d
+	}
+	if p-d < d {
+		d = p - d
+	}
+	return d < ppc
+}
+
+// buildReciprocalColumns fills all p columns with one shared block list of
+// per-column order Order/p (rounded to fit the real/complex split) and
+// symmetric B-weighted residues: for every block state the residue matrix
+// Γ with Γ[i,k] = C_k[i, state] is drawn symmetric, which together with
+// the shared input weights makes H(s) = H(s)ᵀ exactly (see reciprocal.go).
+// Envelope jitter is applied per block with one shared factor, so the
+// normalization preserves symmetry bit for bit.
+func buildReciprocalColumns(rng *rand.Rand, m *Model, opts GenOptions) {
+	p := opts.Ports
+	ref := buildColumn(rng, 0, p, opts.Order/p, opts)
+	mOrd := ref.Order()
+	for k := 0; k < p; k++ {
+		m.Cols[k].Blocks = append([]Block(nil), ref.Blocks...)
+		m.Cols[k].C = mat.NewDense(p, mOrd)
+	}
+	off := 0
+	for _, b := range ref.Blocks {
+		scale := math.Abs(b.Sigma)
+		// Symmetric residue draw per block state, honoring the banded mask.
+		for s := 0; s < b.Size; s++ {
+			for i := 0; i < p; i++ {
+				for k := 0; k <= i; k++ {
+					if !residueMaskAllows(i, k, p, opts.PortsPerColumn) {
+						continue
+					}
+					v := rng.NormFloat64() * scale
+					m.Cols[k].C.Set(i, off+s, v)
+					m.Cols[i].C.Set(k, off+s, v)
+				}
+			}
+		}
+		if opts.EnvelopeJitter > 0 {
+			// One normalization factor per block, shared by every column.
+			var ss float64
+			for k := 0; k < p; k++ {
+				for i := 0; i < p; i++ {
+					for s := 0; s < b.Size; s++ {
+						v := m.Cols[k].C.At(i, off+s)
+						ss += v * v
+					}
+				}
+			}
+			nrm := math.Sqrt(ss)
+			if nrm > 0 {
+				w := scale * math.Sqrt(float64(p)) * math.Exp(opts.EnvelopeJitter*rng.NormFloat64()) / nrm
+				for k := 0; k < p; k++ {
+					for i := 0; i < p; i++ {
+						for s := 0; s < b.Size; s++ {
+							m.Cols[k].C.Set(i, off+s, m.Cols[k].C.At(i, off+s)*w)
+						}
+					}
+				}
+			}
+		}
+		off += b.Size
+	}
+}
+
+// buildColumn creates the SIMO column k of order mk with random stable
+// poles and residues scaled so each pole's contribution to H stays O(1).
+// Under a PortsPerColumn mask, residues outside the column's port band are
+// left structurally zero.
+func buildColumn(rng *rand.Rand, k, p, mk int, opts GenOptions) Column {
 	var blocks []Block
 	remaining := mk
 	nReal := int(math.Round(opts.RealPoleFraction * float64(mk)))
@@ -135,6 +249,9 @@ func buildColumn(rng *rand.Rand, p, mk int, opts GenOptions) Column {
 	for _, b := range blocks {
 		scale := math.Abs(b.Sigma)
 		for i := 0; i < p; i++ {
+			if !residueMaskAllows(i, k, p, opts.PortsPerColumn) {
+				continue
+			}
 			c.Set(i, off, rng.NormFloat64()*scale)
 			if b.Size == 2 {
 				c.Set(i, off+1, rng.NormFloat64()*scale)
@@ -298,14 +415,41 @@ func LogGrid(lo, hi float64, n int) []float64 {
 	return out
 }
 
+// sweepAugmentCap bounds how many 2×2 blocks contribute resonance points
+// to SweepGrid. Every Table-I case sits well under it; at n ≳ 10⁴ the
+// uncapped augmentation would add tens of thousands of σ-evaluation
+// points and dominate generation time, so blocks beyond the cap are
+// stride-sampled deterministically instead.
+const sweepAugmentCap = 4096
+
 // SweepGrid returns a log grid over [lo, hi] augmented with the resonance
 // frequency of every pole of m and its half-bandwidth neighbours, so that
-// narrow high-Q peaks are never missed by a sweep.
+// narrow high-Q peaks are never missed by a sweep. Above sweepAugmentCap
+// 2×2 blocks the augmentation stride-samples the block list (deterministic
+// in the model alone).
 func SweepGrid(m *Model, lo, hi float64, n int) []float64 {
 	grid := LogGrid(lo, hi, n)
+	n2 := 0
+	for k := range m.Cols {
+		for _, b := range m.Cols[k].Blocks {
+			if b.Size == 2 {
+				n2++
+			}
+		}
+	}
+	stride := 1
+	if n2 > sweepAugmentCap {
+		stride = (n2 + sweepAugmentCap - 1) / sweepAugmentCap
+	}
+	idx := 0
 	for k := range m.Cols {
 		for _, b := range m.Cols[k].Blocks {
 			if b.Size != 2 {
+				continue
+			}
+			take := idx%stride == 0
+			idx++
+			if !take {
 				continue
 			}
 			hw := math.Abs(b.Sigma)

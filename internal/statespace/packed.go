@@ -23,6 +23,11 @@ import "repro/internal/mat"
 type packed struct {
 	n, p int
 
+	// backend is the dispatcher's resolution for this kernel generation
+	// (never BackendAuto). It decides which of the C storages below is
+	// populated and which loop family the C-touching kernels run.
+	backend Backend
+
 	// 1×1 blocks: state offset, pole, input weight, owning port column.
 	off1 []int32
 	sig1 []float64
@@ -37,8 +42,21 @@ type packed struct {
 	b22  []float64
 	col2 []int32
 
+	// Packed-dense C storage (nil under BackendSparse).
 	c  []float64 // global C, p×n row-major
 	ct []float64 // global Cᵀ, n×p row-major
+
+	// CSR C storage (nil under BackendPackedDense): cr* compresses the
+	// p×n C by rows, ct* compresses the n×p Cᵀ by rows (i.e. C by
+	// columns). Column indices are ascending within each row, so sparse
+	// accumulation visits entries in the same order as the dense loops —
+	// the results differ only by the skipped structural-zero terms.
+	crPtr []int32
+	crIdx []int32
+	crVal []float64
+	ctPtr []int32
+	ctIdx []int32
+	ctVal []float64
 }
 
 // packKernels returns the cached packed representation, building it on
@@ -69,20 +87,25 @@ func (m *Model) InvalidateKernels() {
 func (m *Model) buildPacked() *packed {
 	n := m.Order()
 	pk := &packed{
-		n:  n,
-		p:  m.P,
-		c:  make([]float64, m.P*n),
-		ct: make([]float64, n*m.P),
+		n:       n,
+		p:       m.P,
+		backend: m.resolveBackend(),
+	}
+	if pk.backend != BackendSparse {
+		pk.c = make([]float64, m.P*n)
+		pk.ct = make([]float64, n*m.P)
 	}
 	off := 0
 	for k := range m.Cols {
 		col := &m.Cols[k]
 		mOrd := col.Order()
-		for i := 0; i < m.P; i++ {
-			ri := col.C.Row(i)
-			copy(pk.c[i*n+off:i*n+off+mOrd], ri)
-			for j := 0; j < mOrd; j++ {
-				pk.ct[(off+j)*m.P+i] = ri[j]
+		if pk.backend != BackendSparse {
+			for i := 0; i < m.P; i++ {
+				ri := col.C.Row(i)
+				copy(pk.c[i*n+off:i*n+off+mOrd], ri)
+				for j := 0; j < mOrd; j++ {
+					pk.ct[(off+j)*m.P+i] = ri[j]
+				}
 			}
 		}
 		boff := off
@@ -103,6 +126,9 @@ func (m *Model) buildPacked() *packed {
 			boff += b.Size
 		}
 		off += mOrd
+	}
+	if pk.backend == BackendSparse {
+		m.buildCSR(pk)
 	}
 	return pk
 }
@@ -227,6 +253,10 @@ func (m *Model) CApplyBT(y []complex128, x []complex128) {
 // which keeps the result bit-identical to the dense row·vector reference.
 func (m *Model) CApplyC(y []complex128, x []complex128) {
 	pk := m.packKernels()
+	if pk.backend == BackendSparse {
+		pk.sparseApplyC(y, x)
+		return
+	}
 	n := pk.n
 	for i := 0; i < pk.p; i++ {
 		row := pk.c[i*n : (i+1)*n : (i+1)*n]
@@ -244,6 +274,10 @@ func (m *Model) CApplyC(y []complex128, x []complex128) {
 // packing so every state reads one contiguous p-row.
 func (m *Model) CApplyCT(y []complex128, u []complex128) {
 	pk := m.packKernels()
+	if pk.backend == BackendSparse {
+		pk.sparseApplyCT(y, u)
+		return
+	}
 	p := pk.p
 	for j := 0; j < pk.n; j++ {
 		row := pk.ct[j*p : (j+1)*p : (j+1)*p]
@@ -265,6 +299,9 @@ func (m *Model) CApplyCT(y []complex128, u []complex128) {
 // pole.
 func (m *Model) CResolventB(dst []complex128, theta complex128) error {
 	pk := m.packKernels()
+	if pk.backend == BackendSparse {
+		return pk.sparseResolventB(dst, theta)
+	}
 	p := pk.p
 	for i := range dst[:p*p] {
 		dst[i] = 0
@@ -317,6 +354,9 @@ func (m *Model) CResolventB(dst []complex128, theta complex128) error {
 // with d = σ − θ, costing one complex multiply per (block, port) pair.
 func (m *Model) BTResolventCT(dst []complex128, theta complex128) error {
 	pk := m.packKernels()
+	if pk.backend == BackendSparse {
+		return pk.sparseBTResolventCT(dst, theta)
+	}
 	p := pk.p
 	for i := range dst[:p*p] {
 		dst[i] = 0
@@ -387,6 +427,10 @@ func (m *Model) CResolventBMulti(dst []complex128, thetas []complex128, errs []e
 	if len(dst) < len(thetas)*pp || len(errs) != len(thetas) {
 		panic("statespace: CResolventBMulti buffer sizes")
 	}
+	if pk.backend == BackendSparse {
+		pk.sparseResolventBMulti(dst, thetas, errs)
+		return
+	}
 	for i := range dst[:len(thetas)*pp] {
 		dst[i] = 0
 	}
@@ -452,6 +496,10 @@ func (m *Model) BTResolventCTMulti(dst []complex128, thetas []complex128, errs [
 	pp := p * p
 	if len(dst) < len(thetas)*pp || len(errs) != len(thetas) {
 		panic("statespace: BTResolventCTMulti buffer sizes")
+	}
+	if pk.backend == BackendSparse {
+		pk.sparseBTResolventCTMulti(dst, thetas, errs)
+		return
 	}
 	for i := range dst[:len(thetas)*pp] {
 		dst[i] = 0

@@ -1,0 +1,133 @@
+package statespace
+
+import "math"
+
+// Reciprocity detection. A macromodel is reciprocal when its transfer
+// matrix is symmetric, H(s) = H(s)ᵀ for all s. In the multiple-SIMO
+// realization the entry H[i,k] is
+//
+//	D[i,k] + Σ_b [ u_b(i,k)·(s−σ_b) + ω_b·v_b(i,k) ] / ((s−σ_b)² + ω_b²)
+//
+// summed over column k's blocks, with the B-weighted residue pair
+//
+//	u_b(i,k) = c₁·b₁ + c₂·b₂,  v_b(i,k) = c₁·b₂ − c₂·b₁
+//
+// (c₁,c₂ the i-th output row at the block's states, b₁,b₂ the block input
+// weights; a 1×1 block contributes u = c₁·b₁ only). Matching partial
+// fractions termwise, H is symmetric iff D is symmetric, every column
+// realizes the same pole list, and for each shared pole the u and v
+// matrices are symmetric in (i,k). The B weights themselves need not
+// match across columns — they fold into u/v.
+//
+// Detection is structural and conservative: columns must list their
+// blocks in the same order (no pole-matching search is attempted), so a
+// reciprocal system realized with permuted block lists reports false.
+// That is the right trade for a dispatcher gate — false negatives cost
+// only the fast path, false positives would corrupt results.
+
+// Reciprocal reports whether the model is reciprocal (symmetric H).
+// With tol ≤ 0 every comparison is exact at the bit level — the mode for
+// models built symmetric by construction. With tol > 0 pole mismatches
+// are accepted up to tol·max|pole| and residue/D asymmetries up to
+// tol·(block or matrix scale), gating models that are reciprocal up to
+// round-off (e.g. after a fit). Detection runs on the as-constructed
+// model; callers applying state scalings should detect first (any
+// per-block diagonal scaling preserves reciprocity in exact arithmetic,
+// but not bit-level symmetry of the scaled residues).
+func (m *Model) Reciprocal(tol float64) bool {
+	p := m.P
+	if p != len(m.Cols) || m.D == nil {
+		return false
+	}
+	// D symmetry.
+	dScale := 0.0
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if a := math.Abs(m.D.At(i, j)); a > dScale {
+				dScale = a
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			diff := m.D.At(i, j) - m.D.At(j, i)
+			if tol <= 0 {
+				if diff != 0 {
+					return false
+				}
+			} else if math.Abs(diff) > tol*dScale {
+				return false
+			}
+		}
+	}
+	// Common pole list: same block count, per-index Size/Sigma/Omega.
+	nb := len(m.Cols[0].Blocks)
+	for k := 1; k < p; k++ {
+		if len(m.Cols[k].Blocks) != nb {
+			return false
+		}
+	}
+	poleScale := m.MaxPoleMagnitude()
+	for b := 0; b < nb; b++ {
+		ref := m.Cols[0].Blocks[b]
+		for k := 1; k < p; k++ {
+			blk := m.Cols[k].Blocks[b]
+			if blk.Size != ref.Size {
+				return false
+			}
+			if tol <= 0 {
+				if blk.Sigma != ref.Sigma || blk.Omega != ref.Omega {
+					return false
+				}
+			} else if math.Abs(blk.Sigma-ref.Sigma) > tol*poleScale ||
+				math.Abs(blk.Omega-ref.Omega) > tol*poleScale {
+				return false
+			}
+		}
+	}
+	// Per-pole B-weighted residue symmetry.
+	u := make([]float64, p*p)
+	v := make([]float64, p*p)
+	offs := make([]int, p) // running state offset within each column
+	for b := 0; b < nb; b++ {
+		size := m.Cols[0].Blocks[b].Size
+		scale := 0.0
+		for k := 0; k < p; k++ {
+			col := &m.Cols[k]
+			blk := col.Blocks[b]
+			off := offs[k]
+			for i := 0; i < p; i++ {
+				var ub, vb float64
+				if size == 1 {
+					ub = col.C.At(i, off) * blk.B1
+				} else {
+					c1, c2 := col.C.At(i, off), col.C.At(i, off+1)
+					ub = c1*blk.B1 + c2*blk.B2
+					vb = c1*blk.B2 - c2*blk.B1
+				}
+				u[i*p+k], v[i*p+k] = ub, vb
+				if a := math.Abs(ub); a > scale {
+					scale = a
+				}
+				if a := math.Abs(vb); a > scale {
+					scale = a
+				}
+			}
+			offs[k] += size
+		}
+		for i := 0; i < p; i++ {
+			for k := i + 1; k < p; k++ {
+				du := u[i*p+k] - u[k*p+i]
+				dv := v[i*p+k] - v[k*p+i]
+				if tol <= 0 {
+					if du != 0 || dv != 0 {
+						return false
+					}
+				} else if math.Abs(du) > tol*scale || math.Abs(dv) > tol*scale {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -83,6 +83,26 @@ func FromPoleResidue(d *Dense, poles [][]complex128, residues []*CDense) (*Model
 // TableICases returns the twelve Table-I benchmark specifications.
 func TableICases() []CaseSpec { return statespace.TableICases() }
 
+// ReciprocalTableICases returns the reciprocal (symmetric-H) variants of
+// the Table-I cases — the inputs on which the half-size Hamiltonian fast
+// path engages.
+func ReciprocalTableICases() []CaseSpec { return statespace.ReciprocalTableICases() }
+
+// Backend selects which kernel implementation executes the structured-
+// operator surface: packed-dense (the Table-I default) or CSR sparse
+// (O(nnz) applies and SMW setup for n ≳ 10⁴ port-local models). The zero
+// value BackendAuto resolves deterministically from the model structure.
+// Set it per model via Model.SetBackend or per characterization via
+// CharOptions.Backend; Report.Backend records the dispatcher's choice.
+type Backend = statespace.Backend
+
+// Backend values.
+const (
+	BackendAuto        = statespace.BackendAuto
+	BackendPackedDense = statespace.BackendPackedDense
+	BackendSparse      = statespace.BackendSparse
+)
+
 // BuildCase generates the synthetic macromodel for a Table-I case.
 func BuildCase(spec CaseSpec) (*Model, error) { return statespace.BuildCase(spec) }
 
@@ -126,6 +146,23 @@ const (
 func NewHamiltonian(m *Model, rep Representation) (*Hamiltonian, error) {
 	return hamiltonian.New(m, rep)
 }
+
+// HalfMode selects the half-size reciprocal fast path: when a model is
+// reciprocal (symmetric H, the common case for passive interconnect), the
+// 2n×2n Hamiltonian eigenproblem factors into an n×n squared problem with
+// the same crossing semantics at roughly half the Arnoldi cost. HalfAuto
+// (the zero value) engages it on detected reciprocity; HalfOff disables
+// it; HalfForce errors on non-reciprocal models. Set per characterization
+// via CharOptions.Half (+ CharOptions.HalfTol for tolerance-gated
+// detection); Report.HalfPath records whether it was available.
+type HalfMode = hamiltonian.HalfMode
+
+// HalfMode values.
+const (
+	HalfAuto  = hamiltonian.HalfAuto
+	HalfOff   = hamiltonian.HalfOff
+	HalfForce = hamiltonian.HalfForce
+)
 
 // ShiftCache is an LRU of factored shift-invert state shared across
 // ShiftInvert calls (and, via the fleet engine, across jobs on the same
