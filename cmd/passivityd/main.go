@@ -1,0 +1,110 @@
+// Command passivityd is the characterization-as-a-service daemon: one
+// long-running process owning one fleet engine (and hence one worker pool
+// sized to the machine), fronted by the HTTP API of internal/server.
+//
+//	POST   /v1/jobs             submit a JSON model spec or a .snp stream
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job state + report once finished
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/events SSE: progress, crossings-as-found, report
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /status              pool, admission, phase, cache, job state
+//
+// Submissions map onto the engine's admission control and scheduler:
+// priority/weight select the job's class and fairness share, a full
+// fail-fast queue answers 429, and drain (SIGTERM/SIGINT) stops the
+// listener, refuses new submits with 503, lets in-flight jobs finish
+// (bounded by -drain-timeout), then exits.
+//
+// Usage:
+//
+//	passivityd -addr :8080 -workers 8 -max-queued 32 -fail-fast
+//
+// Submit and watch:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"model":{"case":{"id":1,"order":40}}}'
+//	curl -N localhost:8080/v1/jobs/job-1/events
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "passivityd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("passivityd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "shared worker-pool width")
+	maxQueued := fs.Int("max-queued", 0, "admission cap on in-flight jobs (0 = unbounded)")
+	failFast := fs.Bool("fail-fast", false, "answer 429 when the admission queue is full instead of blocking the submit")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "bound on waiting for in-flight jobs at shutdown")
+	order := fs.Int("order", 20, "default per-column Vector Fitting order for .snp submissions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	engine := fleet.NewEngine(fleet.EngineOptions{
+		Workers:   *workers,
+		MaxQueued: *maxQueued,
+		FailFast:  *failFast,
+	})
+	defer engine.Close()
+
+	// Jobs deliberately do NOT descend from the signal context: drain
+	// means "finish what you started", not "cancel everything". The
+	// drain-timeout fallback cancels stragglers via srv.DrainJobs's ctx.
+	srv := server.New(server.Config{Engine: engine, FitOrder: *order})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Fprintf(out, "passivityd: listening on %s (%d workers, max-queued %d)\n",
+		ln.Addr(), engine.Workers(), *maxQueued)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "passivityd: draining (in-flight jobs finish; new submits get 503)")
+	srv.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.DrainJobs(dctx); err != nil {
+		fmt.Fprintln(out, "passivityd:", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		return err
+	}
+	return nil
+}

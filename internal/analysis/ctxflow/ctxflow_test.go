@@ -9,11 +9,15 @@ import (
 
 // TestCtxflow drives the analyzer over a dirty internal fixture (with
 // both sanctioned idioms present), a clean internal fixture (negative
-// case), and a non-internal fixture exercising the path gate.
+// case), a non-internal fixture exercising the path gate, and the
+// HTTP-handler pair: handlers minting contexts instead of threading
+// r.Context() (dirty) and a properly threaded handler chain (clean).
 func TestCtxflow(t *testing.T) {
 	analysistest.Run(t, "testdata", ctxflow.Analyzer,
 		"ctxflow/internal/plumb",
 		"ctxflow/internal/clean",
 		"ctxflow/cmd/tool",
+		"ctxflow/internal/httpd",
+		"ctxflow/internal/httpclean",
 	)
 }

@@ -1,0 +1,24 @@
+// Package httpclean is ctxflow's clean HTTP fixture: a handler chain
+// that threads the request context end to end and must produce no
+// findings.
+package httpclean
+
+import (
+	"context"
+	"net/http"
+)
+
+// Work stands in for a context-threading callee.
+func Work(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Handle threads r.Context() through every stage of the request.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if err := Work(ctx); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	_ = Work(ctx)
+}

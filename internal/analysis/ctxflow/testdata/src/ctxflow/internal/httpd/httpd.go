@@ -1,0 +1,56 @@
+// Package httpd is ctxflow's dirty HTTP fixture: handlers that mint a
+// fresh context instead of threading the request's, alongside the
+// sanctioned patterns a service layer actually needs.
+package httpd
+
+import (
+	"context"
+	"net/http"
+)
+
+// Work stands in for a context-threading callee.
+func Work(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// HandleDetached drops the request context on the floor and mints its
+// own, silently disabling per-request cancellation.
+func HandleDetached(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `context\.Background\(\) in internal non-test code`
+	_ = Work(ctx)
+}
+
+// HandleTODO punts the same way with TODO.
+func HandleTODO(w http.ResponseWriter, r *http.Request) {
+	_ = Work(context.TODO()) // want `context\.TODO\(\) in internal non-test code`
+}
+
+// HandleThreaded is the correct shape: the request context flows into
+// the work. Not flagged.
+func HandleThreaded(w http.ResponseWriter, r *http.Request) {
+	_ = Work(r.Context())
+}
+
+// Config carries an optional base context, mirroring the daemon's
+// server.Config.
+type Config struct {
+	BaseContext context.Context
+}
+
+// NewBase shows the sanctioned nil-defaulting idiom on a struct field:
+// copy to a local, default if nil. Not flagged.
+func NewBase(cfg Config) context.Context {
+	base := cfg.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	return base
+}
+
+// Detach is a job whose lifetime must exceed the request's: the
+// detachment is deliberate and carries a reasoned suppression.
+func Detach(r *http.Request) error {
+	//lint:ignore ctxflow job outlives the submitting request by design; cancellation is rewired via AfterFunc
+	jctx := context.Background()
+	return Work(jctx)
+}

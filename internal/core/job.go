@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -321,7 +322,44 @@ func (j *Job) runInterval(p *Pool, worker int, iv *interval) {
 
 	p.mu.Lock()
 	j.completeLocked(p, iv, iv.shift, sres.Radius)
+	var done, total int
+	if j.opts.Progress != nil {
+		// Snapshot the counters inside the same critical section that
+		// committed the completion update, so Done/Total are consistent;
+		// the callback itself runs outside the pool mutex.
+		done = j.processed - j.inflight
+		total = j.processed + j.pending
+	}
 	p.mu.Unlock()
+	if j.opts.Progress != nil {
+		j.opts.Progress(ProgressEvent{
+			Phase:    PhaseEig,
+			Omega:    iv.shift,
+			Radius:   sres.Radius,
+			NearAxis: nearAxis(sres.Eigenvalues, j.omegaMax),
+			Done:     done,
+			Total:    total,
+		})
+	}
+}
+
+// nearAxis extracts the |Im λ| of eigenvalues passing the same coarse
+// near-axis test collect uses for candidate selection — the "crossings as
+// found" a progress consumer can surface before the refinement tail
+// certifies the final list. Returns a fresh slice; the solver state is
+// never aliased into an event.
+func nearAxis(eigs []complex128, omegaMax float64) []float64 {
+	scale := omegaMax
+	if scale == 0 {
+		scale = 1
+	}
+	var out []float64
+	for _, v := range eigs {
+		if hamiltonian.ClassifyImag(v, 1e-3, 1e-9*scale) {
+			out = append(out, math.Abs(imag(v)))
+		}
+	}
+	return out
 }
 
 // completeLocked applies the paper's completion update (Sec. IV-D) for a

@@ -108,6 +108,43 @@ type Options struct {
 	// the client's own pool is used. Ignored by the serial-bisection and
 	// static-grid baselines.
 	Client *Client
+	// Progress, when non-nil, receives observational progress events as
+	// the solve's compute tasks complete (one per certified eigensolver
+	// disk; other phases may emit their own — see ProgressEvent). The
+	// callback runs on pool worker goroutines, possibly concurrently, so
+	// it must be safe for concurrent use and fast: a slow callback delays
+	// the emitting worker, never correctness. Events carry copies of
+	// solver state and are emitted after the scheduler has committed the
+	// completion update, so consuming them cannot influence shift
+	// placement, scheduling, or the bit-identity of the reported result.
+	// Ignored by the serial-bisection and static-grid baselines.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is one observational solver-progress notification (see
+// Options.Progress). Event delivery order across workers is
+// timing-dependent; the data inside each event is not.
+type ProgressEvent struct {
+	// Phase is the compute phase that made progress (PhaseEig for a
+	// completed single-shift disk, PhaseProbe for a classified band, ...).
+	Phase string
+	// Omega is the event's frequency: the shift location of a completed
+	// disk (PhaseEig) or the probed band's peak (PhaseProbe).
+	Omega float64
+	// Radius is the certified disk radius (PhaseEig only).
+	Radius float64
+	// NearAxis are the |Im λ| of eigenvalues certified inside the disk
+	// that pass the coarse near-axis candidate test — crossings as the
+	// solver finds them. They are TENTATIVE: refinement and arbitration
+	// in the collect tail decide the certified list, which only the final
+	// Result carries.
+	NearAxis []float64
+	// Done and Total count the phase's completed tasks against the
+	// currently-known task count. For PhaseEig, Total grows as completed
+	// disks spawn remainder intervals and shrinks when disks swallow
+	// tentative shifts, so Done/Total is a live lower-bound estimate, not
+	// a monotone fraction.
+	Done, Total int
 }
 
 // validate rejects option values that would silently corrupt a solve: a

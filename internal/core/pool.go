@@ -206,6 +206,21 @@ func newIdlePool(workers int) *Pool {
 // Workers returns the worker count the pool was created with.
 func (p *Pool) Workers() int { return p.workers }
 
+// QueueDepth returns the number of tasks currently queued (not yet picked
+// up by a worker) across all clients and priority classes. Observational
+// only — the value can change the instant the lock is released.
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	depth := 0
+	for class := range p.rings {
+		for _, c := range p.rings[class] {
+			depth += len(c.queue)
+		}
+	}
+	return depth
+}
+
 // PhaseStats returns a snapshot of the per-phase execution counters:
 // tasks executed and cumulative worker-busy time, keyed by phase label
 // (PhaseEig, PhaseProbe, ...).

@@ -163,6 +163,20 @@ func (e *Engine) ModelCacheStats(m *statespace.Model) hamiltonian.CacheStats {
 // Workers returns the shared pool's worker count.
 func (e *Engine) Workers() int { return e.pool.Workers() }
 
+// QueueDepth returns the number of tasks currently queued on the shared
+// pool (all jobs, all phases). Observational only.
+func (e *Engine) QueueDepth() int { return e.pool.QueueDepth() }
+
+// Admission reports the admission queue's occupancy: slots in use by
+// admitted-but-unfinished jobs and the total capacity (0, 0 when the
+// engine was built with unbounded admission). Observational only.
+func (e *Engine) Admission() (used, capacity int) {
+	if e.sem == nil {
+		return 0, 0
+	}
+	return len(e.sem), cap(e.sem)
+}
+
 // PhaseStats snapshots the shared pool's per-phase execution counters
 // (tasks + busy time per compute phase: core.PhaseEig, core.PhaseProbe,
 // core.PhaseConstraint, ...). cmd/fleetbench derives per-phase worker
@@ -204,6 +218,12 @@ type Request struct {
 	// of the same class (a weight-2 job gets twice the task pops of a
 	// weight-1 job while both have work queued). Minimum (and default) 1.
 	Weight int
+	// Progress, when non-nil, receives observational solver-progress
+	// events for this job (see core.Options.Progress for the delivery
+	// contract: concurrent, post-commit, never able to perturb the
+	// result). It overrides any callback already set in Char.Core /
+	// Enforce.Char.Core.
+	Progress func(core.ProgressEvent)
 }
 
 // Result is the outcome of a fleet job.
@@ -324,6 +344,9 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 			if opts.Char.Ops == nil {
 				opts.Char.Ops = e.ops
 			}
+			if req.Progress != nil {
+				opts.Char.Core.Progress = req.Progress
+			}
 			model, rep, err := passivity.EnforceContext(ctx, req.Model, opts)
 			j.res.Model = model
 			j.res.EnforceReport = rep
@@ -338,6 +361,9 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 		opts.Core.Client = client
 		if opts.Ops == nil {
 			opts.Ops = e.ops
+		}
+		if req.Progress != nil {
+			opts.Core.Progress = req.Progress
 		}
 		rep, err := passivity.CharacterizeContext(ctx, req.Model, opts)
 		j.res.Report = rep

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/hamiltonian"
@@ -156,7 +157,7 @@ func CharacterizeContext(ctx context.Context, m *statespace.Model, opts Options)
 		Backend:   m.ActiveBackend(),
 		HalfPath:  op.Half() != nil,
 	}
-	rep.Bands, err = classifyBands(ctx, opts.Core.Client, m, res.Crossings, res.OmegaMax, opts.ProbePoints)
+	rep.Bands, err = classifyBands(ctx, opts.Core.Client, m, res.Crossings, res.OmegaMax, opts.ProbePoints, opts.Core.Progress)
 	if err != nil {
 		return nil, err
 	}
@@ -202,10 +203,15 @@ func ensurePoolClient(o *core.Options) func() {
 // task writes only its own index-assigned Band slot, the report is
 // bit-identical under any worker count (the window layout is computed
 // sequentially up front; probePeak itself is deterministic).
-func classifyBands(ctx context.Context, c *core.Client, m *statespace.Model, crossings []float64, omegaMax float64, probes int) ([]Band, error) {
+// When progress is non-nil it receives one observational PhaseProbe event
+// per classified band, after the band's slot has been written — a consumer
+// never sees a count ahead of the data it describes (though it may read a
+// sibling slot mid-write; events only vouch for their own band).
+func classifyBands(ctx context.Context, c *core.Client, m *statespace.Model, crossings []float64, omegaMax float64, probes int, progress func(core.ProgressEvent)) ([]Band, error) {
 	edges := append([]float64{0}, crossings...)
 	bands := make([]Band, len(edges))
 	fns := make([]func(int) error, len(edges))
+	var probed atomic.Int64
 	for i := range edges {
 		lo := edges[i]
 		hi := math.Inf(1)
@@ -232,6 +238,14 @@ func classifyBands(ctx context.Context, c *core.Client, m *statespace.Model, cro
 			bands[i].PeakOmega = peakW
 			bands[i].PeakSigma = peakS
 			bands[i].Violating = peakS > 1
+			if progress != nil {
+				progress(core.ProgressEvent{
+					Phase: core.PhaseProbe,
+					Omega: peakW,
+					Done:  int(probed.Add(1)),
+					Total: len(edges),
+				})
+			}
 			return nil
 		}
 	}

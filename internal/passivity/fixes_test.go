@@ -27,7 +27,7 @@ func TestClassifyBandsClampsTerminalProbe(t *testing.T) {
 	omegaMax := 3 * m.MaxPoleMagnitude()
 	// Synthetic crossing at 90% of the bound: 2·lo would overshoot by 80%.
 	crossing := 0.9 * omegaMax
-	bands, err := classifyBands(context.Background(), probeClient(t), m, []float64{crossing}, omegaMax, 20)
+	bands, err := classifyBands(context.Background(), probeClient(t), m, []float64{crossing}, omegaMax, 20, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestClassifyBandsClampsTerminalProbe(t *testing.T) {
 func TestClassifyBandsCrossingAtBound(t *testing.T) {
 	m := genModel(t, 58, 16, 1.03)
 	omegaMax := 2 * m.MaxPoleMagnitude()
-	bands, err := classifyBands(context.Background(), probeClient(t), m, []float64{omegaMax}, omegaMax, 10)
+	bands, err := classifyBands(context.Background(), probeClient(t), m, []float64{omegaMax}, omegaMax, 10, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// Event is one entry in a job's append-only event log: a monotonically
+// increasing sequence number (the SSE id), an SSE event type, and the
+// already-encoded data payload.
+type Event struct {
+	Seq  int
+	Type string
+	Data []byte
+}
+
+// Stream is the per-job SSE broadcaster: an append-only event log with
+// replay. Publishers append and never block; each subscriber walks the
+// log at its own pace via Next, so a slow SSE client can never stall a
+// pool worker emitting progress events, and a subscriber that connects
+// late (or reconnects) replays the full history before tailing live
+// events. Close marks the log complete; Next then drains the remaining
+// buffered events and reports end-of-stream.
+//
+// All methods are safe for concurrent use.
+type Stream struct {
+	mu      sync.Mutex
+	events  []Event
+	closed  bool
+	changed chan struct{} // closed and replaced on every append/Close
+}
+
+// NewStream returns an empty open stream.
+func NewStream() *Stream {
+	return &Stream{changed: make(chan struct{})}
+}
+
+// Publish appends one event. Publishing to a closed stream is a no-op:
+// terminal events are final, and racing progress callbacks that lose the
+// race against job completion must not resurrect a finished log.
+func (s *Stream) Publish(typ string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.publishLocked(typ, data)
+}
+
+// PublishFinal atomically appends a terminal event and closes the stream,
+// so no other publisher can slip an event after the terminal one.
+func (s *Stream) PublishFinal(typ string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.publishLocked(typ, data)
+	s.closeLocked()
+}
+
+func (s *Stream) publishLocked(typ string, data []byte) {
+	if s.closed {
+		return
+	}
+	s.events = append(s.events, Event{Seq: len(s.events), Type: typ, Data: data})
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// Close marks the stream complete without a terminal event (used when a
+// job is torn down abnormally). Closing twice is a no-op.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closeLocked()
+}
+
+func (s *Stream) closeLocked() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// Len returns the number of events published so far.
+func (s *Stream) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Next returns the event at index i, blocking until it exists. ok=false
+// means the stream closed and every buffered event at or before i has
+// been handed out — the subscriber has seen the complete log. A context
+// error is returned when the subscriber gives up waiting.
+func (s *Stream) Next(ctx context.Context, i int) (ev Event, ok bool, err error) {
+	for {
+		s.mu.Lock()
+		if i < len(s.events) {
+			ev := s.events[i]
+			s.mu.Unlock()
+			return ev, true, nil
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return Event{}, false, nil
+		}
+		changed := s.changed
+		s.mu.Unlock()
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return Event{}, false, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestStreamReplayAndClose covers the log semantics: full replay for a
+// late subscriber, end-of-stream after close, publish-after-close
+// no-ops, and PublishFinal atomicity.
+func TestStreamReplayAndClose(t *testing.T) {
+	s := server.NewStream()
+	s.Publish("a", []byte("1"))
+	s.Publish("b", []byte("2"))
+	s.PublishFinal("z", []byte("end"))
+	s.Publish("late", []byte("nope")) // must be dropped
+	if s.Len() != 3 {
+		t.Fatalf("len %d, want 3", s.Len())
+	}
+	ctx := context.Background()
+	for i, want := range []server.Event{
+		{Seq: 0, Type: "a", Data: []byte("1")},
+		{Seq: 1, Type: "b", Data: []byte("2")},
+		{Seq: 2, Type: "z", Data: []byte("end")},
+	} {
+		ev, ok, err := s.Next(ctx, i)
+		if err != nil || !ok {
+			t.Fatalf("Next(%d): ok=%v err=%v", i, ok, err)
+		}
+		if ev.Seq != want.Seq || ev.Type != want.Type || string(ev.Data) != string(want.Data) {
+			t.Fatalf("Next(%d) = %+v, want %+v", i, ev, want)
+		}
+	}
+	if _, ok, err := s.Next(ctx, 3); ok || err != nil {
+		t.Fatalf("Next past close: ok=%v err=%v, want end-of-stream", ok, err)
+	}
+}
+
+// TestStreamNextBlocksAndWakes asserts a subscriber waiting past the log
+// head wakes on publish and on context cancellation.
+func TestStreamNextBlocksAndWakes(t *testing.T) {
+	s := server.NewStream()
+	got := make(chan server.Event, 1)
+	go func() {
+		ev, ok, err := s.Next(context.Background(), 0)
+		if !ok || err != nil {
+			t.Errorf("Next: ok=%v err=%v", ok, err)
+		}
+		got <- ev
+	}()
+	time.Sleep(20 * time.Millisecond) // let the subscriber block
+	s.Publish("x", []byte("data"))
+	select {
+	case ev := <-got:
+		if ev.Type != "x" {
+			t.Fatalf("woke with %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscriber never woke on publish")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := s.Next(ctx, 1)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("canceled Next returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscriber never woke on cancel")
+	}
+}
+
+// TestStreamStress is the -race battery for the broadcaster: concurrent
+// publishers, N subscribers tailing the log, and churning subscribers
+// that abandon mid-stream and re-attach from arbitrary offsets. Every
+// persistent subscriber must observe the complete log in order.
+func TestStreamStress(t *testing.T) {
+	const (
+		publishers   = 4
+		perPublisher = 200
+		subscribers  = 8
+		churners     = 8
+	)
+	s := server.NewStream()
+	total := publishers * perPublisher
+
+	var wg sync.WaitGroup
+	// Persistent subscribers: read the whole log, verify order.
+	results := make([][]server.Event, subscribers)
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var got []server.Event
+			for j := 0; ; j++ {
+				ev, ok, err := s.Next(context.Background(), j)
+				if err != nil {
+					t.Errorf("subscriber %d: %v", i, err)
+					return
+				}
+				if !ok {
+					break
+				}
+				got = append(got, ev)
+			}
+			results[i] = got
+		}(i)
+	}
+	// Churners: attach at a deterministic offset, read a few, abandon.
+	for i := 0; i < churners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+				start := (i*37 + round*13) % (total + 1)
+				for j := start; j < start+5; j++ {
+					ev, ok, err := s.Next(ctx, j)
+					if err != nil || !ok {
+						break
+					}
+					if ev.Seq != j {
+						t.Errorf("churner %d: event at %d has seq %d", i, j, ev.Seq)
+						break
+					}
+				}
+				cancel()
+			}
+		}(i)
+	}
+	// Publishers: interleave freely; the log serializes them.
+	var pwg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for k := 0; k < perPublisher; k++ {
+				s.Publish("e", []byte(fmt.Sprintf("p%d-%d", p, k)))
+			}
+		}(p)
+	}
+	pwg.Wait()
+	s.PublishFinal("final", []byte("done"))
+
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, got := range results {
+		if len(got) != total+1 {
+			t.Fatalf("subscriber %d saw %d events, want %d", i, len(got), total+1)
+		}
+		for j, ev := range got {
+			if ev.Seq != j {
+				t.Fatalf("subscriber %d: event %d has seq %d", i, j, ev.Seq)
+			}
+		}
+		if got[total].Type != "final" {
+			t.Fatalf("subscriber %d: last event %+v, want the final event", i, got[total])
+		}
+		// Every subscriber sees the identical log.
+		for j := range got {
+			if string(got[j].Data) != string(results[0][j].Data) {
+				t.Fatalf("subscribers %d and 0 disagree at %d", i, j)
+			}
+		}
+	}
+}

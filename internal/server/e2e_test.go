@@ -1,0 +1,769 @@
+// End-to-end battery for the characterization service: every test drives
+// the real handler stack over a live httptest listener — submissions,
+// SSE streams, cancellation, admission backpressure, and drain — and the
+// bit-identity test proves that a report served over HTTP is exactly the
+// report a direct in-process repro.Characterize of the same spec yields.
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+// newDaemon stands a full service up: engine + handler set + listener.
+func newDaemon(t *testing.T, opts repro.FleetOptions) (*server.Server, *repro.Fleet, *httptest.Server) {
+	t.Helper()
+	engine := repro.NewFleetEngine(opts)
+	t.Cleanup(engine.Close)
+	srv := server.New(server.Config{Engine: engine})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, engine, ts
+}
+
+// jobView mirrors the job document of the wire API.
+type jobView struct {
+	ID      string            `json:"id"`
+	State   string            `json:"state"`
+	Error   string            `json:"error,omitempty"`
+	Report  *server.ReportDoc `json:"report,omitempty"`
+	Enforce *json.RawMessage  `json:"enforce,omitempty"`
+}
+
+func decodeJob(t *testing.T, r io.Reader) jobView {
+	t.Helper()
+	var v jobView
+	if err := json.NewDecoder(r).Decode(&v); err != nil {
+		t.Fatalf("decode job doc: %v", err)
+	}
+	return v
+}
+
+// post sends a body and returns status + parsed job doc (when 2xx).
+func post(t *testing.T, url, contentType, body string) (int, jobView) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, jobView{}
+	}
+	return resp.StatusCode, decodeJob(t, resp.Body)
+}
+
+func getJob(t *testing.T, base, id string) jobView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+	}
+	return decodeJob(t, resp.Body)
+}
+
+// waitTerminal polls the job until it leaves "running".
+func waitTerminal(t *testing.T, base, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		v := getJob(t, base, id)
+		if v.State != "running" {
+			return v
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return jobView{}
+}
+
+// gobBytes serializes for exact comparison; gob encodes float64 fields
+// losslessly, so equal bytes means bit-identical reports.
+func gobBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// sansSolver strips the schedule-dependent solver telemetry before a
+// bit-identity comparison (shift counts legitimately vary with worker
+// timing; the characterization must not).
+func sansSolver(doc server.ReportDoc) server.ReportDoc {
+	doc.Solver = server.SolverDoc{}
+	return doc
+}
+
+// shrunkCaseSpec is the e2e job shape: a Table-I case shrunk to test
+// budget (same seed and calibrated peak, reduced realization).
+func shrunkCaseSpec(t *testing.T, id int) server.JobSpec {
+	t.Helper()
+	spec, err := repro.FindCase(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := spec.P
+	if ports > 3 {
+		ports = 3
+	}
+	return server.JobSpec{
+		Model: server.ModelSpec{Case: &server.CaseRef{ID: id, Order: spec.N / 50, Ports: ports}},
+		Char:  &server.CharSpec{Seed: 5},
+	}
+}
+
+// TestE2EBitIdentityConcurrent is the headline acceptance test: three
+// shrunk Table-I cases submitted concurrently over HTTP must each come
+// back bit-identical (gob-compare, solver telemetry excluded) to a
+// direct repro.Characterize run of the same spec — the service layer,
+// the shared fleet pool, the progress hooks, and the JSON round trip
+// perturb nothing.
+func TestE2EBitIdentityConcurrent(t *testing.T) {
+	_, _, ts := newDaemon(t, repro.FleetOptions{Workers: 3})
+	ids := []int{1, 2, 7}
+
+	type submitted struct {
+		caseID int
+		jobID  string
+	}
+	results := make([]submitted, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i, id int) {
+			defer wg.Done()
+			body, err := json.Marshal(shrunkCaseSpec(t, id))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				b, _ := io.ReadAll(resp.Body)
+				t.Errorf("case %d: status %d: %s", id, resp.StatusCode, b)
+				return
+			}
+			var v jobView
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = submitted{caseID: id, jobID: v.ID}
+		}(i, id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for _, sub := range results {
+		v := waitTerminal(t, ts.URL, sub.jobID)
+		if v.State != "done" || v.Report == nil {
+			t.Fatalf("case %d (%s): state %q err %q", sub.caseID, sub.jobID, v.State, v.Error)
+		}
+
+		// Direct in-process run of the identical spec: same model builder,
+		// same option mapping, standalone pool (different worker count on
+		// purpose — bit-identity is schedule-independent).
+		spec := shrunkCaseSpec(t, sub.caseID)
+		model, err := spec.BuildModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := repro.Characterize(model, spec.CharOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sansSolver(*server.NewReportDoc(direct))
+		got := sansSolver(*v.Report)
+		if !bytes.Equal(gobBytes(t, want), gobBytes(t, got)) {
+			t.Errorf("case %d: HTTP report is not bit-identical to direct Characterize\nhttp: %+v\ndirect: %+v",
+				sub.caseID, got, want)
+		}
+	}
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	id   int
+	typ  string
+	data string
+}
+
+// readSSE consumes an event stream to EOF.
+func readSSE(t *testing.T, r io.Reader) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	cur := sseEvent{id: -1}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.typ != "" || cur.data != "" {
+				events = append(events, cur)
+			}
+			cur = sseEvent{id: -1}
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.Atoi(strings.TrimPrefix(line, "id: "))
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			cur.id = n
+		case strings.HasPrefix(line, "event: "):
+			cur.typ = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read SSE: %v", err)
+	}
+	return events
+}
+
+type progressView struct {
+	Phase  string  `json:"phase"`
+	Omega  float64 `json:"omega"`
+	Radius float64 `json:"radius,omitempty"`
+	Done   int     `json:"done"`
+	Total  int     `json:"total"`
+}
+
+// TestSSEEventInvariants tails a job's event stream live and asserts the
+// protocol invariants: ids strictly sequential from 0, known event types
+// only, exactly one terminal event (last), per-band probe progress
+// covering every band exactly once, crossings announced before the
+// report when the model has any, and the terminal report identical to
+// the GET document. A second read after completion must replay the
+// byte-identical log.
+func TestSSEEventInvariants(t *testing.T) {
+	_, _, ts := newDaemon(t, repro.FleetOptions{Workers: 2})
+	spec := shrunkCaseSpec(t, 2) // calibrated non-passive: crossings expected
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, v := post(t, ts.URL+"/v1/jobs", "application/json", string(body))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d", status)
+	}
+
+	// Live tail: the GET attaches while the job runs and must still see
+	// the full log from event 0 (replay + follow).
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	events := readSSE(t, resp.Body)
+	resp.Body.Close()
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+
+	final := getJob(t, ts.URL, v.ID)
+	if final.State != "done" || final.Report == nil {
+		t.Fatalf("job ended %q err %q", final.State, final.Error)
+	}
+
+	var probeDone []int
+	var crossingCount, terminalAt int
+	terminalAt = -1
+	for i, ev := range events {
+		if ev.id != i {
+			t.Fatalf("event %d has id %d: ids must be sequential from 0", i, ev.id)
+		}
+		switch ev.typ {
+		case "progress":
+			var p progressView
+			if err := json.Unmarshal([]byte(ev.data), &p); err != nil {
+				t.Fatalf("event %d: bad progress payload %q: %v", i, ev.data, err)
+			}
+			if p.Done < 1 || (p.Total > 0 && p.Done > p.Total) {
+				t.Fatalf("event %d: done/total %d/%d", i, p.Done, p.Total)
+			}
+			if p.Phase == "probe" {
+				probeDone = append(probeDone, p.Done)
+			}
+		case "crossing":
+			if terminalAt >= 0 {
+				t.Fatalf("event %d: crossing after terminal", i)
+			}
+			crossingCount++
+		case "report":
+			if terminalAt >= 0 {
+				t.Fatalf("second terminal event at %d (first %d)", i, terminalAt)
+			}
+			terminalAt = i
+		default:
+			t.Fatalf("event %d: unknown type %q", i, ev.typ)
+		}
+	}
+	if terminalAt != len(events)-1 {
+		t.Fatalf("terminal event at %d, want last (%d)", terminalAt, len(events)-1)
+	}
+
+	// Per-band probe progress: done values are exactly 1..len(bands).
+	if len(probeDone) != len(final.Report.Bands) {
+		t.Fatalf("%d probe progress events, want one per band (%d)", len(probeDone), len(final.Report.Bands))
+	}
+	seen := make(map[int]bool)
+	for _, d := range probeDone {
+		if d < 1 || d > len(probeDone) || seen[d] {
+			t.Fatalf("probe done values %v are not a permutation of 1..%d", probeDone, len(probeDone))
+		}
+		seen[d] = true
+	}
+	if len(final.Report.Crossings) > 0 && crossingCount == 0 {
+		t.Fatalf("report has %d crossings but no crossing events were streamed", len(final.Report.Crossings))
+	}
+
+	// Terminal event carries the full report document.
+	var termJob jobView
+	if err := json.Unmarshal([]byte(events[terminalAt].data), &termJob); err != nil {
+		t.Fatalf("terminal payload: %v", err)
+	}
+	if termJob.Report == nil || !bytes.Equal(gobBytes(t, *termJob.Report), gobBytes(t, *final.Report)) {
+		t.Fatal("terminal event report differs from GET report")
+	}
+
+	// Replay: a post-completion subscriber gets the identical log.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := readSSE(t, resp2.Body)
+	resp2.Body.Close()
+	if len(replay) != len(events) {
+		t.Fatalf("replay has %d events, live tail had %d", len(replay), len(events))
+	}
+	for i := range replay {
+		if replay[i] != events[i] {
+			t.Fatalf("replay event %d differs: %+v vs %+v", i, replay[i], events[i])
+		}
+	}
+
+	// Resume: ?after= skips the already-seen prefix.
+	resp3, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events?after=" + strconv.Itoa(len(events)-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := readSSE(t, resp3.Body)
+	resp3.Body.Close()
+	if len(tail) != 1 || tail[0] != events[len(events)-1] {
+		t.Fatalf("?after resume returned %+v, want just the terminal event", tail)
+	}
+}
+
+// blockWorkers wedges every pool worker on a channel so submitted jobs
+// deterministically stay in flight until release is called. The returned
+// release is idempotent.
+func blockWorkers(t *testing.T, engine *repro.Fleet, n int) (release func()) {
+	t.Helper()
+	ch := make(chan struct{})
+	started := make(chan struct{}, n)
+	client := engine.NewClient(repro.PriorityInteractive, 1)
+	fns := make([]func(int) error, n)
+	for i := range fns {
+		fns[i] = func(int) error {
+			started <- struct{}{}
+			<-ch
+			return nil
+		}
+	}
+	go func() {
+		if err := client.RunBatch(context.Background(), "testblock", fns); err != nil {
+			t.Error(err)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		select {
+		case <-started:
+		case <-time.After(10 * time.Second):
+			t.Fatal("pool workers did not pick the blocking tasks up")
+		}
+	}
+	var once sync.Once
+	return func() { once.Do(func() { close(ch) }) }
+}
+
+// TestCancelMidJobNoLeak cancels a job that is wedged behind a blocked
+// pool and asserts it reaches "canceled", the engine keeps serving new
+// jobs, and no goroutines leak.
+func TestCancelMidJobNoLeak(t *testing.T) {
+	srv, engine, ts := newDaemon(t, repro.FleetOptions{Workers: 1})
+	release := blockWorkers(t, engine, 1)
+	defer release()
+
+	before := runtime.NumGoroutine()
+	body, err := json.Marshal(shrunkCaseSpec(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, v := post(t, ts.URL+"/v1/jobs", "application/json", string(body))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d", status)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+
+	release()
+	final := waitTerminal(t, ts.URL, v.ID)
+	if final.State != "canceled" {
+		t.Fatalf("state %q (err %q), want canceled", final.State, final.Error)
+	}
+
+	// The canceled job's watcher and coordinator must be gone: drain
+	// returns immediately and the goroutine count settles back.
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.DrainJobs(dctx); err != nil {
+		t.Fatalf("drain after cancel: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d before submit, %d after cancel", before, n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// And the engine still takes work (the server is NOT draining).
+	status, v2 := post(t, ts.URL+"/v1/jobs", "application/json", string(body))
+	if status != http.StatusAccepted {
+		t.Fatalf("post-cancel submit: status %d", status)
+	}
+	if final := waitTerminal(t, ts.URL, v2.ID); final.State != "done" {
+		t.Fatalf("post-cancel job: state %q err %q", final.State, final.Error)
+	}
+}
+
+// TestAdmissionFailFast429 asserts the fail-fast queue surfaces
+// ErrQueueFull as 429 and recovers once the slot frees.
+func TestAdmissionFailFast429(t *testing.T) {
+	_, engine, ts := newDaemon(t, repro.FleetOptions{Workers: 1, MaxQueued: 1, FailFast: true})
+	release := blockWorkers(t, engine, 1)
+	defer release()
+
+	body, err := json.Marshal(shrunkCaseSpec(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, first := post(t, ts.URL+"/v1/jobs", "application/json", string(body))
+	if status != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", status)
+	}
+	if status, _ := post(t, ts.URL+"/v1/jobs", "application/json", string(body)); status != http.StatusTooManyRequests {
+		t.Fatalf("second submit on a full fail-fast queue: status %d, want 429", status)
+	}
+	// Health is unaffected by backpressure.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during backpressure: %d", resp.StatusCode)
+	}
+
+	release()
+	if final := waitTerminal(t, ts.URL, first.ID); final.State != "done" {
+		t.Fatalf("first job: state %q err %q", final.State, final.Error)
+	}
+	// Slot freed: submissions are accepted again.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, v := post(t, ts.URL+"/v1/jobs", "application/json", string(body))
+		if status == http.StatusAccepted {
+			if final := waitTerminal(t, ts.URL, v.ID); final.State != "done" {
+				t.Fatalf("recovered job: state %q err %q", final.State, final.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never freed: still status %d", status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestAdmissionBlockMode asserts the default (non-fail-fast) queue
+// blocks the submit until a slot frees instead of erroring.
+func TestAdmissionBlockMode(t *testing.T) {
+	_, engine, ts := newDaemon(t, repro.FleetOptions{Workers: 1, MaxQueued: 1})
+	release := blockWorkers(t, engine, 1)
+	defer release()
+
+	body, err := json.Marshal(shrunkCaseSpec(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _ := post(t, ts.URL+"/v1/jobs", "application/json", string(body))
+	if status != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", status)
+	}
+
+	type result struct {
+		status int
+		view   jobView
+	}
+	second := make(chan result, 1)
+	go func() {
+		st, v := post(t, ts.URL+"/v1/jobs", "application/json", string(body))
+		second <- result{st, v}
+	}()
+	select {
+	case r := <-second:
+		t.Fatalf("second submit returned %d while the queue was full; want it to block", r.status)
+	case <-time.After(300 * time.Millisecond):
+	}
+
+	release()
+	select {
+	case r := <-second:
+		if r.status != http.StatusAccepted {
+			t.Fatalf("blocked submit resolved with status %d", r.status)
+		}
+		if final := waitTerminal(t, ts.URL, r.view.ID); final.State != "done" {
+			t.Fatalf("blocked-then-admitted job: state %q err %q", final.State, final.Error)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("blocked submit never resolved after the slot freed")
+	}
+}
+
+// TestGracefulDrain asserts the SIGTERM semantics end to end: after
+// BeginDrain, health and new submissions answer 503 while in-flight jobs
+// run to completion, reads keep working, and DrainJobs returns once the
+// last job lands.
+func TestGracefulDrain(t *testing.T) {
+	srv, engine, ts := newDaemon(t, repro.FleetOptions{Workers: 1})
+	release := blockWorkers(t, engine, 1)
+	defer release()
+
+	body, err := json.Marshal(shrunkCaseSpec(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, inflight := post(t, ts.URL+"/v1/jobs", "application/json", string(body))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d", status)
+	}
+
+	srv.BeginDrain()
+	if status, _ := post(t, ts.URL+"/v1/jobs", "application/json", string(body)); status != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", status)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+	// Reads still serve during drain.
+	if v := getJob(t, ts.URL, inflight.ID); v.State != "running" {
+		t.Fatalf("in-flight job state %q during drain", v.State)
+	}
+
+	// The drain must block until the wedged job finishes.
+	quick, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	err = srv.DrainJobs(quick)
+	cancel()
+	if err == nil {
+		t.Fatal("DrainJobs returned before the in-flight job finished")
+	}
+
+	release()
+	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := srv.DrainJobs(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if final := getJob(t, ts.URL, inflight.ID); final.State != "done" {
+		t.Fatalf("in-flight job after drain: state %q err %q — drain must finish, not kill", final.State, final.Error)
+	}
+}
+
+// TestSnpSubmitMatchesDirect routes a Touchstone stream through the POST
+// handler and asserts the served report is bit-identical to the direct
+// in-process CharacterizeTouchstone pipeline on the same bytes.
+func TestSnpSubmitMatchesDirect(t *testing.T) {
+	_, _, ts := newDaemon(t, repro.FleetOptions{Workers: 2})
+
+	spec, err := repro.FindCase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := repro.GenerateModel(spec.Seed, repro.GenOptions{
+		Ports: 3, Order: spec.N / 50, TargetPeak: spec.TargetPeak, GridPoints: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := repro.SampleModel(m, repro.LogGrid(2*math.Pi*1e8, 2*math.Pi*2e10, 36))
+	var file bytes.Buffer
+	if err := repro.WriteTouchstone(&file, samples, repro.TouchstoneRI, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dry run first: the validator parses the stream without submitting.
+	resp, err := http.Post(ts.URL+"/v1/jobs?validate=1&ports=3", "application/octet-stream", bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vr struct {
+		Valid   bool `json:"valid"`
+		Samples int  `json:"samples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !vr.Valid || vr.Samples != len(samples) {
+		t.Fatalf("validate: status %d, %+v (want %d samples)", resp.StatusCode, vr, len(samples))
+	}
+
+	status, v := post(t, ts.URL+"/v1/jobs?ports=3&order=6", "application/octet-stream", file.String())
+	if status != http.StatusAccepted {
+		t.Fatalf("snp submit: status %d", status)
+	}
+	final := waitTerminal(t, ts.URL, v.ID)
+	if final.State != "done" || final.Report == nil {
+		t.Fatalf("snp job: state %q err %q", final.State, final.Error)
+	}
+
+	_, direct, err := repro.CharacterizeTouchstone(bytes.NewReader(file.Bytes()), 3, 6, repro.VFOptions{}, repro.CharOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sansSolver(*server.NewReportDoc(direct))
+	got := sansSolver(*final.Report)
+	if !bytes.Equal(gobBytes(t, want), gobBytes(t, got)) {
+		t.Fatalf("snp HTTP report differs from direct pipeline\nhttp: %+v\ndirect: %+v", got, want)
+	}
+
+	// Garbage bodies are rejected cleanly at the parse boundary.
+	if status, _ := post(t, ts.URL+"/v1/jobs?ports=3", "application/octet-stream", "not a touchstone file\x00\xff"); status != http.StatusBadRequest {
+		t.Fatalf("garbage snp body: status %d, want 400", status)
+	}
+}
+
+// TestStatusEndpoint sanity-checks the observability document after real
+// work ran: pool width, per-phase counters, and job states.
+func TestStatusEndpoint(t *testing.T) {
+	_, _, ts := newDaemon(t, repro.FleetOptions{Workers: 2, MaxQueued: 4})
+	body, err := json.Marshal(shrunkCaseSpec(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, v := post(t, ts.URL+"/v1/jobs", "application/json", string(body))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d", status)
+	}
+	waitTerminal(t, ts.URL, v.ID)
+
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Draining   bool `json:"draining"`
+		Workers    int  `json:"workers"`
+		QueueDepth int  `json:"queue_depth"`
+		Admission  struct {
+			Used     int `json:"used"`
+			Capacity int `json:"capacity"`
+		} `json:"admission"`
+		Phases map[string]struct {
+			Tasks  int   `json:"tasks"`
+			BusyNS int64 `json:"busy_ns"`
+		} `json:"phases"`
+		Jobs []jobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Workers != 2 || doc.Draining {
+		t.Fatalf("status: %+v", doc)
+	}
+	if doc.Admission.Capacity != 4 || doc.Admission.Used != 0 {
+		t.Fatalf("admission: %+v", doc.Admission)
+	}
+	if doc.Phases["eig"].Tasks == 0 || doc.Phases["probe"].Tasks == 0 {
+		t.Fatalf("phases missing eig/probe work: %+v", doc.Phases)
+	}
+	found := false
+	for _, j := range doc.Jobs {
+		if j.ID == v.ID && j.State == "done" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("job %s not reported done in status: %+v", v.ID, doc.Jobs)
+	}
+
+	// Unknown job IDs 404.
+	r404, err := http.Get(ts.URL + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r404.Body)
+	r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", r404.StatusCode)
+	}
+}

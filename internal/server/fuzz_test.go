@@ -1,0 +1,84 @@
+package server_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/server"
+)
+
+// FuzzJobSpec hammers the JSON ingest boundary: DecodeJobSpec must never
+// panic, and any spec it accepts must be internally consistent enough
+// for the pole–residue realization path to run without panicking (the
+// synthetic-generation sources are skipped — they are seed-driven and
+// expensive, not attacker-shaped).
+func FuzzJobSpec(f *testing.F) {
+	f.Add([]byte(`{"model":{"case":{"id":1,"order":40,"ports":3}},"char":{"seed":5}}`))
+	f.Add([]byte(`{"model":{"generate":{"seed":3,"ports":2,"order":16}},"priority":"interactive","weight":2}`))
+	f.Add([]byte(`{"model":{"pole_residue":{"d":[[0.1]],"poles":[[[-1e8,1e9]]],"residues":[[[[1e8,0]]]]}},"enforce":{"max_iters":2}}`))
+	f.Add([]byte(`{"model":{}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"model":{"case":{"id":1}},"char":{"omega_max":1e308}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := server.DecodeJobSpec(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		if spec.Model.PoleResidue != nil {
+			// Realization must hold up against any numerics that slipped
+			// through validation (stability etc. may still error — fine).
+			_, _ = spec.BuildModel()
+		}
+		_ = spec.CharOptions()
+		_ = spec.EnforceOptions()
+		_ = spec.PriorityClass()
+	})
+}
+
+// fuzzHandler builds one process-wide handler for ingest fuzzing. The
+// validate path never submits work, so the engine stays idle; it is
+// deliberately never closed (fuzz worker processes exit abruptly).
+var fuzzHandler = sync.OnceValue(func() http.Handler {
+	return server.New(server.Config{Engine: repro.NewFleet(1)})
+})
+
+// FuzzSnpIngest routes arbitrary bytes through the POST-.snp handler
+// path in validate mode: the full HTTP plumbing plus the streaming
+// Touchstone parser must reject garbage with 4xx and never panic. Seeds
+// include the golden corpus shared with the touchstone fuzz targets.
+func FuzzSnpIngest(f *testing.F) {
+	golden, err := filepath.Glob(filepath.Join("..", "touchstone", "testdata", "golden", "*.s*p"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range golden {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data, byte(2))
+	}
+	f.Add([]byte("# HZ S RI R 50\n1e9 0.5 0.1\n2e9 0.4 -0.2\n"), byte(1))
+	f.Add([]byte("! comment only\n"), byte(1))
+	f.Add([]byte{0}, byte(0))
+	f.Fuzz(func(t *testing.T, data []byte, ports byte) {
+		req := httptest.NewRequest(http.MethodPost,
+			"/v1/jobs?validate=1&ports="+strconv.Itoa(int(ports)), bytes.NewReader(data))
+		req.Header.Set("Content-Type", "application/octet-stream")
+		rec := httptest.NewRecorder()
+		fuzzHandler().ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest:
+		default:
+			t.Fatalf("ports=%d: unexpected status %d: %s", ports, rec.Code, rec.Body.Bytes())
+		}
+	})
+}

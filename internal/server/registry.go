@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Job lifecycle states as reported over the API.
+const (
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateFailed   = "failed"
+	stateCanceled = "canceled"
+)
+
+// jobEntry is the server-side record of one submitted job: its API
+// state, the cancel hook for DELETE, the SSE stream, and — once terminal
+// — the report documents. The entry's mutable fields are guarded by mu;
+// the stream has its own lock.
+type jobEntry struct {
+	id     string
+	stream *Stream
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	state   string
+	errMsg  string
+	report  *ReportDoc
+	enforce *EnforceDoc
+
+	// crossingsSeen dedupes crossing events across the job's progress
+	// callbacks (guarded by mu).
+	crossingsSeen []float64
+}
+
+// doc snapshots the entry as its API document. Terminal report payloads
+// are included only when full is set (the list endpoint stays small).
+func (e *jobEntry) doc(full bool) jobDoc {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d := jobDoc{ID: e.id, State: e.state, Error: e.errMsg}
+	if full {
+		d.Report = e.report
+		d.Enforce = e.enforce
+	}
+	return d
+}
+
+// markCrossings returns the near-axis frequencies not yet announced for
+// this job (relative dedup tolerance 1e-6 against everything already
+// announced) and records them as announced.
+func (e *jobEntry) markCrossings(omegas []float64) []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var fresh []float64
+	for _, w := range omegas {
+		dup := false
+		for _, seen := range e.crossingsSeen {
+			tol := 1e-6 * (1 + seen)
+			if w > seen-tol && w < seen+tol {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			e.crossingsSeen = append(e.crossingsSeen, w)
+			fresh = append(fresh, w)
+		}
+	}
+	return fresh
+}
+
+// registry indexes the server's jobs by ID.
+type registry struct {
+	mu   sync.Mutex
+	jobs map[string]*jobEntry
+	next int
+}
+
+// add mints the next job ID and registers a running entry.
+func (r *registry) add(cancel context.CancelFunc) *jobEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.jobs == nil {
+		r.jobs = make(map[string]*jobEntry)
+	}
+	r.next++
+	e := &jobEntry{
+		id:     fmt.Sprintf("job-%d", r.next),
+		stream: NewStream(),
+		cancel: cancel,
+		state:  stateRunning,
+	}
+	r.jobs[e.id] = e
+	return e
+}
+
+// get looks an entry up by ID.
+func (r *registry) get(id string) (*jobEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.jobs[id]
+	return e, ok
+}
+
+// list returns every entry in submission order.
+func (r *registry) list() []*jobEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*jobEntry, 0, len(r.jobs))
+	for _, e := range r.jobs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return jobNum(out[i].id) < jobNum(out[j].id) })
+	return out
+}
+
+// jobNum extracts the numeric suffix of a job ID for sorting.
+func jobNum(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	return n
+}

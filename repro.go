@@ -46,6 +46,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/passivity"
 	"repro/internal/sampling"
+	"repro/internal/server"
 	"repro/internal/statespace"
 	"repro/internal/touchstone"
 	"repro/internal/vectfit"
@@ -491,6 +492,39 @@ func NewFleet(workers int) *Fleet { return fleet.New(workers) }
 // NewFleetEngine starts a fleet engine with full production options
 // (bounded admission, fail-fast submits).
 func NewFleetEngine(opts FleetOptions) *Fleet { return fleet.NewEngine(opts) }
+
+// ---- HTTP service layer (cmd/passivityd) ----
+
+// ProgressEvent is one observational solver-progress notification,
+// delivered through SolverOptions.Progress / FleetRequest.Progress as
+// compute tasks complete: the certified disk (or probed band) location,
+// near-axis eigenvalues as found, and a live done/total count per phase.
+// Events are emitted after the scheduler commits each completion, so
+// consuming them cannot perturb the bit-identical result.
+type ProgressEvent = core.ProgressEvent
+
+// Passivityd is the HTTP front door over a fleet engine: job submission
+// (JSON model specs or Touchstone streams), SSE progress/crossing
+// events, report retrieval, cancellation, and graceful drain. It
+// implements http.Handler; cmd/passivityd wraps it in a daemon.
+type Passivityd = server.Server
+
+// PassivitydConfig wires a Passivityd to its engine.
+type PassivitydConfig = server.Config
+
+// JobSpec is the JSON body of a model-spec job submission to the
+// service layer's POST /v1/jobs.
+type JobSpec = server.JobSpec
+
+// ReportDoc is the service layer's wire form of a Report; its
+// deterministic sections round-trip through JSON bit-exactly.
+type ReportDoc = server.ReportDoc
+
+// NewPassivityd builds the service-layer handler set around an engine.
+func NewPassivityd(cfg PassivitydConfig) *Passivityd { return server.New(cfg) }
+
+// NewReportDoc converts an in-process report to its wire form.
+func NewReportDoc(r *Report) *ReportDoc { return server.NewReportDoc(r) }
 
 // ---- adaptive-sampling baseline (paper ref. [17]) ----
 
