@@ -57,9 +57,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/hamiltonian"
 	"repro/internal/statespace"
 )
@@ -206,6 +208,21 @@ type sparseRow struct {
 	Agree         bool    `json:"crossings_agree"` // within 1e-9·ω_max
 }
 
+type resumeRow struct {
+	Case          int     `json:"case"`
+	N             int     `json:"n"`
+	FromSeq       int     `json:"resumed_from_seq"`
+	FreshShifts   int     `json:"fresh_shifts"`
+	ResumedShifts int     `json:"resumed_shifts"`
+	ShiftsSavedPC float64 `json:"shifts_saved_pct"`
+	FreshNS       int64   `json:"fresh_ns"`
+	ResumedNS     int64   `json:"resumed_ns"`
+	// StrictlyFewer is the durability acceptance gate: a resumed run must
+	// re-execute only the shifts its checkpoint prefix had not committed.
+	StrictlyFewer bool `json:"resumed_strictly_fewer_shifts"`
+	BitIdentical  bool `json:"crossings_bit_identical"`
+}
+
 type benchOut struct {
 	Workers          int          `json:"workers"`
 	HostCores        int          `json:"host_cores"`
@@ -224,6 +241,7 @@ type benchOut struct {
 	VectFit          *vfRow       `json:"vectfit,omitempty"`
 	HalfPath         []halfRow    `json:"halfpath,omitempty"`
 	Sparse           *sparseRow   `json:"sparse,omitempty"`
+	Resume           []resumeRow  `json:"resume,omitempty"`
 }
 
 func main() {
@@ -237,6 +255,7 @@ func main() {
 	vfPorts := flag.Int("vfports", 8, "port count of the synthetic sweep for the Vector Fitting A/B (0 to skip)")
 	halfAB := flag.Bool("half", true, "run the half-path A/B on the reciprocal Table-I variants")
 	sparseOrder := flag.Int("sparseorder", 10000, "dynamic order of the synthetic large-n case for the sparse-backend A/B (0 to skip)")
+	resumeOrder := flag.Int("resumeorder", 125, "shrunk order for the checkpoint-resume A/B on Table-I cases 1-3 (0 to skip)")
 	flag.Parse()
 
 	specs := repro.TableICases()
@@ -683,6 +702,108 @@ func main() {
 		fmt.Printf("sparse A/B (n=%d, p=%d, %d ports/col): %.3fs packed-dense → %.3fs sparse (%.2fx), auto resolves to %s, Nλ %d vs %d, agree@1e-9ωmax: %v\n",
 			sr.N, sr.P, portsPerCol, float64(denseNS)/1e9, float64(sparseNS)/1e9, sr.Speedup,
 			sr.AutoBackend, sr.NlambdaDense, sr.Nlambda, sr.Agree)
+	}
+
+	// Phase 9: checkpoint-resume A/B — the durable-store restart economics
+	// on shrunk Table-I cases. Each case is solved cold on the fleet engine
+	// while its per-shift checkpoint stream is recorded; the first half of
+	// the stream (in sequence order — callbacks land out of order) is folded
+	// into a ResumeState and the case is re-submitted seeded from it. The
+	// resumed run must report bit-identical crossings while executing
+	// strictly fewer shifts: a daemon restart pays for the uncommitted
+	// suffix only, never the whole solve.
+	if *resumeOrder > 0 {
+		eng := repro.NewFleetEngine(repro.FleetOptions{Workers: *workers})
+		for _, id := range []int{1, 2, 3} {
+			spec, err := repro.FindCase(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			spec.N = *resumeOrder
+			m, err := repro.BuildCase(spec)
+			if err != nil {
+				log.Fatalf("resume case %d: %v", id, err)
+			}
+			var mu sync.Mutex
+			var cks []core.Checkpoint
+			freshStart := time.Now()
+			j, err := eng.Submit(context.Background(), repro.FleetRequest{
+				Model: m,
+				Char:  charOpts(),
+				Checkpoint: func(ck core.Checkpoint) {
+					mu.Lock()
+					cks = append(cks, ck)
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				log.Fatalf("resume A/B fresh submit case %d: %v", id, err)
+			}
+			res, err := j.Wait()
+			if err != nil {
+				log.Fatalf("resume A/B fresh case %d: %v", id, err)
+			}
+			freshNS := time.Since(freshStart).Nanoseconds()
+			fresh := res.Report
+			mu.Lock()
+			sort.Slice(cks, func(a, b int) bool { return cks[a].Seq < cks[b].Seq })
+			half := (len(cks) + 1) / 2
+			var rs core.ResumeState
+			for _, ck := range cks[:half] {
+				rs.Apply(ck)
+			}
+			freshShifts := 0
+			for _, ck := range cks {
+				if ck.Out != nil {
+					freshShifts++
+				}
+			}
+			mu.Unlock()
+			// A resumed run preloads the prefix's committed shifts into its
+			// Result (Solver.ShiftsProcessed describes the whole solve), so
+			// the work actually re-executed is counted the same way on both
+			// legs: one checkpoint commit (Out != nil) per shift run.
+			var newMu sync.Mutex
+			newShifts := 0
+			resumedStart := time.Now()
+			j2, err := eng.Submit(context.Background(), repro.FleetRequest{
+				Model:  m,
+				Char:   charOpts(),
+				Resume: &rs,
+				Checkpoint: func(ck core.Checkpoint) {
+					if ck.Out != nil {
+						newMu.Lock()
+						newShifts++
+						newMu.Unlock()
+					}
+				},
+			})
+			if err != nil {
+				log.Fatalf("resume A/B resumed submit case %d: %v", id, err)
+			}
+			res2, err := j2.Wait()
+			if err != nil {
+				log.Fatalf("resume A/B resumed case %d: %v", id, err)
+			}
+			resumedNS := time.Since(resumedStart).Nanoseconds()
+			resumed := res2.Report
+			newMu.Lock()
+			rr := resumeRow{
+				Case: id, N: *resumeOrder, FromSeq: rs.Seq,
+				FreshShifts:   freshShifts,
+				ResumedShifts: newShifts,
+				FreshNS:       freshNS, ResumedNS: resumedNS,
+				StrictlyFewer: newShifts < freshShifts,
+				BitIdentical:  sameCrossings(fresh, resumed),
+			}
+			newMu.Unlock()
+			rr.ShiftsSavedPC = 100 * (1 - float64(rr.ResumedShifts)/float64(rr.FreshShifts))
+			out.Resume = append(out.Resume, rr)
+			fmt.Printf("resume A/B (case %d, n=%d, from seq %d): shifts fresh %d → resumed %d (%.1f%% saved, strictly fewer: %v), %.3fs → %.3fs, bit-identical: %v\n",
+				rr.Case, rr.N, rr.FromSeq, rr.FreshShifts, rr.ResumedShifts, rr.ShiftsSavedPC,
+				rr.StrictlyFewer, float64(freshNS)/1e9, float64(resumedNS)/1e9, rr.BitIdentical)
+		}
+		eng.Close()
 	}
 
 	if *jsonOut != "" {

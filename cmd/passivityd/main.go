@@ -16,9 +16,17 @@
 // listener, refuses new submits with 503, lets in-flight jobs finish
 // (bounded by -drain-timeout), then exits.
 //
+// With -store, every job is journaled to an append-only, fsync'd,
+// CRC-framed log and survives daemon restarts — including SIGKILL
+// mid-solve: on boot, terminal jobs are served from their persisted
+// document and event history, incomplete jobs resume from their last
+// committed checkpoint and finish with a report bit-identical to an
+// uninterrupted run's (the kill-and-restart harness in crash_test.go
+// proves this end to end).
+//
 // Usage:
 //
-//	passivityd -addr :8080 -workers 8 -max-queued 32 -fail-fast
+//	passivityd -addr :8080 -workers 8 -max-queued 32 -fail-fast -store jobs.jlog
 //
 // Submit and watch:
 //
@@ -41,6 +49,7 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -62,6 +71,7 @@ func run(args []string, out *os.File) error {
 	failFast := fs.Bool("fail-fast", false, "answer 429 when the admission queue is full instead of blocking the submit")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "bound on waiting for in-flight jobs at shutdown")
 	order := fs.Int("order", 20, "default per-column Vector Fitting order for .snp submissions")
+	storePath := fs.String("store", "", "durable job-log path: jobs survive restarts, incomplete jobs resume from their last checkpoint (empty = no persistence)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,10 +86,22 @@ func run(args []string, out *os.File) error {
 	})
 	defer engine.Close()
 
+	cfg := server.Config{Engine: engine, FitOrder: *order}
+	if *storePath != "" {
+		st, err := store.Open(*storePath)
+		if err != nil {
+			return fmt.Errorf("open store: %w", err)
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
 	// Jobs deliberately do NOT descend from the signal context: drain
 	// means "finish what you started", not "cancel everything". The
 	// drain-timeout fallback cancels stragglers via srv.DrainJobs's ctx.
-	srv := server.New(server.Config{Engine: engine, FitOrder: *order})
+	srv := server.New(cfg)
+	if cfg.Store != nil {
+		fmt.Fprintf(out, "passivityd: recovered %d job(s) from %s\n", srv.RecoveredJobs(), *storePath)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -293,6 +293,9 @@ func SingleShiftReal(inv RealShiftInverter, rho0 float64, params SingleShiftPara
 	stagnant := 0
 	var warmStart []float64
 	for restart := 0; restart < params.MaxRestarts; restart++ {
+		if params.Yield != nil && restart > 0 {
+			params.Yield()
+		}
 		res.Restarts++
 		start := RandomStartReal(cfg.Rng, inv.Dim())
 		if warmStart != nil {

@@ -22,6 +22,14 @@ type SingleShiftParams struct {
 	Tol float64
 	// Seed drives the random restart vectors of this shift.
 	Seed int64
+	// Yield, when non-nil, is called at the top of every restart sweep
+	// after the first — the sweep's natural checkpoint boundary. It is a
+	// cooperative preemption point: the multi-shift scheduler uses it to
+	// let a long batch-class shift execute queued interactive-class tasks
+	// mid-shift instead of holding a worker until the shift completes. The
+	// callback must not mutate solver state; it only borrows the calling
+	// goroutine, so the iteration resumes bit-identically when it returns.
+	Yield func()
 }
 
 // Validate rejects negative parameter values, which setDefaults would pass
@@ -134,6 +142,9 @@ func SingleShift(inv ShiftInverter, rho0 float64, params SingleShiftParams) (*Si
 	stagnant := 0
 	var warmStart []complex128
 	for restart := 0; restart < params.MaxRestarts; restart++ {
+		if params.Yield != nil && restart > 0 {
+			params.Yield()
+		}
 		res.Restarts++
 		start := RandomStart(cfg.Rng, inv.Dim())
 		if warmStart != nil {

@@ -1,0 +1,116 @@
+package arnoldi
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// ringInv builds a shift inverter over a diagonal matrix whose 100
+// eigenvalues ring the origin: asking for many of them through a small
+// Krylov subspace forces several explicit restarts, giving the Yield hook
+// real boundaries to fire at.
+func ringInv(t *testing.T) ShiftInverter {
+	t.Helper()
+	n := 100
+	d := mat.NewCDense(n, n)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < n; i++ {
+		ang := rng.Float64() * 2 * math.Pi
+		r := 0.1 + 0.9*rng.Float64()
+		d.Set(i, i, cmplx.Rect(r, ang))
+	}
+	return newDenseShiftInv(t, d, 0)
+}
+
+// realDiagShiftInv is (A − τI)⁻¹ for a real diagonal A.
+type realDiagShiftInv struct {
+	d   []float64
+	tau float64
+}
+
+func (r realDiagShiftInv) Dim() int          { return len(r.d) }
+func (r realDiagShiftInv) Theta() complex128 { return complex(r.tau, 0) }
+func (r realDiagShiftInv) Apply(y, x []float64) error {
+	for i := range x {
+		y[i] = x[i] / (r.d[i] - r.tau)
+	}
+	return nil
+}
+
+// TestSingleShiftYieldAtRestartBoundaries pins the Yield contract of the
+// complex sweep: the hook fires exactly once per restart after the first,
+// and its presence leaves the iteration bit-identical — Yield only
+// borrows the goroutine, it must never perturb solver state.
+func TestSingleShiftYieldAtRestartBoundaries(t *testing.T) {
+	params := SingleShiftParams{NWanted: 8, MaxDim: 12, Seed: 3, MaxRestarts: 20}
+	base, err := SingleShift(ringInv(t), 1.0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Restarts < 2 {
+		t.Fatalf("setup: %d restarts, no yield boundary to observe", base.Restarts)
+	}
+	yields := 0
+	params.Yield = func() { yields++ }
+	res, err := SingleShift(ringInv(t), 1.0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yields != res.Restarts-1 {
+		t.Fatalf("%d yields for %d restarts, want one per restart after the first", yields, res.Restarts)
+	}
+	assertSweepIdentical(t, res, base)
+}
+
+// TestSingleShiftRealYieldAtRestartBoundaries pins the same contract on
+// the real (half-size) sweep.
+func TestSingleShiftRealYieldAtRestartBoundaries(t *testing.T) {
+	d := make([]float64, 80)
+	rng := rand.New(rand.NewSource(5))
+	for i := range d {
+		d[i] = -2 + 4*rng.Float64()
+	}
+	inv := realDiagShiftInv{d: d, tau: 0.05}
+	params := SingleShiftParams{NWanted: 8, MaxDim: 12, Seed: 3, MaxRestarts: 20}
+	base, err := SingleShiftReal(inv, 1.0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Restarts < 2 {
+		t.Fatalf("setup: %d restarts, no yield boundary to observe", base.Restarts)
+	}
+	yields := 0
+	params.Yield = func() { yields++ }
+	res, err := SingleShiftReal(inv, 1.0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yields != res.Restarts-1 {
+		t.Fatalf("%d yields for %d restarts, want one per restart after the first", yields, res.Restarts)
+	}
+	assertSweepIdentical(t, res, base)
+}
+
+// assertSweepIdentical requires two sweep results to be bit-identical.
+func assertSweepIdentical(t *testing.T, got, want *SingleShiftResult) {
+	t.Helper()
+	if got.Restarts != want.Restarts || got.OpApplies != want.OpApplies {
+		t.Fatalf("work counters diverged: %d/%d restarts, %d/%d applies",
+			got.Restarts, want.Restarts, got.OpApplies, want.OpApplies)
+	}
+	if got.Radius != want.Radius {
+		t.Fatalf("radius %v != %v (not bit-identical)", got.Radius, want.Radius)
+	}
+	if len(got.Eigenvalues) != len(want.Eigenvalues) {
+		t.Fatalf("%d eigenvalues vs %d", len(got.Eigenvalues), len(want.Eigenvalues))
+	}
+	for i := range got.Eigenvalues {
+		if got.Eigenvalues[i] != want.Eigenvalues[i] {
+			t.Fatalf("eigenvalue %d: %v != %v (not bit-identical)", i, got.Eigenvalues[i], want.Eigenvalues[i])
+		}
+	}
+}

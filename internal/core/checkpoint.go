@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Checkpoint is one durable-resume snapshot of a multi-shift solve,
+// emitted through Options.Checkpoint at every shift boundary. Checkpoint
+// Seq 0 is the submission snapshot (startup intervals queued, ω_max
+// fixed, no shift committed yet); Seq k > 0 commits the k-th completed
+// shift: Out carries that shift's certified disk and eigenvalues, and
+// Tentative is the exact uncovered remainder of the band — queued
+// intervals plus the intervals of shifts in flight on other workers —
+// after the completion update.
+//
+// A Checkpoint is self-describing scheduler state except for Out, which
+// is a delta: replaying a contiguous prefix of checkpoints 0..k
+// accumulates the Outs into a ResumeState (see ResumeState.Apply) from
+// which Options.Resume restarts the solve as if the remaining intervals
+// had simply been scheduled last. Because the scheduler only ever decides
+// WHEN an interval runs — never with what data — a resumed run is one
+// more admissible schedule, and the solve's schedule-independence
+// invariant makes its reported crossings, bands, and ω_max bit-identical
+// to an uninterrupted run.
+//
+// All slices are fresh copies; solver state is never aliased into an
+// event.
+type Checkpoint struct {
+	// Seq is the checkpoint sequence number: 0 at submission, then one
+	// per committed shift. Seq assignment happens inside the same pool
+	// critical section that commits the completion update, so a
+	// checkpoint's counters and Tentative set are exactly the scheduler
+	// state after commits 1..Seq — but the callbacks themselves run
+	// outside the lock and may be OBSERVED out of order across workers.
+	// Durable consumers must therefore resume only from a contiguous
+	// sequence prefix.
+	Seq int
+	// OmegaMax is the solve's search bound (estimated or given); restored
+	// verbatim so a resumed run never re-runs the estimation Arnoldi.
+	OmegaMax float64
+	// NextID is the job's next interval ID. Interval IDs feed the
+	// per-shift RNG seeds, so preserving them is what keeps a resumed
+	// run's remaining shifts bit-identical to the uninterrupted run's.
+	NextID int
+	// Completed counts shifts committed so far (== Seq for a run started
+	// cold; offset by the resumed prefix otherwise).
+	Completed int
+	// TentativeDeleted is the cumulative Eq. 24 deletion counter.
+	TentativeDeleted int
+	// Out is the shift completion this checkpoint commits; nil for Seq 0.
+	Out *ShiftCheckpoint
+	// Tentative is the full uncovered-band snapshot: every queued
+	// tentative interval plus the intervals currently in flight (an
+	// in-flight shift's result is not yet committed, so its interval must
+	// re-run after a crash or coverage would silently be lost).
+	Tentative []IntervalCheckpoint
+}
+
+// ShiftCheckpoint is the flattened output of one committed shift — the
+// exact data Wait folds into the Result, so restored shifts contribute to
+// a resumed Result bit-identically.
+type ShiftCheckpoint struct {
+	// Omega is the shift location and Radius the certified disk radius.
+	Omega, Radius float64
+	// Worker records which worker ran the shift (telemetry only).
+	Worker int
+	// Eigenvalues are the eigenvalues certified inside the disk.
+	Eigenvalues []complex128
+	// ResidualsM are the per-eigenvalue residuals in M, aligned with
+	// Eigenvalues.
+	ResidualsM []float64
+	// Restarts and OpApplies are the shift's work counters.
+	Restarts, OpApplies int
+}
+
+// IntervalCheckpoint is one tentative interval, ID and float bits
+// preserved exactly.
+type IntervalCheckpoint struct {
+	// ID is the interval's scheduler ID (feeds the shift's RNG seed).
+	ID int
+	// Lo and Hi bound the uncovered sub-band; Shift is the tentative
+	// shift location.
+	Lo, Hi, Shift float64
+	// EdgeLeft/EdgeRite preserve band-edge pinning (Sec. IV-A).
+	EdgeLeft, EdgeRite bool
+}
+
+// ResumeState is the accumulated scheduler state a resumed solve starts
+// from (Options.Resume): the fold of a contiguous checkpoint prefix
+// 0..Seq. Build it by applying checkpoints in sequence order.
+type ResumeState struct {
+	// Seq is the sequence number of the last applied checkpoint; the
+	// resumed solve continues emitting at Seq+1.
+	Seq int
+	// OmegaMax, NextID, Completed, TentativeDeleted restore the solve's
+	// counters (see the Checkpoint fields of the same names).
+	OmegaMax         float64
+	NextID           int
+	Completed        int
+	TentativeDeleted int
+	// Outs are the committed shifts of the prefix, in commit order.
+	Outs []ShiftCheckpoint
+	// Tentative is the uncovered remainder of the band at the last
+	// checkpoint.
+	Tentative []IntervalCheckpoint
+}
+
+// Apply folds one checkpoint event into the resume state. Checkpoints
+// must be applied in sequence order starting from Seq 0 (Apply does not
+// verify contiguity; durable replay does).
+func (rs *ResumeState) Apply(ck Checkpoint) {
+	rs.Seq = ck.Seq
+	rs.OmegaMax = ck.OmegaMax
+	rs.NextID = ck.NextID
+	rs.Completed = ck.Completed
+	rs.TentativeDeleted = ck.TentativeDeleted
+	if ck.Out != nil {
+		rs.Outs = append(rs.Outs, *ck.Out)
+	}
+	rs.Tentative = ck.Tentative
+}
+
+// validate rejects resume states that would corrupt the scheduler: the
+// invariants are exactly those the emitting solve held when the
+// checkpoint was taken, so a failure here means the state was not
+// produced by a matching run (or was corrupted in storage).
+func (rs *ResumeState) validate(omegaMin float64) error {
+	if !(rs.OmegaMax > omegaMin) || math.IsInf(rs.OmegaMax, 1) || math.IsNaN(rs.OmegaMax) {
+		return fmt.Errorf("core: resume ω_max %g not above ω_min %g", rs.OmegaMax, omegaMin)
+	}
+	if rs.NextID < 0 || rs.Completed < 0 || rs.TentativeDeleted < 0 || rs.Seq < 0 {
+		return fmt.Errorf("core: negative resume counter (seq %d, next %d, completed %d, deleted %d)",
+			rs.Seq, rs.NextID, rs.Completed, rs.TentativeDeleted)
+	}
+	seen := make([]bool, rs.NextID)
+	for _, iv := range rs.Tentative {
+		if iv.ID < 0 || iv.ID >= rs.NextID {
+			return fmt.Errorf("core: resume interval ID %d outside [0, %d)", iv.ID, rs.NextID)
+		}
+		if seen[iv.ID] {
+			return fmt.Errorf("core: duplicate resume interval ID %d", iv.ID)
+		}
+		seen[iv.ID] = true
+		switch {
+		case math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) || math.IsNaN(iv.Shift):
+			return fmt.Errorf("core: NaN in resume interval %d", iv.ID)
+		case !(iv.Lo < iv.Hi):
+			return fmt.Errorf("core: empty resume interval %d [%g, %g]", iv.ID, iv.Lo, iv.Hi)
+		case iv.Shift < iv.Lo || iv.Shift > iv.Hi:
+			return fmt.Errorf("core: resume interval %d shift %g outside [%g, %g]", iv.ID, iv.Shift, iv.Lo, iv.Hi)
+		}
+	}
+	for i := range rs.Outs {
+		o := &rs.Outs[i]
+		if math.IsNaN(o.Omega) || math.IsNaN(o.Radius) || o.Radius < 0 {
+			return fmt.Errorf("core: bad resume shift record %d (ω=%g, ρ=%g)", i, o.Omega, o.Radius)
+		}
+		if len(o.ResidualsM) != len(o.Eigenvalues) {
+			return fmt.Errorf("core: resume shift record %d has %d residuals for %d eigenvalues",
+				i, len(o.ResidualsM), len(o.Eigenvalues))
+		}
+	}
+	return nil
+}
+
+// shiftOut converts the persisted form back into Wait's buffered form.
+func (sc *ShiftCheckpoint) shiftOut() shiftOut {
+	return shiftOut{
+		rec: ShiftRecord{
+			Omega:  sc.Omega,
+			Radius: sc.Radius,
+			NEigs:  len(sc.Eigenvalues),
+			Worker: sc.Worker,
+		},
+		eigs:   append([]complex128(nil), sc.Eigenvalues...),
+		residM: append([]float64(nil), sc.ResidualsM...),
+		rst:    sc.Restarts,
+		apply:  sc.OpApplies,
+	}
+}
+
+// newShiftCheckpoint snapshots one completed shift for a checkpoint
+// event (fresh copies, never aliasing solver buffers).
+func newShiftCheckpoint(o *shiftOut) *ShiftCheckpoint {
+	return &ShiftCheckpoint{
+		Omega:       o.rec.Omega,
+		Radius:      o.rec.Radius,
+		Worker:      o.rec.Worker,
+		Eigenvalues: append([]complex128(nil), o.eigs...),
+		ResidualsM:  append([]float64(nil), o.residM...),
+		Restarts:    o.rst,
+		OpApplies:   o.apply,
+	}
+}
+
+// checkpointLocked assigns the next checkpoint sequence number and
+// snapshots the job's scheduler state: counters, plus the exact
+// uncovered-band set (queued tentative intervals and in-flight
+// intervals). Must run inside the pool critical section that committed
+// the transition the checkpoint captures; the caller invokes
+// Options.Checkpoint with the returned event after unlocking.
+func (j *Job) checkpointLocked(out *ShiftCheckpoint) *Checkpoint {
+	ck := &Checkpoint{
+		Seq:              j.ckptSeq,
+		OmegaMax:         j.omegaMax,
+		NextID:           j.nextID,
+		Completed:        j.completed,
+		TentativeDeleted: j.tentativeDeleted,
+		Out:              out,
+	}
+	j.ckptSeq++
+	for _, t := range j.client.queue {
+		if t.job == j {
+			ck.Tentative = append(ck.Tentative, snapshotInterval(t.iv))
+		}
+	}
+	for _, iv := range j.running {
+		ck.Tentative = append(ck.Tentative, snapshotInterval(iv))
+	}
+	return ck
+}
+
+// snapshotInterval copies one tentative interval into its persisted form.
+func snapshotInterval(iv *interval) IntervalCheckpoint {
+	return IntervalCheckpoint{
+		ID:       iv.id,
+		Lo:       iv.lo,
+		Hi:       iv.hi,
+		Shift:    iv.shift,
+		EdgeLeft: iv.edgeLeft,
+		EdgeRite: iv.edgeRite,
+	}
+}
+
+// restoreIntervals rebuilds the tentative interval set from a resume
+// state, IDs and float bits preserved.
+func restoreIntervals(tent []IntervalCheckpoint) []*interval {
+	ivs := make([]*interval, len(tent))
+	for i, t := range tent {
+		ivs[i] = &interval{
+			id:       t.ID,
+			lo:       t.Lo,
+			hi:       t.Hi,
+			shift:    t.Shift,
+			edgeLeft: t.EdgeLeft,
+			edgeRite: t.EdgeRite,
+		}
+	}
+	return ivs
+}
+
+// pushRestoredLocked queues a restored interval, keeping its persisted ID
+// (pushLocked would mint a fresh one, changing the shift's RNG seed and
+// breaking resume bit-identity).
+func (j *Job) pushRestoredLocked(p *Pool, iv *interval) {
+	iv.job = j
+	j.pending++
+	p.enqueueLocked(&task{client: j.client, phase: PhaseEig, iv: iv, job: j})
+}
+
+// removeRunningLocked drops one interval from the job's in-flight set.
+func (j *Job) removeRunningLocked(iv *interval) {
+	for i, r := range j.running {
+		if r == iv {
+			j.running = append(j.running[:i], j.running[i+1:]...)
+			return
+		}
+	}
+}

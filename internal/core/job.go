@@ -59,7 +59,15 @@ func (p *Pool) Submit(ctx context.Context, op *hamiltonian.Op, opts Options) (*J
 	start := time.Now()
 
 	omegaMax := opts.OmegaMax
-	if omegaMax == 0 {
+	if opts.Resume != nil {
+		// A resumed solve restarts from persisted scheduler state: the
+		// ω_max the original run certified is restored verbatim (never
+		// re-estimated — the restored interval set was derived from it).
+		if err := opts.Resume.validate(opts.OmegaMin); err != nil {
+			return nil, err
+		}
+		omegaMax = opts.Resume.OmegaMax
+	} else if omegaMax == 0 {
 		// The estimate is itself an Arnoldi sweep, so it runs as a pool
 		// task under the job's client: a burst of N concurrent submits is
 		// bounded by the pool width (and obeys the client's priority)
@@ -91,11 +99,28 @@ func (p *Pool) Submit(ctx context.Context, op *hamiltonian.Op, opts Options) (*J
 		start:    start,
 		done:     make(chan struct{}),
 	}
-	ivs := warmIntervals(opts.OmegaMin, omegaMax, opts.InitialShifts, opts.Kappa*opts.Threads)
-	if len(ivs) == 0 {
-		ivs = initialIntervals(opts.OmegaMin, omegaMax, opts.Kappa*opts.Threads)
+	var ivs []*interval
+	if rs := opts.Resume; rs != nil {
+		// Restore the scheduler state of the checkpoint prefix: counters,
+		// committed shift outputs, and the tentative interval set with IDs
+		// (and hence per-shift RNG seeds) preserved bit-exactly. The
+		// resumed run then re-executes only the uncovered remainder.
+		j.nextID = rs.NextID
+		j.processed = rs.Completed
+		j.completed = rs.Completed
+		j.tentativeDeleted = rs.TentativeDeleted
+		j.ckptSeq = rs.Seq + 1
+		for i := range rs.Outs {
+			j.outs = append(j.outs, rs.Outs[i].shiftOut())
+		}
+		ivs = restoreIntervals(rs.Tentative)
+	} else {
+		ivs = warmIntervals(opts.OmegaMin, omegaMax, opts.InitialShifts, opts.Kappa*opts.Threads)
+		if len(ivs) == 0 {
+			ivs = initialIntervals(opts.OmegaMin, omegaMax, opts.Kappa*opts.Threads)
+		}
 	}
-	if opts.MultiShiftBatch > 0 && op.ShiftCacheHandle() != nil {
+	if opts.MultiShiftBatch > 0 && len(ivs) > 0 && op.ShiftCacheHandle() != nil {
 		if err := prefactorIntervals(ctx, client, op, ivs, opts.MultiShiftBatch, opts.Alpha); err != nil {
 			return nil, err
 		}
@@ -105,11 +130,30 @@ func (p *Pool) Submit(ctx context.Context, op *hamiltonian.Op, opts Options) (*J
 		p.mu.Unlock()
 		return nil, ErrPoolClosed
 	}
-	for _, iv := range ivs {
-		j.pushLocked(p, iv)
+	if opts.Resume != nil {
+		for _, iv := range ivs {
+			j.pushRestoredLocked(p, iv)
+		}
+		// A crash after the final shift committed leaves nothing tentative:
+		// the resumed job is complete the moment it is submitted.
+		j.maybeFinishLocked()
+	} else {
+		for _, iv := range ivs {
+			j.pushLocked(p, iv)
+		}
+	}
+	var ck0 *Checkpoint
+	if opts.Checkpoint != nil && opts.Resume == nil {
+		// The submission snapshot (Seq 0): startup intervals and ω_max,
+		// so a crash before the first shift commits still resumes without
+		// re-running the estimation Arnoldi.
+		ck0 = j.checkpointLocked(nil)
 	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	if ck0 != nil {
+		opts.Checkpoint(*ck0)
+	}
 
 	if ctx.Done() != nil {
 		go func() {
@@ -181,10 +225,13 @@ type Job struct {
 
 	// Scheduler bookkeeping, guarded by the owning Pool's mu.
 	nextID           int
-	pending          int // tentative intervals of this job in the client queue
-	inflight         int // shifts of this job being processed right now
+	pending          int         // tentative intervals of this job in the client queue
+	inflight         int         // shifts of this job being processed right now
+	running          []*interval // the in-flight shifts' intervals (checkpoint snapshots)
 	processed        int
+	completed        int // shifts whose completion update has committed
 	tentativeDeleted int
+	ckptSeq          int // next checkpoint sequence number to assign
 	err              error
 	finished         bool
 
@@ -297,16 +344,24 @@ func (j *Job) runInterval(p *Pool, worker int, iv *interval) {
 	rho0 := sweepRho0(j.opts.Alpha, iv)
 	params := j.opts.Arnoldi
 	params.Seed = j.opts.Seed*1_000_003 + int64(iv.id)*7919 + 1
+	if j.client.pri < PriorityInteractive {
+		// Mid-shift preemption point: a batch-class shift yields to queued
+		// interactive-class tasks at every Arnoldi restart boundary, so an
+		// interactive job's first pop waits one restart sweep instead of a
+		// whole shift. Interactive shifts never yield (nothing outranks
+		// them), which also bounds the inline recursion at depth one.
+		params.Yield = func() { p.YieldInteractive(worker) }
+	}
 	sres, err := runShift(j.op, iv.shift, rho0, params)
 	if err != nil {
 		p.mu.Lock()
 		j.inflight--
+		j.removeRunningLocked(iv)
 		j.failLocked(p, fmt.Errorf("core: shift ω=%g: %w", iv.shift, err))
 		p.mu.Unlock()
 		return
 	}
-	j.outMu.Lock()
-	j.outs = append(j.outs, shiftOut{
+	out := shiftOut{
 		rec: ShiftRecord{
 			Omega:  iv.shift,
 			Radius: sres.Radius,
@@ -317,11 +372,22 @@ func (j *Job) runInterval(p *Pool, worker int, iv *interval) {
 		residM: sres.ResidualsM,
 		rst:    sres.Restarts,
 		apply:  sres.OpApplies,
-	})
+	}
+	j.outMu.Lock()
+	j.outs = append(j.outs, out)
 	j.outMu.Unlock()
 
 	p.mu.Lock()
+	committed := j.completed
 	j.completeLocked(p, iv, iv.shift, sres.Radius)
+	var ck *Checkpoint
+	if j.opts.Checkpoint != nil && j.completed == committed+1 {
+		// The completion update committed (not discarded by a failed job
+		// or a closing pool): assign the checkpoint sequence number inside
+		// the same critical section so the snapshot is consistent with
+		// exactly the commits it claims; the callback runs after unlock.
+		ck = j.checkpointLocked(newShiftCheckpoint(&out))
+	}
 	var done, total int
 	if j.opts.Progress != nil {
 		// Snapshot the counters inside the same critical section that
@@ -331,6 +397,9 @@ func (j *Job) runInterval(p *Pool, worker int, iv *interval) {
 		total = j.processed + j.pending
 	}
 	p.mu.Unlock()
+	if ck != nil {
+		j.opts.Checkpoint(*ck)
+	}
 	if j.opts.Progress != nil {
 		j.opts.Progress(ProgressEvent{
 			Phase:    PhaseEig,
@@ -377,6 +446,7 @@ func nearAxis(eigs []complex128, omegaMax float64) []float64 {
 // are untouched.
 func (j *Job) completeLocked(p *Pool, own *interval, center, radius float64) {
 	j.inflight--
+	j.removeRunningLocked(own)
 	if j.err != nil {
 		j.maybeFinishLocked()
 		return
@@ -392,6 +462,7 @@ func (j *Job) completeLocked(p *Pool, own *interval, center, radius float64) {
 		}
 		return
 	}
+	j.completed++
 	// Subtract from this job's tentative intervals.
 	c := j.client
 	kept := c.queue[:0]

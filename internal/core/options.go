@@ -119,6 +119,29 @@ type Options struct {
 	// placement, scheduling, or the bit-identity of the reported result.
 	// Ignored by the serial-bisection and static-grid baselines.
 	Progress func(ProgressEvent)
+	// Checkpoint, when non-nil, receives one durable-resume snapshot per
+	// committed scheduler transition: Seq 0 when the startup intervals are
+	// queued, then one per completed shift (see Checkpoint). Sequence
+	// numbers are assigned inside the pool critical section that commits
+	// the transition, but the callback itself runs on worker goroutines
+	// outside the lock — possibly concurrently and out of sequence order —
+	// so durable consumers must resume only from a contiguous sequence
+	// prefix. Like Progress, the callback is observational: it carries
+	// copies of solver state and can never perturb shift placement or the
+	// bit-identity of the result. Ignored by the serial-bisection and
+	// static-grid baselines.
+	Checkpoint func(Checkpoint)
+	// Resume, when non-nil, seeds the solve from a persisted checkpoint
+	// prefix instead of a cold start: the ω_max estimate is skipped, the
+	// tentative interval set (IDs and float bits preserved) replaces the
+	// startup subdivision, and the committed shifts of the prefix are
+	// preloaded into the Result. A resumed run is one more admissible
+	// schedule of the same solve, so its reported crossings are
+	// bit-identical to an uninterrupted run's while re-executing only the
+	// shifts the prefix had not committed. Checkpoint emission (if also
+	// set) continues at Resume.Seq+1. OmegaMax and InitialShifts are
+	// ignored when resuming.
+	Resume *ResumeState
 }
 
 // ProgressEvent is one observational solver-progress notification (see

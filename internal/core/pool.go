@@ -307,22 +307,52 @@ func (p *Pool) worker(id int) {
 		if t == nil {
 			return
 		}
-		//lint:ignore detfloat worker busy-time telemetry only; it never feeds numeric state
-		start := time.Now()
-		if t.iv != nil {
-			t.job.runInterval(p, id, t.iv)
-		} else {
-			t.run(id)
-		}
-		//lint:ignore detfloat worker busy-time telemetry only; it never feeds numeric state
-		busy := time.Since(start)
+		p.execute(t, id)
+	}
+}
+
+// execute runs one admitted task on the calling goroutine and accounts
+// its phase and client busy time. Shared by the worker loop and the
+// mid-shift yield path.
+func (p *Pool) execute(t *task, worker int) {
+	//lint:ignore detfloat worker busy-time telemetry only; it never feeds numeric state
+	start := time.Now()
+	if t.iv != nil {
+		t.job.runInterval(p, worker, t.iv)
+	} else {
+		t.run(worker)
+	}
+	//lint:ignore detfloat worker busy-time telemetry only; it never feeds numeric state
+	busy := time.Since(start)
+	p.mu.Lock()
+	s := p.phase[t.phase]
+	s.Tasks++
+	s.Busy += busy
+	p.phase[t.phase] = s
+	t.client.busy += busy
+	p.mu.Unlock()
+}
+
+// YieldInteractive runs queued interactive-class tasks to exhaustion on
+// the calling goroutine. It is the cooperative mid-shift preemption
+// point: a batch-class shift invokes it at every Arnoldi restart
+// boundary (via arnoldi.SingleShiftParams.Yield), so an interactive
+// job's first pop latency is bounded by one restart sweep instead of a
+// whole shift. Admission, fairness, and accounting are identical to a
+// worker pop — the yield only changes WHEN the interactive task runs,
+// never with what data, so results stay bit-identical. Interactive tasks
+// themselves never yield, bounding the inline nesting at depth one; the
+// yielding task's own busy-time measurement includes the inline work
+// (telemetry skew only, documented in PhaseStats consumers).
+func (p *Pool) YieldInteractive(worker int) {
+	for {
 		p.mu.Lock()
-		s := p.phase[t.phase]
-		s.Tasks++
-		s.Busy += busy
-		p.phase[t.phase] = s
-		t.client.busy += busy
+		t := p.popClassLocked(int(PriorityInteractive))
 		p.mu.Unlock()
+		if t == nil {
+			return
+		}
+		p.execute(t, worker)
 	}
 }
 
@@ -332,30 +362,40 @@ func (p *Pool) worker(id int) {
 // are accounted on the fly. Returns nil when no runnable work is queued.
 func (p *Pool) popLocked() *task {
 	for class := int(numPriorityClasses) - 1; class >= 0; class-- {
-		ring := p.rings[class]
-		for len(ring) > 0 {
-			c := ring[0]
-			t := c.nextRunnableLocked(p)
-			switch {
-			case t == nil || len(c.queue) == 0:
-				// Drained (possibly by skips): leave the ring; credit is
-				// re-armed on re-entry.
-				ring = ring[1:]
-				c.queued = false
-			default:
-				c.credit--
-				if c.credit <= 0 {
-					ring = append(ring[1:], c)
-					c.credit = c.weight
-				}
-			}
-			if t != nil {
-				p.rings[class] = ring
-				return t
+		if t := p.popClassLocked(class); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// popClassLocked removes and admits the next runnable task of one
+// priority class (weighted round robin across the class's clients, FIFO
+// within a client), or nil when the class has none.
+func (p *Pool) popClassLocked(class int) *task {
+	ring := p.rings[class]
+	for len(ring) > 0 {
+		c := ring[0]
+		t := c.nextRunnableLocked(p)
+		switch {
+		case t == nil || len(c.queue) == 0:
+			// Drained (possibly by skips): leave the ring; credit is
+			// re-armed on re-entry.
+			ring = ring[1:]
+			c.queued = false
+		default:
+			c.credit--
+			if c.credit <= 0 {
+				ring = append(ring[1:], c)
+				c.credit = c.weight
 			}
 		}
-		p.rings[class] = ring
+		if t != nil {
+			p.rings[class] = ring
+			return t
+		}
 	}
+	p.rings[class] = ring
 	return nil
 }
 
@@ -382,6 +422,9 @@ func (c *Client) nextRunnableLocked(p *Pool) *task {
 		}
 		j.processed++
 		j.inflight++
+		// Track the in-flight interval: its result is not committed yet,
+		// so checkpoint snapshots must include it in the uncovered set.
+		j.running = append(j.running, t.iv)
 		return t
 	}
 	return nil

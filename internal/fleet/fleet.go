@@ -224,6 +224,26 @@ type Request struct {
 	// result). It overrides any callback already set in Char.Core /
 	// Enforce.Char.Core.
 	Progress func(core.ProgressEvent)
+	// Checkpoint, when non-nil, receives the job's durable eigensolver
+	// checkpoints (see core.Options.Checkpoint). For characterization jobs
+	// it observes the whole solve; for enforcement jobs the engine leaves
+	// it unset on the inner re-characterizations (enforcement persists at
+	// iteration granularity instead — see EnforceCheckpoint). It overrides
+	// any callback already set in Char.Core.
+	Checkpoint func(core.Checkpoint)
+	// Resume, when non-nil, restarts a characterization job from a replayed
+	// checkpoint prefix (see core.Options.Resume). Ignored for enforcement
+	// jobs.
+	Resume *core.ResumeState
+	// EnforceCheckpoint, when non-nil, receives an enforcement job's
+	// iteration-boundary checkpoints (see
+	// passivity.EnforceOptions.Checkpoint). Ignored for characterization
+	// jobs.
+	EnforceCheckpoint func(passivity.EnforceCheckpoint)
+	// EnforceResume, when non-nil, restarts an enforcement job from its
+	// last persisted iteration boundary (see
+	// passivity.EnforceOptions.Resume). Ignored for characterization jobs.
+	EnforceResume *passivity.EnforceCheckpoint
 }
 
 // Result is the outcome of a fleet job.
@@ -347,6 +367,17 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 			if req.Progress != nil {
 				opts.Char.Core.Progress = req.Progress
 			}
+			if req.EnforceCheckpoint != nil {
+				opts.Checkpoint = req.EnforceCheckpoint
+			}
+			if req.EnforceResume != nil {
+				opts.Resume = req.EnforceResume
+			}
+			// Enforcement durability is iteration-granular: the inner
+			// re-characterizations must not emit (or consume) per-shift
+			// checkpoints of their own.
+			opts.Char.Core.Checkpoint = nil
+			opts.Char.Core.Resume = nil
 			model, rep, err := passivity.EnforceContext(ctx, req.Model, opts)
 			j.res.Model = model
 			j.res.EnforceReport = rep
@@ -364,6 +395,12 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 		}
 		if req.Progress != nil {
 			opts.Core.Progress = req.Progress
+		}
+		if req.Checkpoint != nil {
+			opts.Core.Checkpoint = req.Checkpoint
+		}
+		if req.Resume != nil {
+			opts.Core.Resume = req.Resume
 		}
 		rep, err := passivity.CharacterizeContext(ctx, req.Model, opts)
 		j.res.Report = rep

@@ -34,6 +34,21 @@ type EnforceOptions struct {
 	// drops measurably. ColdStart exists for A/B benchmarking
 	// (cmd/fleetbench) and as an escape hatch.
 	ColdStart bool
+	// Checkpoint, when non-nil, receives one durable-resume snapshot after
+	// every completed enforcement iteration (characterize → perturb →
+	// carry): the full perturbed residue state plus the loop's carried
+	// bookkeeping (see EnforceCheckpoint). The callback runs on the
+	// coordinator goroutine between iterations, never concurrently, and is
+	// observational — it carries copies and cannot perturb the run.
+	Checkpoint func(EnforceCheckpoint)
+	// Resume, when non-nil, restarts the enforcement loop from a persisted
+	// checkpoint: the residue matrices are restored bit-exactly onto a
+	// fresh clone of the input model and the loop continues at the
+	// checkpoint's iteration with the same warm-start seeds and carried
+	// ω_max bound the uninterrupted run would have used, so the remaining
+	// iterations characterize bit-identically. Enforcement resume is
+	// iteration-granular: work inside an interrupted iteration is re-run.
+	Resume *EnforceCheckpoint
 	// ReestimateOmegaMax disables carrying the certified spectral-radius
 	// bound across iterations. By default (false, and with Char.Core.
 	// OmegaMax zero) every re-characterization reuses the previous
@@ -93,6 +108,82 @@ type EnforceReport struct {
 // violations still present.
 var ErrEnforcementFailed = errors.New("passivity: enforcement did not converge within the iteration budget")
 
+// EnforceCheckpoint is the durable state of an enforcement run at an
+// iteration boundary — everything iteration Iter needs to run exactly as
+// it would have in the uninterrupted run. Unlike the eigensolver's
+// per-shift checkpoints, it is self-contained (no prefix accumulation):
+// the latest checkpoint alone restores the loop.
+type EnforceCheckpoint struct {
+	// Iter is the next iteration to run (checkpoints are emitted after an
+	// iteration completes, so Iter ≥ 1).
+	Iter int
+	// Cumulative is the accumulated ‖δC‖_F over the completed iterations.
+	Cumulative float64
+	// CarriedOmegaMax is the carried spectral-radius bound for iteration
+	// Iter (meaningful when Carried is set; see carryOmegaMax).
+	CarriedOmegaMax float64
+	// Carried records whether the ω_max carry was active.
+	Carried bool
+	// InitialWorst is the worst σ_max before enforcement (captured at
+	// iteration 0).
+	InitialWorst float64
+	// SolverTotals accumulates the eigensolver work counters of the
+	// completed iterations.
+	SolverTotals core.Stats
+	// LastCrossings are the previous characterization's crossings — the
+	// warm-start shift seeds for iteration Iter.
+	LastCrossings []float64
+	// Residues are the perturbed residue matrices after the completed
+	// iterations: one row-major p×m_k block per model column, float bits
+	// preserved exactly so the restored model characterizes
+	// bit-identically.
+	Residues [][]float64
+}
+
+// snapshotEnforce captures the loop state after one completed iteration.
+func snapshotEnforce(iter int, cumulative, carriedOmegaMax float64, carried bool,
+	rep *EnforceReport, chr *Report, work *statespace.Model) EnforceCheckpoint {
+	ck := EnforceCheckpoint{
+		Iter:            iter,
+		Cumulative:      cumulative,
+		CarriedOmegaMax: carriedOmegaMax,
+		Carried:         carried,
+		InitialWorst:    rep.InitialWorst,
+		SolverTotals:    rep.SolverTotals,
+		LastCrossings:   append([]float64(nil), chr.Crossings...),
+		Residues:        make([][]float64, len(work.Cols)),
+	}
+	for k := range work.Cols {
+		ck.Residues[k] = append([]float64(nil), work.Cols[k].C.Data...)
+	}
+	return ck
+}
+
+// restore overwrites the working model's residue matrices with the
+// checkpoint's (bit-exact) and invalidates the packed kernels so the
+// next structured-operator call sees the restored state.
+func (ck *EnforceCheckpoint) restore(work *statespace.Model) error {
+	if ck.Iter < 1 {
+		return fmt.Errorf("passivity: resume checkpoint iteration %d < 1", ck.Iter)
+	}
+	if len(ck.Residues) != len(work.Cols) {
+		return fmt.Errorf("passivity: resume checkpoint has %d residue columns for a %d-column model",
+			len(ck.Residues), len(work.Cols))
+	}
+	for k := range work.Cols {
+		c := work.Cols[k].C
+		if len(ck.Residues[k]) != len(c.Data) {
+			return fmt.Errorf("passivity: resume residue column %d has %d entries, want %d",
+				k, len(ck.Residues[k]), len(c.Data))
+		}
+	}
+	for k := range work.Cols {
+		copy(work.Cols[k].C.Data, ck.Residues[k])
+	}
+	work.InvalidateKernels()
+	return nil
+}
+
 // Enforce perturbs the residue matrices C of a non-passive macromodel until
 // the Hamiltonian characterization reports no imaginary eigenvalues. Each
 // pass linearizes the violated singular values at the in-band peaks,
@@ -136,7 +227,52 @@ func EnforceContext(ctx context.Context, m *statespace.Model, opts EnforceOption
 	defer ensurePoolClient(&charOpts.Core)()
 	carried := false
 	var lastChr *Report
-	for iter := 0; iter < opts.MaxIters; iter++ {
+	iterStart := 0
+	if r := opts.Resume; r != nil {
+		if r.Iter > opts.MaxIters {
+			return nil, nil, fmt.Errorf("passivity: resume iteration %d exceeds MaxIters %d", r.Iter, opts.MaxIters)
+		}
+		if err := r.restore(work); err != nil {
+			return nil, nil, err
+		}
+		iterStart = r.Iter
+		cumulative = r.Cumulative
+		rep.InitialWorst = r.InitialWorst
+		rep.SolverTotals = r.SolverTotals
+		if r.Carried {
+			charOpts.Core.OmegaMax = r.CarriedOmegaMax
+			carried = true
+		}
+		// Synthetic previous report: only the crossings matter (they seed
+		// the warm start exactly as the uninterrupted run's would have).
+		lastChr = &Report{Crossings: append([]float64(nil), r.LastCrossings...)}
+	}
+	if iterStart >= opts.MaxIters {
+		// The budget was already exhausted when the run was interrupted —
+		// the crash hit between the final checkpoint and the terminal
+		// record. Re-characterize once to rebuild the failure report; it
+		// describes the post-final-perturbation state, so it may even
+		// certify passivity that the uninterrupted run never checked for.
+		if !opts.ColdStart {
+			charOpts.Core.InitialShifts = lastChr.Crossings
+			charOpts.Core.Arnoldi = warmArnoldi(opts.Char.Core.Arnoldi)
+		}
+		chr, err := CharacterizeContext(ctx, work, charOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.SolverTotals.Add(chr.Solver)
+		rep.Iterations = opts.MaxIters
+		rep.FinalWorst = chr.WorstViolation()
+		rep.ResidueChange = cumulative / baseNorm
+		rep.FinalReport = chr
+		if chr.Passive {
+			return work, rep, nil
+		}
+		return work, rep, fmt.Errorf("%w (worst σ still %g after %d iterations)",
+			ErrEnforcementFailed, rep.FinalWorst, opts.MaxIters)
+	}
+	for iter := iterStart; iter < opts.MaxIters; iter++ {
 		if !opts.ColdStart && lastChr != nil {
 			// Warm start: seed this iteration's shifts from the previous
 			// crossings and deepen the per-shift certification. The band and
@@ -194,6 +330,9 @@ func EnforceContext(ctx context.Context, m *statespace.Model, opts EnforceOption
 			// bound instead of re-running the estimation Arnoldi.
 			charOpts.Core.OmegaMax = carryOmegaMax(chr.OmegaMax, step, baseNorm)
 			carried = true
+		}
+		if opts.Checkpoint != nil {
+			opts.Checkpoint(snapshotEnforce(iter+1, cumulative, charOpts.Core.OmegaMax, carried, rep, chr, work))
 		}
 	}
 	rep.Iterations = opts.MaxIters

@@ -1,0 +1,120 @@
+package passivity
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestEnforceResumeBitIdentical: an enforcement resumed from any of its
+// iteration checkpoints must converge to the same iteration count, the
+// same residues, and a bit-identical final report as the uninterrupted
+// run — the durability guarantee the job store builds on.
+func TestEnforceResumeBitIdentical(t *testing.T) {
+	m := genModel(t, 46, 22, 1.08)
+	var cks []EnforceCheckpoint
+	refModel, refRep, err := Enforce(m, EnforceOptions{
+		Char:       charOpts(),
+		Checkpoint: func(ck EnforceCheckpoint) { cks = append(cks, ck) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) < 2 {
+		t.Fatalf("setup: %d checkpoints, want a multi-iteration enforcement", len(cks))
+	}
+	for i := range cks {
+		rm, rrep, err := Enforce(m, EnforceOptions{Char: charOpts(), Resume: &cks[i]})
+		if err != nil {
+			t.Fatalf("resume from iter %d: %v", cks[i].Iter, err)
+		}
+		if rrep.Iterations != refRep.Iterations {
+			t.Fatalf("resume from iter %d: %d iterations vs %d uninterrupted",
+				cks[i].Iter, rrep.Iterations, refRep.Iterations)
+		}
+		if rrep.InitialWorst != refRep.InitialWorst || rrep.FinalWorst != refRep.FinalWorst ||
+			rrep.ResidueChange != refRep.ResidueChange {
+			t.Fatalf("resume from iter %d: report scalars diverged: %+v vs %+v",
+				cks[i].Iter, rrep, refRep)
+		}
+		got, want := rrep.FinalReport.Crossings, refRep.FinalReport.Crossings
+		if len(got) != len(want) {
+			t.Fatalf("resume from iter %d: %d crossings vs %d", cks[i].Iter, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("resume from iter %d crossing %d: %v != %v (not bit-identical)",
+					cks[i].Iter, k, got[k], want[k])
+			}
+		}
+		for c := range rm.Cols {
+			for j, v := range rm.Cols[c].C.Data {
+				if v != refModel.Cols[c].C.Data[j] {
+					t.Fatalf("resume from iter %d: residue col %d elem %d %v != %v",
+						cks[i].Iter, c, j, v, refModel.Cols[c].C.Data[j])
+				}
+			}
+		}
+	}
+}
+
+// TestEnforceResumeExhaustedBudget: resuming from a checkpoint taken at
+// the iteration budget re-characterizes once to rebuild the terminal
+// report instead of silently skipping the loop.
+func TestEnforceResumeExhaustedBudget(t *testing.T) {
+	m := genModel(t, 46, 22, 1.30)
+	var cks []EnforceCheckpoint
+	_, _, err := Enforce(m, EnforceOptions{
+		Char: charOpts(), MaxIters: 2,
+		Checkpoint: func(ck EnforceCheckpoint) { cks = append(cks, ck) },
+	})
+	if !errors.Is(err, ErrEnforcementFailed) {
+		t.Fatalf("setup: want ErrEnforcementFailed, got %v", err)
+	}
+	if len(cks) != 2 || cks[1].Iter != 2 {
+		t.Fatalf("setup: checkpoints %d (last iter %d), want 2 ending at the budget",
+			len(cks), cks[len(cks)-1].Iter)
+	}
+	rm, rrep, err := Enforce(m, EnforceOptions{Char: charOpts(), MaxIters: 2, Resume: &cks[1]})
+	if !errors.Is(err, ErrEnforcementFailed) {
+		t.Fatalf("resumed exhausted run: want ErrEnforcementFailed, got %v", err)
+	}
+	if rm == nil || rrep == nil {
+		t.Fatal("resumed exhausted run returned no partial model/report")
+	}
+	if rrep.Iterations != 2 || rrep.FinalReport == nil || rrep.FinalWorst <= 1 {
+		t.Fatalf("resumed exhausted run report inconsistent: %+v", rrep)
+	}
+}
+
+// TestEnforceResumeRejectsCorrupt: resume states that do not match the
+// run are rejected up front.
+func TestEnforceResumeRejectsCorrupt(t *testing.T) {
+	m := genModel(t, 46, 22, 1.08)
+	var cks []EnforceCheckpoint
+	if _, _, err := Enforce(m, EnforceOptions{
+		Char:       charOpts(),
+		Checkpoint: func(ck EnforceCheckpoint) { cks = append(cks, ck) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) == 0 {
+		t.Fatal("setup: no checkpoints")
+	}
+	over := cks[0]
+	over.Iter = 5
+	if _, _, err := Enforce(m, EnforceOptions{Char: charOpts(), MaxIters: 2, Resume: &over}); err == nil ||
+		!strings.Contains(err.Error(), "budget") && !strings.Contains(err.Error(), "MaxIters") && !strings.Contains(err.Error(), "iteration") {
+		t.Fatalf("over-budget resume: want iteration-budget error, got %v", err)
+	}
+	short := cks[0]
+	short.Residues = short.Residues[:len(short.Residues)-1]
+	if _, _, err := Enforce(m, EnforceOptions{Char: charOpts(), Resume: &short}); err == nil {
+		t.Fatal("shape-mismatched resume state accepted")
+	}
+	zero := cks[0]
+	zero.Iter = 0
+	if _, _, err := Enforce(m, EnforceOptions{Char: charOpts(), Resume: &zero}); err == nil {
+		t.Fatal("iter-0 resume state accepted")
+	}
+}

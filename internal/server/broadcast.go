@@ -28,11 +28,31 @@ type Stream struct {
 	events  []Event
 	closed  bool
 	changed chan struct{} // closed and replaced on every append/Close
+	sink    func(Event)   // persistence hook, called under mu per append
 }
 
 // NewStream returns an empty open stream.
 func NewStream() *Stream {
 	return &Stream{changed: make(chan struct{})}
+}
+
+// NewStreamSink returns an empty open stream that hands every published
+// event to sink. The sink runs inside the same critical section that
+// assigns the event's sequence number, so the durable log receives events
+// in exactly seq order — the invariant the store's replay verifies. The
+// sink must not call back into the stream.
+func NewStreamSink(sink func(Event)) *Stream {
+	return &Stream{changed: make(chan struct{}), sink: sink}
+}
+
+// NewStreamFrom returns a stream preloaded with replayed events (their
+// Seq fields must already be dense from 0, as store replay guarantees):
+// subscribers replay the persisted history exactly as if they had been
+// connected all along, and new events continue the numbering. closed
+// preloads a completed log; sink follows NewStreamSink and applies only
+// to newly published events.
+func NewStreamFrom(events []Event, closed bool, sink func(Event)) *Stream {
+	return &Stream{changed: make(chan struct{}), events: events, closed: closed, sink: sink}
 }
 
 // Publish appends one event. Publishing to a closed stream is a no-op:
@@ -57,7 +77,11 @@ func (s *Stream) publishLocked(typ string, data []byte) {
 	if s.closed {
 		return
 	}
-	s.events = append(s.events, Event{Seq: len(s.events), Type: typ, Data: data})
+	ev := Event{Seq: len(s.events), Type: typ, Data: data}
+	s.events = append(s.events, ev)
+	if s.sink != nil {
+		s.sink(ev)
+	}
 	close(s.changed)
 	s.changed = make(chan struct{})
 }

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/passivity"
+	"repro/internal/store"
+)
+
+// persistedSpec is the job-options snapshot written to the durable log at
+// admission: everything a restart needs to rebuild the fleet request
+// except the model, which is persisted separately in realized form — so
+// generator drift between daemon versions can never change a recovered
+// job's numbers. The fields reuse the public JobSpec vocabulary, so the
+// option mapping on recovery is the same code path as a live submission.
+type persistedSpec struct {
+	Priority string       `json:"priority,omitempty"`
+	Weight   int          `json:"weight,omitempty"`
+	Char     *CharSpec    `json:"char,omitempty"`
+	Enforce  *EnforceSpec `json:"enforce,omitempty"`
+}
+
+// jobSpec lifts the snapshot back into a JobSpec (model-less; only the
+// option mappers may be called on it).
+func (p *persistedSpec) jobSpec() *JobSpec {
+	return &JobSpec{Priority: p.Priority, Weight: p.Weight, Char: p.Char, Enforce: p.Enforce}
+}
+
+// streamFor builds a fresh job's stream: sink-backed when a store is
+// configured, plain otherwise.
+func (s *Server) streamFor(id string) *Stream {
+	if s.store == nil {
+		return NewStream()
+	}
+	return NewStreamSink(s.eventSink(id))
+}
+
+// eventSink persists one stream event. Append errors latch the store
+// broken (surfaced via /status); the stream itself keeps serving live
+// subscribers.
+func (s *Server) eventSink(id string) func(Event) {
+	return func(ev Event) {
+		_ = s.store.AppendEvent(id, store.EventRecord{Seq: ev.Seq, Type: ev.Type, Data: ev.Data})
+	}
+}
+
+// attachCheckpointSinks wires the request's durable-checkpoint callbacks
+// to the store. The fleet engine routes exactly one of them per job kind
+// (per-shift for characterizations, per-iteration for enforcements).
+func (s *Server) attachCheckpointSinks(req *fleet.Request, id string) {
+	st := s.store
+	req.Checkpoint = func(ck core.Checkpoint) { _ = st.AppendCoreCheckpoint(id, ck) }
+	req.EnforceCheckpoint = func(ck passivity.EnforceCheckpoint) { _ = st.AppendEnforceCheckpoint(id, ck) }
+}
+
+// recoverJobs replays the store's jobs into the registry: terminal jobs
+// are served from their persisted documents, incomplete jobs are
+// re-submitted seeded from their last checkpoint. Returns the number of
+// jobs replayed.
+func (s *Server) recoverJobs() int {
+	jobs := s.store.Recovered()
+	for _, js := range jobs {
+		s.recoverJob(js)
+	}
+	return len(jobs)
+}
+
+func (s *Server) recoverJob(js *store.JobState) {
+	events := make([]Event, len(js.Events))
+	for i, ev := range js.Events {
+		events[i] = Event{Seq: ev.Seq, Type: ev.Type, Data: ev.Data}
+	}
+	if js.Terminal != nil {
+		s.recoverTerminal(js, events, js.Terminal.State, js.Terminal.Doc, false)
+		return
+	}
+	if n := len(events); n > 0 {
+		if state, terminal := terminalEventState(events[n-1].Type); terminal {
+			// The crash hit between the terminal event and the terminal
+			// record: the outcome is already in the log, so synthesize the
+			// terminal and heal the record for the next restart.
+			s.recoverTerminal(js, events, state, events[n-1].Data, true)
+			return
+		}
+	}
+	s.resumeJob(js, events)
+}
+
+// terminalEventState maps a terminal SSE event type to its job state.
+func terminalEventState(typ string) (string, bool) {
+	switch typ {
+	case "report":
+		return stateDone, true
+	case "canceled":
+		return stateCanceled, true
+	case "error":
+		return stateFailed, true
+	}
+	return "", false
+}
+
+// recoverTerminal registers a finished job from its persisted document:
+// closed preloaded stream, no engine involvement.
+func (s *Server) recoverTerminal(js *store.JobState, events []Event, state string, doc []byte, heal bool) {
+	entry := s.reg.addRecovered(js.ID, state, NewStreamFrom(events, true, nil), func() {})
+	var jd jobDoc
+	if err := json.Unmarshal(doc, &jd); err == nil {
+		entry.mu.Lock()
+		entry.report = jd.Report
+		entry.enforce = jd.Enforce
+		entry.errMsg = jd.Error
+		if jd.State != "" {
+			entry.state = jd.State
+		}
+		entry.mu.Unlock()
+	}
+	if heal {
+		_ = s.store.AppendTerminal(js.ID, store.TerminalRecord{State: state, Doc: doc})
+	}
+}
+
+// resumeJob re-submits an incomplete job seeded from its replayed
+// checkpoint state. The stream is preloaded with the persisted events and
+// stays open, so an SSE client reconnecting with ?after= resumes exactly
+// where the crashed generation left it; new events continue the seq
+// numbering. A resume marker fences the log before the new generation's
+// first checkpoint so replay can discard the crashed generation's
+// beyond-prefix orphans.
+func (s *Server) resumeJob(js *store.JobState, events []Event) {
+	jctx, cancel := context.WithCancel(s.base)
+	entry := s.reg.addRecovered(js.ID, stateRunning, NewStreamFrom(events, false, s.eventSink(js.ID)), cancel)
+	// Re-arm the crossing dedup from persisted events so the resumed run
+	// never re-announces a crossing the crashed generation already sent.
+	for _, ev := range events {
+		if ev.Type != "crossing" {
+			continue
+		}
+		var cd crossingDoc
+		if json.Unmarshal(ev.Data, &cd) == nil {
+			entry.crossingsSeen = append(entry.crossingsSeen, cd.Omega)
+		}
+	}
+
+	var pspec persistedSpec
+	if err := json.Unmarshal(js.Spec, &pspec); err != nil {
+		s.failRecovered(entry, cancel, fmt.Sprintf("recover job spec: %v", err))
+		return
+	}
+	spec := pspec.jobSpec()
+	req := fleet.Request{
+		Model:         js.Model,
+		Char:          spec.CharOptions(),
+		Enforce:       spec.EnforceOptions(),
+		Priority:      spec.PriorityClass(),
+		Weight:        spec.Weight,
+		Resume:        js.Core,
+		EnforceResume: js.Enforce,
+	}
+	req.Progress = func(ev core.ProgressEvent) { s.publishProgress(entry, ev) }
+	s.attachCheckpointSinks(&req, entry.id)
+
+	fromSeq, fromIter := -1, 0
+	if js.Core != nil {
+		fromSeq = js.Core.Seq
+	}
+	if js.Enforce != nil {
+		fromIter = js.Enforce.Iter
+	}
+
+	s.jobs.Add(1)
+	go func() {
+		if err := s.store.AppendResumeMarker(entry.id, fromSeq, fromIter); err != nil {
+			s.jobs.Done()
+			s.failRecovered(entry, cancel, fmt.Sprintf("resume marker: %v", err))
+			return
+		}
+		job, err := s.engine.Submit(jctx, req)
+		if err != nil {
+			s.jobs.Done()
+			s.failRecovered(entry, cancel, fmt.Sprintf("resubmit recovered job: %v", err))
+			return
+		}
+		s.watch(entry, job, jctx, cancel)
+	}()
+}
+
+// failRecovered marks a recovered entry failed and publishes (and
+// persists) its terminal state.
+func (s *Server) failRecovered(e *jobEntry, cancel context.CancelFunc, msg string) {
+	cancel()
+	e.mu.Lock()
+	e.state = stateFailed
+	e.errMsg = msg
+	e.mu.Unlock()
+	data, err := json.Marshal(e.doc(true))
+	if err != nil {
+		data = []byte(`{"error":"encode terminal event"}`)
+	}
+	e.stream.PublishFinal("error", data)
+	_ = s.store.AppendTerminal(e.id, store.TerminalRecord{State: stateFailed, Doc: data})
+}

@@ -81,21 +81,45 @@ type registry struct {
 	next int
 }
 
-// add mints the next job ID and registers a running entry.
-func (r *registry) add(cancel context.CancelFunc) *jobEntry {
+// add mints the next job ID and registers a running entry. mkStream, when
+// non-nil, builds the entry's stream from the minted ID (the durable
+// event sink needs the ID inside its closure); nil means a plain stream.
+func (r *registry) add(cancel context.CancelFunc, mkStream func(id string) *Stream) *jobEntry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.jobs == nil {
 		r.jobs = make(map[string]*jobEntry)
 	}
 	r.next++
+	id := fmt.Sprintf("job-%d", r.next)
+	stream := NewStream()
+	if mkStream != nil {
+		stream = mkStream(id)
+	}
 	e := &jobEntry{
-		id:     fmt.Sprintf("job-%d", r.next),
-		stream: NewStream(),
+		id:     id,
+		stream: stream,
 		cancel: cancel,
 		state:  stateRunning,
 	}
 	r.jobs[e.id] = e
+	return e
+}
+
+// addRecovered registers a job replayed from the durable store under its
+// persisted ID and state, bumping the ID counter past it so new
+// submissions never collide with recovered history.
+func (r *registry) addRecovered(id, state string, stream *Stream, cancel context.CancelFunc) *jobEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.jobs == nil {
+		r.jobs = make(map[string]*jobEntry)
+	}
+	if n := jobNum(id); n > r.next {
+		r.next = n
+	}
+	e := &jobEntry{id: id, stream: stream, cancel: cancel, state: state}
+	r.jobs[id] = e
 	return e
 }
 

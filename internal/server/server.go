@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/store"
 	"repro/internal/touchstone"
 	"repro/internal/vectfit"
 )
@@ -47,6 +48,13 @@ type Config struct {
 	// FitOrder is the per-column Vector Fitting order for .snp
 	// submissions. Default 20.
 	FitOrder int
+	// Store, when non-nil, is the durable job log: every submission,
+	// solver checkpoint, stream event, and terminal report is persisted
+	// (fsync'd) to it, and New replays it — terminal jobs come back
+	// queryable, incomplete jobs are re-submitted seeded from their last
+	// checkpoint and finish bit-identical to an uninterrupted run. The
+	// caller owns the store's lifecycle (close it after DrainJobs).
+	Store *store.Store
 }
 
 // Server is the HTTP handler set. Create with New; it implements
@@ -58,6 +66,8 @@ type Server struct {
 	fitOrder int
 	mux      *http.ServeMux
 	reg      registry
+	store    *store.Store
+	recov    int // jobs replayed from the store at startup
 	draining atomic.Bool
 	jobs     sync.WaitGroup // one count per submitted job's watcher
 }
@@ -74,6 +84,7 @@ func New(cfg Config) *Server {
 		maxBody:  cfg.MaxBodyBytes,
 		fitOrder: cfg.FitOrder,
 		mux:      http.NewServeMux(),
+		store:    cfg.Store,
 	}
 	if s.maxBody <= 0 {
 		s.maxBody = 32 << 20
@@ -88,8 +99,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /status", s.handleStatus)
+	if s.store != nil {
+		s.recov = s.recoverJobs()
+	}
 	return s
 }
+
+// RecoveredJobs reports how many jobs New replayed from the durable store
+// (terminal and resumed). Zero without a store.
+func (s *Server) RecoveredJobs() int { return s.recov }
 
 // ServeHTTP dispatches to the route table.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -167,7 +185,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Enforce:  spec.EnforceOptions(),
 		Priority: spec.PriorityClass(),
 		Weight:   spec.Weight,
-	})
+	}, &persistedSpec{Priority: spec.Priority, Weight: spec.Weight, Char: spec.Char, Enforce: spec.Enforce})
 }
 
 // isSnpRequest detects a Touchstone submission by content type.
@@ -242,7 +260,13 @@ func (s *Server) submitSnp(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "snp fit: %v", err)
 		return
 	}
-	s.startJob(w, r, fleet.Request{Model: fit.Model, Priority: priority, Weight: weight})
+	// A .snp job is persisted spec-free: the fitted model snapshot carries
+	// everything numeric, so recovery never re-runs the fit.
+	pspec := &persistedSpec{Weight: weight}
+	if priority == core.PriorityInteractive {
+		pspec.Priority = "interactive"
+	}
+	s.startJob(w, r, fleet.Request{Model: fit.Model, Priority: priority, Weight: weight}, pspec)
 }
 
 // startJob submits the request to the engine, registers the job, and
@@ -250,10 +274,32 @@ func (s *Server) submitSnp(w http.ResponseWriter, r *http.Request) {
 // server's base context; it is tied to the HTTP request's only for the
 // duration of admission, so a client that disconnects while blocked on a
 // full queue releases its slot, but the job survives the POST completing.
-func (s *Server) startJob(w http.ResponseWriter, r *http.Request, req fleet.Request) {
+//
+// With a store configured, the job's spec and model are persisted — and
+// fsync'd — BEFORE submission: a 202 means the job survives any crash
+// after it. A persist failure refuses the job (500) rather than running
+// work that would silently vanish on restart.
+func (s *Server) startJob(w http.ResponseWriter, r *http.Request, req fleet.Request, pspec *persistedSpec) {
 	jctx, cancel := context.WithCancel(s.base)
-	entry := s.reg.add(cancel)
+	entry := s.reg.add(cancel, s.streamFor)
 	req.Progress = func(ev core.ProgressEvent) { s.publishProgress(entry, ev) }
+	if s.store != nil {
+		specJSON, err := json.Marshal(pspec)
+		if err == nil {
+			err = s.store.AppendJobStart(entry.id, specJSON, req.Model)
+		}
+		if err != nil {
+			cancel()
+			entry.mu.Lock()
+			entry.state = stateFailed
+			entry.errMsg = "persist job: " + err.Error()
+			entry.mu.Unlock()
+			entry.stream.Close()
+			writeError(w, http.StatusInternalServerError, "persist job: %v", err)
+			return
+		}
+		s.attachCheckpointSinks(&req, entry.id)
+	}
 
 	stop := context.AfterFunc(r.Context(), cancel)
 	job, err := s.engine.Submit(jctx, req)
@@ -346,6 +392,14 @@ func (s *Server) watch(e *jobEntry, job *fleet.Job, jctx context.Context, cancel
 		data = []byte(`{"error":"encode terminal event"}`)
 	}
 	e.stream.PublishFinal(typ, data)
+	if s.store != nil {
+		e.mu.Lock()
+		state := e.state
+		e.mu.Unlock()
+		// Written after the terminal event: if the crash lands between the
+		// two, recovery synthesizes the terminal from the event instead.
+		_ = s.store.AppendTerminal(e.id, store.TerminalRecord{State: state, Doc: data})
+	}
 }
 
 // handleList is GET /v1/jobs.
@@ -446,6 +500,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	for ph, st := range s.engine.PhaseStats() {
 		doc.Phases[ph] = phaseDoc{Tasks: st.Tasks, BusyNS: st.Busy.Nanoseconds()}
+	}
+	if s.store != nil {
+		if err := s.store.Err(); err != nil {
+			doc.StoreError = err.Error()
+		}
 	}
 	for _, e := range s.reg.list() {
 		doc.Jobs = append(doc.Jobs, e.doc(false))

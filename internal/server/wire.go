@@ -119,6 +119,9 @@ type statusDoc struct {
 	Phases     map[string]phaseDoc  `json:"phases"`
 	ShiftCache shiftCacheDoc        `json:"shift_cache"`
 	Jobs       []jobDoc             `json:"jobs"`
+	// StoreError surfaces a latched durable-store write failure: the
+	// daemon keeps serving, but checkpoints are no longer being committed.
+	StoreError string `json:"store_error,omitempty"`
 }
 
 type admissionDoc struct {

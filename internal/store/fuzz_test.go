@@ -1,0 +1,133 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// validLogBytes builds a small committed log in memory (via a real temp
+// file) for seeding the fuzzers with structurally valid inputs.
+func validLogBytes(tb testing.TB) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "seed.log")
+	s, err := Open(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m := testModel()
+	s.AppendJobStart("job-1", []byte(`{"priority":"interactive"}`), m)
+	s.AppendCoreCheckpoint("job-1", testCheckpoint(0))
+	s.AppendCoreCheckpoint("job-1", testCheckpoint(1))
+	s.AppendEvent("job-1", EventRecord{Seq: 0, Type: "status", Data: []byte(`{}`)})
+	s.AppendResumeMarker("job-1", 1, 0)
+	s.AppendTerminal("job-1", TerminalRecord{State: "done", Doc: []byte(`{}`)})
+	s.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzStoreReplay feeds arbitrary bytes through the recovery pipeline —
+// magic check, frame scan (tail truncation decision), record decode,
+// replay fold. The invariants under fuzzing: never panic; the committed
+// region is a stable prefix (re-scanning it is a fixed point, so a second
+// recovery of the truncated file replays identical state); a rejection is
+// a positioned error, never a silently-wrong fold. The scan/replay pair is
+// exactly what Open runs — the file plumbing around it (real truncate,
+// reopen) is exercised by TestStoreTornTail's byte-by-byte sweep.
+func FuzzStoreReplay(f *testing.F) {
+	seed := validLogBytes(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])      // torn tail
+	f.Add(seed[:3])                // torn magic
+	f.Add([]byte{})                // empty file
+	f.Add([]byte("garbage bytes")) // foreign file
+	flip := append([]byte(nil), seed...)
+	flip[len(magic)+10] ^= 0x80 // bit-flipped frame
+	f.Add(flip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		valid, frames, err := scanLog(data)
+		if err != nil {
+			return // foreign file, rejected cleanly
+		}
+		if valid > int64(len(data)) || (valid != 0 && valid < int64(len(magic))) {
+			t.Fatalf("scan committed %d of %d bytes", valid, len(data))
+		}
+		// Truncation must be a fixed point: scanning the committed prefix
+		// keeps everything.
+		valid2, frames2, err := scanLog(data[:valid])
+		if err != nil || valid2 != valid || len(frames2) != len(frames) {
+			t.Fatalf("re-scan of committed prefix: valid %d→%d, frames %d→%d, err %v",
+				valid, valid2, len(frames), len(frames2), err)
+		}
+		jobs1, err := replay(frames)
+		if err != nil {
+			return // positioned error is the correct rejection
+		}
+		jobs2, err := replay(frames2)
+		if err != nil {
+			t.Fatalf("second replay of identical frames failed: %v", err)
+		}
+		if len(jobs1) != len(jobs2) {
+			t.Fatalf("replay not stable: %d then %d jobs", len(jobs1), len(jobs2))
+		}
+		for i := range jobs1 {
+			if jobs1[i].ID != jobs2[i].ID || len(jobs1[i].Events) != len(jobs2[i].Events) ||
+				(jobs1[i].Core == nil) != (jobs2[i].Core == nil) ||
+				(jobs1[i].Terminal == nil) != (jobs2[i].Terminal == nil) {
+				t.Fatalf("replay not stable for job %d: %+v vs %+v", i, jobs1[i], jobs2[i])
+			}
+			if jobs1[i].Core != nil && jobs1[i].Core.Seq != jobs2[i].Core.Seq {
+				t.Fatalf("replay not stable: seq %d then %d", jobs1[i].Core.Seq, jobs2[i].Core.Seq)
+			}
+		}
+	})
+}
+
+// FuzzRecordDecode frames arbitrary bytes as a single CRC-valid record and
+// replays it: the decoder must reject or accept without panicking, and the
+// allocation guards must hold even for hostile length prefixes (the 64 MiB
+// -fuzzminimizelimit default would OOM long before the t.Fatal fires if a
+// count guard regressed).
+func FuzzRecordDecode(f *testing.F) {
+	// Seed with each record type's valid payload, extracted from a real log.
+	_, frames, err := scanLog(validLogBytes(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, fr := range frames {
+		f.Add(fr.payload)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) == 0 || len(payload) > maxRecord {
+			t.Skip()
+		}
+		var log []byte
+		log = append(log, magic...)
+		log = binary.LittleEndian.AppendUint32(log, uint32(len(payload)))
+		log = binary.LittleEndian.AppendUint32(log, crc32.Checksum(payload, castagnoli))
+		log = append(log, payload...)
+
+		valid, frames, err := scanLog(log)
+		if err != nil {
+			t.Fatalf("CRC-valid frame rejected by scan: %v", err)
+		}
+		if valid != int64(len(log)) || len(frames) != 1 {
+			t.Fatalf("CRC-valid frame not committed: valid=%d frames=%d", valid, len(frames))
+		}
+		jobs, err := replay(frames)
+		if err != nil {
+			return // positioned error is the correct rejection
+		}
+		// Accepted: the record must have been a well-formed JobStart
+		// (nothing else can stand alone), with a validated model.
+		if len(jobs) != 1 || jobs[0].Model == nil || jobs[0].Model.Validate() != nil {
+			t.Fatalf("replay accepted a standalone record without a valid model: %+v", jobs)
+		}
+	})
+}

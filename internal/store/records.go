@@ -1,0 +1,98 @@
+package store
+
+import (
+	"repro/internal/core"
+	"repro/internal/passivity"
+	"repro/internal/statespace"
+)
+
+// EventRecord is one persisted server-sent event of a job. Seqs are dense
+// per job (0, 1, 2, …) in log order — the stream publishes under its lock,
+// so log order IS seq order, and replay verifies it.
+type EventRecord struct {
+	// Seq is the event's position in the job's stream.
+	Seq int
+	// Type is the SSE event name (e.g. "progress", "crossing", "done").
+	Type string
+	// Data is the event's JSON payload, stored verbatim.
+	Data []byte
+}
+
+// TerminalRecord marks a job finished: no record of the job follows it.
+type TerminalRecord struct {
+	// State is the job's final registry state ("done", "failed", "canceled").
+	State string
+	// Doc is the final job document JSON, stored verbatim so a restarted
+	// daemon serves exactly the bytes the original run produced.
+	Doc []byte
+}
+
+// AppendJobStart records a job's admission: its ID, the server's spec
+// snapshot (opaque JSON the server re-parses on recovery), and the exact
+// model the solve runs on. Written — and synced — before the job is
+// submitted, so every later record of the ID has a parent.
+func (s *Store) AppendJobStart(id string, spec []byte, m *statespace.Model) error {
+	var e enc
+	e.u8(recJobStart)
+	e.str(id)
+	e.bytes(spec)
+	encodeModel(&e, m)
+	return s.append(e.buf)
+}
+
+// AppendCoreCheckpoint records one eigensolver checkpoint of the job (see
+// core.Checkpoint for the prefix-replay semantics).
+func (s *Store) AppendCoreCheckpoint(id string, ck core.Checkpoint) error {
+	var e enc
+	e.u8(recCoreCheckpoint)
+	e.str(id)
+	encodeCoreCheckpoint(&e, &ck)
+	return s.append(e.buf)
+}
+
+// AppendEnforceCheckpoint records one enforcement iteration boundary (see
+// passivity.EnforceCheckpoint; last record wins on replay).
+func (s *Store) AppendEnforceCheckpoint(id string, ck passivity.EnforceCheckpoint) error {
+	var e enc
+	e.u8(recEnforceCheckpoint)
+	e.str(id)
+	encodeEnforceCheckpoint(&e, &ck)
+	return s.append(e.buf)
+}
+
+// AppendEvent records one stream event. Callers must append events of a
+// job in seq order (the server's stream sink runs under the stream lock).
+func (s *Store) AppendEvent(id string, ev EventRecord) error {
+	var e enc
+	e.u8(recEvent)
+	e.str(id)
+	e.varint(int64(ev.Seq))
+	e.str(ev.Type)
+	e.bytes(ev.Data)
+	return s.append(e.buf)
+}
+
+// AppendResumeMarker fences a recovery: it records that the job is being
+// re-submitted from eigensolver checkpoint seq fromSeq (-1: from scratch)
+// and enforcement iteration fromIter (0: from scratch). Checkpoints from
+// the crashed generation with seqs beyond the marker are orphans past the
+// contiguous prefix; replay discards them so they can never collide with
+// the seqs the resumed generation re-emits.
+func (s *Store) AppendResumeMarker(id string, fromSeq, fromIter int) error {
+	var e enc
+	e.u8(recResumeMarker)
+	e.str(id)
+	e.varint(int64(fromSeq))
+	e.varint(int64(fromIter))
+	return s.append(e.buf)
+}
+
+// AppendTerminal records the job's final state and document snapshot.
+func (s *Store) AppendTerminal(id string, tr TerminalRecord) error {
+	var e enc
+	e.u8(recTerminal)
+	e.str(id)
+	e.str(tr.State)
+	e.bytes(tr.Doc)
+	return s.append(e.buf)
+}

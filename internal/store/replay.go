@@ -1,0 +1,195 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/passivity"
+	"repro/internal/statespace"
+)
+
+// JobState is one job reconstructed from the log: everything the server
+// needs to either serve the job's history (terminal jobs) or re-submit it
+// seeded from its last checkpoint (incomplete jobs).
+type JobState struct {
+	// ID is the job's registry ID ("job-1", …).
+	ID string
+	// Spec is the server's persisted spec snapshot, verbatim.
+	Spec []byte
+	// Model is the exact model the job runs on.
+	Model *statespace.Model
+	// Events are the job's persisted stream events, seq-dense from 0.
+	Events []EventRecord
+	// Terminal is non-nil once the job finished; no resume is needed.
+	Terminal *TerminalRecord
+	// Core is the fold of the job's contiguous eigensolver checkpoint
+	// prefix, nil if no checkpoint committed (resume from scratch).
+	Core *core.ResumeState
+	// Enforce is the job's last enforcement iteration boundary, nil if
+	// none committed.
+	Enforce *passivity.EnforceCheckpoint
+
+	// nextSeq / pending are replay scratch: the contiguous-prefix fold
+	// cursor and the out-of-order checkpoints waiting for their
+	// predecessors.
+	nextSeq int
+	pending map[int]core.Checkpoint
+}
+
+// replay folds the committed frames into per-job states. Frames are
+// CRC-valid by construction here, so every failure is a positioned hard
+// error (encoder bug, version skew, or in-place corruption) — never
+// something to truncate away.
+func replay(frames []frame) ([]*JobState, error) {
+	byID := make(map[string]*JobState)
+	var order []*JobState
+	for _, fr := range frames {
+		d := &dec{data: fr.payload}
+		tag := d.u8()
+		id := ""
+		if tag != 0 {
+			id = d.str()
+		}
+		if d.err != nil {
+			return nil, posErr(fr, d.err)
+		}
+		js := byID[id]
+		if tag != recJobStart {
+			if js == nil {
+				return nil, posErr(fr, fmt.Errorf("record type %d for unknown job %q", tag, id))
+			}
+			if js.Terminal != nil {
+				// Late stragglers: checkpoint and event callbacks run on
+				// worker goroutines and can append after the watcher's
+				// terminal record (the appends themselves are valid and
+				// CRC-committed, they just lost the race). The terminal
+				// document is authoritative, so everything after it for
+				// this job is skipped, never an error.
+				continue
+			}
+		}
+		switch tag {
+		case recJobStart:
+			if js != nil {
+				return nil, posErr(fr, fmt.Errorf("duplicate job %q", id))
+			}
+			js = &JobState{
+				ID:      id,
+				Spec:    d.bytes(),
+				Model:   decodeModel(d),
+				pending: make(map[int]core.Checkpoint),
+			}
+			if err := d.finish(); err != nil {
+				return nil, posErr(fr, err)
+			}
+			byID[id] = js
+			order = append(order, js)
+		case recCoreCheckpoint:
+			ck := decodeCoreCheckpoint(d)
+			if err := d.finish(); err != nil {
+				return nil, posErr(fr, err)
+			}
+			if err := js.applyCheckpoint(ck); err != nil {
+				return nil, posErr(fr, err)
+			}
+		case recEnforceCheckpoint:
+			ck := decodeEnforceCheckpoint(d)
+			if err := d.finish(); err != nil {
+				return nil, posErr(fr, err)
+			}
+			// Self-contained snapshots: the last one wins.
+			js.Enforce = &ck
+		case recEvent:
+			ev := EventRecord{Seq: int(d.varint())}
+			ev.Type = d.str()
+			ev.Data = d.bytes()
+			if err := d.finish(); err != nil {
+				return nil, posErr(fr, err)
+			}
+			if ev.Seq != len(js.Events) {
+				return nil, posErr(fr, fmt.Errorf("job %q event seq %d, want %d", id, ev.Seq, len(js.Events)))
+			}
+			js.Events = append(js.Events, ev)
+		case recResumeMarker:
+			fromSeq := int(d.varint())
+			fromIter := int(d.varint())
+			if err := d.finish(); err != nil {
+				return nil, posErr(fr, err)
+			}
+			if err := js.applyMarker(fromSeq, fromIter); err != nil {
+				return nil, posErr(fr, err)
+			}
+		case recTerminal:
+			tr := TerminalRecord{State: d.str(), Doc: d.bytes()}
+			if err := d.finish(); err != nil {
+				return nil, posErr(fr, err)
+			}
+			js.Terminal = &tr
+		default:
+			return nil, posErr(fr, fmt.Errorf("unknown record type %d", tag))
+		}
+	}
+	for _, js := range order {
+		js.pending = nil
+	}
+	return order, nil
+}
+
+// posErr wraps a replay failure with the frame's file offset.
+func posErr(fr frame, err error) error {
+	return fmt.Errorf("store: record at offset %d: %w", fr.off, err)
+}
+
+// applyCheckpoint folds one eigensolver checkpoint. Seqs may be logged out
+// of order (the emitting callbacks run outside the scheduler lock), so the
+// fold advances only along the contiguous prefix and parks the rest.
+func (js *JobState) applyCheckpoint(ck core.Checkpoint) error {
+	if ck.Seq < js.nextSeq {
+		return fmt.Errorf("job %q checkpoint seq %d replays committed prefix (next %d)", js.ID, ck.Seq, js.nextSeq)
+	}
+	if _, dup := js.pending[ck.Seq]; dup {
+		return fmt.Errorf("job %q duplicate checkpoint seq %d", js.ID, ck.Seq)
+	}
+	js.pending[ck.Seq] = ck
+	for {
+		next, ok := js.pending[js.nextSeq]
+		if !ok {
+			return nil
+		}
+		delete(js.pending, js.nextSeq)
+		if js.Core == nil {
+			js.Core = &core.ResumeState{}
+		}
+		js.Core.Apply(next)
+		js.nextSeq++
+	}
+}
+
+// applyMarker fences a recovery generation: the marker asserts which
+// prefix the resumed run was seeded from, and everything parked beyond it
+// is a crashed generation's orphan, discarded so it cannot collide with
+// the seqs the new generation re-emits.
+func (js *JobState) applyMarker(fromSeq, fromIter int) error {
+	switch {
+	case fromSeq == -1:
+		// Scratch restart: the new generation re-emits from seq 0.
+		js.Core = nil
+		js.nextSeq = 0
+		js.pending = make(map[int]core.Checkpoint)
+	case fromSeq == js.nextSeq-1:
+		js.pending = make(map[int]core.Checkpoint)
+	default:
+		return fmt.Errorf("job %q resume marker seq %d, but folded prefix ends at %d", js.ID, fromSeq, js.nextSeq-1)
+	}
+	switch {
+	case fromIter == 0:
+		js.Enforce = nil
+	case js.Enforce == nil || js.Enforce.Iter != fromIter:
+		have := 0
+		if js.Enforce != nil {
+			have = js.Enforce.Iter
+		}
+		return fmt.Errorf("job %q resume marker iteration %d, but last committed is %d", js.ID, fromIter, have)
+	}
+	return nil
+}

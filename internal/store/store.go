@@ -1,0 +1,241 @@
+// Package store is passivityd's durable job log: a single append-only,
+// fsync'd file that records every job's spec, model snapshot, solver
+// checkpoints, streamed events, and terminal document, so a daemon restart
+// (or SIGKILL) loses no committed work. The server replays the log on boot
+// and re-submits each incomplete job seeded from its last checkpoint; the
+// solver's schedule-independence invariant then makes the resumed report
+// bit-identical to an uninterrupted run.
+//
+// # Framing
+//
+// The file opens with an 8-byte magic. Each record is framed as
+//
+//	[len uint32 LE][crc uint32 LE][payload len bytes]
+//
+// where crc is CRC-32C (Castagnoli) over the payload. A crash can only
+// tear the TAIL of the file (appends are sequential and each record is
+// fsync'd before being acknowledged), so recovery truncates at the first
+// frame whose length or checksum fails — committed records are never
+// touched. A frame whose checksum passes but whose payload does not decode
+// is NOT a torn write; that is real corruption and Open reports it as a
+// positioned error instead of silently dropping data.
+//
+// # Durability contract
+//
+// Every Append* call returns only after the record is written and synced.
+// If a write or sync fails, the store latches broken (ErrStoreBroken wraps
+// every later call), rolls the file back to the last committed boundary on
+// a best-effort basis, and never retries the sync: after a failed fsync
+// the kernel may have dropped the dirty pages, so "retry until it works"
+// can acknowledge data that never reached disk.
+//
+// Concurrency: Store methods are safe for concurrent use; records from
+// concurrent appenders interleave at frame granularity.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// magic identifies a passivityd job log (8 bytes, version in the suffix).
+const magic = "PSVJLOG1"
+
+// maxRecord caps a frame's payload length. Anything larger is treated as a
+// torn/garbage length prefix during recovery and rejected at append time
+// (a model snapshot at the spec caps is far below this).
+const maxRecord = 16 << 20
+
+// ErrStoreBroken wraps every call made after a write or sync failure.
+var ErrStoreBroken = errors.New("store: broken by earlier write failure")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// logFile is the slice of *os.File the store needs — the seam the
+// fault-injection tests use to fail the K-th write or sync.
+type logFile interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+}
+
+// Store is an open job log. Create one with Open.
+type Store struct {
+	mu     sync.Mutex
+	f      logFile
+	size   int64 // committed length: magic + every acknowledged frame
+	broken error // latched first write/sync failure
+	jobs   []*JobState
+}
+
+// Open opens (or creates) the job log at path, truncates any torn tail,
+// and replays the committed records; Recovered returns the replayed jobs.
+// A decode or replay inconsistency in committed (CRC-valid) records is a
+// hard error — the log is not silently repaired.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s, err := openWith(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// openWith runs Open's recovery on an already-open file — the entry point
+// the fault-injection and fuzz tests drive with a test double.
+func openWith(f logFile) (*Store, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: read log: %w", err)
+	}
+	s := &Store{f: f}
+	valid, frames, err := scanLog(data)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) != valid {
+		if err := f.Truncate(valid); err != nil {
+			return nil, fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	if valid == 0 {
+		// Empty (or torn-header) file: start a fresh log.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		if _, err := f.Write([]byte(magic)); err != nil {
+			return nil, fmt.Errorf("store: write magic: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("store: sync magic: %w", err)
+		}
+		s.size = int64(len(magic))
+		return s, nil
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		return nil, err
+	}
+	s.size = valid
+	s.jobs, err = replay(frames)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// frame is one committed record located in the log.
+type frame struct {
+	off     int64 // payload offset in the file, for positioned errors
+	payload []byte
+}
+
+// scanLog validates the magic and walks the frames, returning the
+// committed length (magic + whole valid frames) and the payloads. Torn
+// tails — short header, impossible length, short payload, or checksum
+// mismatch on the LAST readable frame position — simply end the committed
+// region. A file whose first bytes are not (a prefix of) the magic is not
+// a job log and is a hard error rather than something to truncate away.
+func scanLog(data []byte) (valid int64, frames []frame, err error) {
+	if len(data) < len(magic) {
+		if string(data) == magic[:len(data)] {
+			return 0, nil, nil // torn header: treat as empty
+		}
+		return 0, nil, fmt.Errorf("store: not a job log (short header %q)", data)
+	}
+	if string(data[:len(magic)]) != magic {
+		return 0, nil, fmt.Errorf("store: not a job log (magic %q)", data[:len(magic)])
+	}
+	off := int64(len(magic))
+	for {
+		rest := data[off:]
+		if len(rest) < 8 {
+			return off, frames, nil
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if n == 0 || n > maxRecord || int(n) > len(rest)-8 {
+			return off, frames, nil
+		}
+		payload := rest[8 : 8+int(n)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return off, frames, nil
+		}
+		frames = append(frames, frame{off: off + 8, payload: payload})
+		off += 8 + int64(n)
+	}
+}
+
+// Recovered returns the jobs replayed from the log at Open, in first-seen
+// order. The slice is owned by the caller; the store does not use it after
+// Open.
+func (s *Store) Recovered() []*JobState { return s.jobs }
+
+// append frames, writes, and fsyncs one payload. On any failure the store
+// latches broken and rolls the file back to the last committed boundary
+// (best effort — if even the rollback fails, recovery's tail truncation
+// handles the partial frame on next Open).
+func (s *Store) append(payload []byte) error {
+	if len(payload) > maxRecord {
+		return fmt.Errorf("store: record of %d bytes exceeds limit %d", len(payload), maxRecord)
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+	copy(buf[8:], payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return fmt.Errorf("%w: %w", ErrStoreBroken, s.broken)
+	}
+	if _, err := s.f.Write(buf); err != nil {
+		s.breakLocked(err)
+		return fmt.Errorf("store: write record: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		s.breakLocked(err)
+		return fmt.Errorf("store: sync record: %w", err)
+	}
+	s.size += int64(len(buf))
+	return nil
+}
+
+// breakLocked latches the store broken and tries to roll the file back to
+// the last committed boundary so the failed record cannot masquerade as
+// committed if the pages later reach disk.
+func (s *Store) breakLocked(err error) {
+	s.broken = err
+	_ = s.f.Truncate(s.size)
+	_, _ = s.f.Seek(s.size, io.SeekStart)
+}
+
+// Err returns the latched write failure, or nil while the store is healthy.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.broken
+}
+
+// Close syncs and closes the log file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken == nil {
+		if err := s.f.Sync(); err != nil {
+			s.broken = err
+		}
+	}
+	return s.f.Close()
+}
